@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+a paper-vs-measured report.  Absolute numbers come from a simulator, so the
+assertions check the *shape* of each result (who wins, by what factor, where
+crossovers fall), not cycle-exact equality.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.results_io import save_result
+
+#: Machine-readable copies of benchmark results land here.
+ARTIFACT_DIR = Path(__file__).parent / "bench_artifacts"
+
+
+def report(title: str, body: str) -> None:
+    """Print one experiment's paper-vs-measured block."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def artifact(name: str, result) -> None:
+    """Persist one experiment result as a JSON artifact (best effort)."""
+    try:
+        save_result(result, ARTIFACT_DIR / f"{name}.json")
+    except Exception as error:  # pragma: no cover - artifacts are optional
+        print(f"(artifact {name} not saved: {error})")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the (expensive) experiment exactly once under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,63 @@
+"""Figure 11 — preparation-step latency: Prime+Scope vs Prime+Prefetch+Scope.
+
+Paper means: 1906 vs 1043 cycles (Skylake), 1762 vs 1138 (Kaby Lake) —
+PREFETCHNTA cuts the priming cost roughly in half (and the reference count
+from 192 to 33).
+"""
+
+import pytest
+from conftest import report
+
+from repro.analysis.reporting import format_table
+from repro.attacks.prime_scope import PrimePrefetchScope, PrimeScope
+from repro.experiments.prep_latency import run_prep_latency_experiment
+from repro.sim.machine import Machine
+
+ROUNDS = 300
+PAPER = {"skylake": (1906, 1043), "kaby lake": (1762, 1138)}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "skylake": run_prep_latency_experiment(Machine.skylake(seed=105), rounds=ROUNDS),
+        "kaby lake": run_prep_latency_experiment(Machine.kaby_lake(seed=105), rounds=ROUNDS),
+    }
+
+
+def test_fig11_prep_latency(once, results):
+    once(lambda: None)
+    rows = []
+    for platform, result in results.items():
+        ps, pps = result.summaries()
+        paper_ps, paper_pps = PAPER[platform]
+        rows.append((platform, "Prime+Scope", paper_ps, f"{ps.mean:.0f}"))
+        rows.append((platform, "Prime+Prefetch+Scope", paper_pps, f"{pps.mean:.0f}"))
+    report(
+        "Figure 11 — preparation step latency (cycles, mean of CDF)",
+        format_table(("platform", "attack", "paper", "measured"), rows),
+    )
+    for platform, result in results.items():
+        ps, pps = result.summaries()
+        assert result.speedup > 1.5, platform
+        paper_ps, paper_pps = PAPER[platform]
+        assert abs(ps.mean - paper_ps) / paper_ps < 0.45, platform
+        assert abs(pps.mean - paper_pps) / paper_pps < 0.45, platform
+        # CDF shape: PPS's slowest prep is still faster than P+S's median.
+        ps_xs, _ = result.cdfs()[0]
+        pps_xs, _ = result.cdfs()[1]
+        assert max(pps_xs) < ps.p50 * 1.3, platform
+
+
+def test_fig11_reference_counts(once):
+    once(lambda: None)
+    rows = [
+        ("Prime+Scope", 192, PrimeScope.PREP_REFERENCES),
+        ("Prime+Prefetch+Scope", 33, PrimePrefetchScope.PREP_REFERENCES),
+    ]
+    report(
+        "Listing 1 vs Listing 2 — cache references per preparation step",
+        format_table(("attack", "paper", "this model"), rows),
+    )
+    assert PrimePrefetchScope.PREP_REFERENCES == 33
+    assert PrimeScope.PREP_REFERENCES >= 4 * PrimePrefetchScope.PREP_REFERENCES

@@ -1,0 +1,26 @@
+"""Figure 3 — the insertion-age experiment.
+
+Paper: after replacing la with a prefetched copy, loading fresh conflicting
+lines evicts l1..lw-1 strictly in order for every a — a prefetched line is
+indistinguishable from an age-3 line, not specially flagged.
+"""
+
+from conftest import report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.insertion import run_insertion_age_experiment
+from repro.sim.machine import Machine
+
+
+def test_fig3_insertion_age(once):
+    result = once(run_insertion_age_experiment, Machine.skylake(seed=101))
+    rows = [
+        (a, " ".join(f"l{i}" for i in order[:6]) + " ...", order == list(range(1, 16)))
+        for a, order in sorted(result.eviction_orders.items())
+    ]
+    report(
+        "Figure 3 — eviction order while loading l'1..l'w-1 (per prefetch "
+        "position a)\npaper: l1..lw-1 evicted in order for every a",
+        format_table(("a", "eviction order (prefix)", "in order"), rows),
+    )
+    assert result.in_order_fraction() == 1.0

@@ -1,0 +1,62 @@
+"""Section VI-B — the non-inclusive/directory hypothesis (future work).
+
+The paper conjectures that on non-inclusive-LLC parts, where PREFETCHNTA
+fills only the L1 and the coherence directory, a directory version of
+NTP+NTP exists *iff* prefetch-allocated directory entries are installed as
+eviction candidates.  This extension exercises both sides of the
+conditional on the directory model.
+"""
+
+from conftest import report
+
+from repro.analysis.reporting import format_table
+from repro.directory.hierarchy import DirectoryConfig
+from repro.directory.ntp import run_directory_ntp_exchange
+
+PATTERN = [1, 0, 1, 1, 0, 0, 1, 0] * 8
+
+
+def test_secVIB_directory_hypothesis(once):
+    vulnerable = once(run_directory_ntp_exchange, PATTERN)
+    safe = run_directory_ntp_exchange(
+        PATTERN, config=DirectoryConfig(directory_prefetch_insert_age=2)
+    )
+    rows = [
+        (
+            "prefetch entries at age 3 (vulnerable hypothesis)",
+            "channel should work",
+            f"BER {vulnerable.bit_error_rate * 100:.1f}%",
+        ),
+        (
+            "prefetch entries at age 2 (safe insertion)",
+            "channel should fail",
+            f"BER {safe.bit_error_rate * 100:.1f}%",
+        ),
+    ]
+    report(
+        "Section VI-B — directory NTP+NTP under both insertion hypotheses",
+        format_table(("directory policy", "expectation", "measured"), rows),
+    )
+    assert vulnerable.works
+    assert not safe.works
+
+
+def test_secVIB_amd_buffer_hypothesis(once):
+    """§VI-B's closing note: a software-invisible NT buffer would yield an
+    even easier channel — conflicts need no set targeting at all."""
+    from repro.directory.amd_buffer import run_amd_buffer_exchange
+
+    full = once(run_amd_buffer_exchange, PATTERN, 8)
+    starved = run_amd_buffer_exchange(PATTERN, capacity=8, sender_lines=4)
+    rows = [
+        ("8 arbitrary sender lines (== capacity)", "channel works",
+         f"BER {full.bit_error_rate * 100:.1f}%"),
+        ("4 sender lines (under capacity)", "channel fails",
+         f"BER {starved.bit_error_rate * 100:.1f}%"),
+    ]
+    report(
+        "Section VI-B — hypothetical AMD NT-buffer channel",
+        format_table(("sender behaviour", "expectation", "measured"), rows),
+    )
+    assert full.works
+    assert not starved.works

@@ -1,0 +1,35 @@
+"""Table I — the evaluation platforms.
+
+Verifies the simulated machines match the paper's hardware table and prints
+it in the paper's layout.
+"""
+
+from conftest import report
+
+from repro.analysis.reporting import format_table
+from repro.config import KABY_LAKE, PLATFORMS, SKYLAKE
+from repro.sim.machine import Machine
+
+
+def test_table1_platforms(once):
+    machines = once(lambda: [Machine(p, seed=0) for p in PLATFORMS])
+    rows = [
+        ("Platform", SKYLAKE.name, KABY_LAKE.name),
+        ("Microarchitecture", SKYLAKE.microarchitecture, KABY_LAKE.microarchitecture),
+        ("Num of cores", SKYLAKE.cores, KABY_LAKE.cores),
+        ("Frequency", f"{SKYLAKE.frequency_hz/1e9:.1f} GHz", f"{KABY_LAKE.frequency_hz/1e9:.1f} GHz"),
+        ("L1 associativity", SKYLAKE.l1.ways, KABY_LAKE.l1.ways),
+        ("L2 associativity", SKYLAKE.l2.ways, KABY_LAKE.l2.ways),
+        ("LLC associativity", SKYLAKE.llc.ways, KABY_LAKE.llc.ways),
+        ("LLC size", f"{SKYLAKE.llc.size_bytes >> 20} MiB", f"{KABY_LAKE.llc.size_bytes >> 20} MiB"),
+        ("LLC type", "Shared, inclusive", "Shared, inclusive"),
+    ]
+    report(
+        "Table I — specifications of the tested (simulated) processors",
+        format_table(("", "Skylake", "Kaby Lake"), rows),
+    )
+    for machine, platform in zip(machines, PLATFORMS):
+        assert machine.config is platform
+        assert machine.llc_ways == 16
+    assert SKYLAKE.frequency_hz == 3.4e9
+    assert KABY_LAKE.frequency_hz == 4.2e9

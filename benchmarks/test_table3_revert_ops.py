@@ -1,0 +1,45 @@
+"""Table III — operations needed to revert the cache state (16-way LLC).
+
+Paper: Reload+Refresh needs 2 flushes + 2 DRAM accesses + 14 LLC accesses
+per iteration; Prefetch+Refresh v1 needs 2 + 2 + 0; v2 needs 1 + 1 + 0.
+"""
+
+from conftest import report
+
+from repro.analysis.reporting import format_table
+from repro.experiments.iteration_latency import run_iteration_latency_experiment
+from repro.sim.machine import Machine
+
+PAPER = {
+    "reload+refresh": (2, 2, 14),
+    "prefetch+refresh_v1": (2, 2, 0),
+    "prefetch+refresh_v2": (1, 1, 0),
+}
+
+
+def test_table3_revert_operations(once):
+    result = once(
+        run_iteration_latency_experiment, lambda: Machine.skylake(seed=107), 200
+    )
+    rows = []
+    for name, paper in PAPER.items():
+        costs = result.revert_costs[name]
+        rows.append(
+            (
+                name,
+                f"{paper[0]}/{paper[1]}/{paper[2]}",
+                f"{costs.flushes}/{costs.dram_accesses}/{costs.llc_accesses}",
+            )
+        )
+    report(
+        "Table III — # of ops for reverting the cache state "
+        "(flushes / DRAM accesses / LLC accesses)",
+        format_table(("attack", "paper", "measured"), rows),
+    )
+    rr = result.revert_costs["reload+refresh"]
+    v1 = result.revert_costs["prefetch+refresh_v1"]
+    v2 = result.revert_costs["prefetch+refresh_v2"]
+    assert (rr.flushes, rr.dram_accesses, rr.llc_accesses) == (2, 2, 14)
+    assert (v1.flushes, v1.llc_accesses) == (2, 0) and v1.dram_accesses <= 2
+    assert (v2.flushes, v2.dram_accesses, v2.llc_accesses) == (1, 1, 0)
+    assert all(acc >= 0.95 for acc in result.accuracy.values())

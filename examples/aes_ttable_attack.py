@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""First-round T-table AES key recovery with Flush+Reload.
+
+The classic end-to-end cache attack, run on the simulated machine: the
+T-tables live in a shared library, so the attacker can flush individual
+table lines and observe which ones the victim's encryption touches.  With
+chosen plaintexts, the touched line of table 0 moves one-to-one with the
+high nibble of ``plaintext[0] ^ key[0]``, giving away the key byte's upper
+half — and likewise for every other byte position.
+"""
+
+from collections import Counter
+
+from repro import Machine
+from repro.attacks import FlushReload
+from repro.victims import ToyAES
+
+
+def recover_high_nibble(machine, victim, attack_lines, byte_index) -> int:
+    """Recover key[byte_index] >> 4 with 16 chosen plaintexts."""
+    table = byte_index % 4
+    votes = Counter()
+    for trial in range(16):
+        plaintext = [0x5A] * 16  # fixed filler keeps other bytes' lines still
+        plaintext[byte_index] = trial << 4
+        # Flush the whole table, let the victim encrypt, reload-probe lines.
+        for monitor in attack_lines[table]:
+            monitor.attacker.clflush(monitor.target)
+        machine.clock += 1000
+        victim.encrypt_block(plaintext)
+        machine.clock += 1000
+        touched = [
+            line_index
+            for line_index, monitor in enumerate(attack_lines[table])
+            if monitor.attacker.timed_load(monitor.target).cycles
+            <= monitor.threshold
+        ]
+        # Lines touched by the *other* bytes using this table are constant
+        # across trials; the line moving with our chosen byte satisfies
+        # line = (pt ^ key) >> 4, so each trial votes for key>>4 = line ^ pt>>4.
+        for line_index in touched:
+            votes[line_index ^ trial] += 1
+    # The moving line votes consistently 16 times; static lines scatter.
+    return votes.most_common(1)[0][0]
+
+
+def main() -> None:
+    machine = Machine.skylake(seed=99)
+    shared = machine.address_space("libaes")
+    victim = ToyAES(machine, core_id=1, shared_space=shared, seed=5)
+
+    # One Flush+Reload monitor per table line (shared-library threat model).
+    attack_lines = [
+        [
+            FlushReload(machine, shared_line=line)
+            for line in victim.table_lines[table]
+        ]
+        for table in range(4)
+    ]
+
+    print("Recovering the upper nibble of every AES key byte "
+          "(first-round T-table leakage)\n")
+    recovered = []
+    for byte_index in range(16):
+        nibble = recover_high_nibble(machine, victim, attack_lines, byte_index)
+        recovered.append(nibble)
+    actual = [b >> 4 for b in victim.key]
+    print("key nibbles (actual)   :", " ".join(f"{n:x}" for n in actual))
+    print("key nibbles (recovered):", " ".join(f"{n:x}" for n in recovered))
+    correct = sum(a == b for a, b in zip(actual, recovered))
+    print(f"\n{correct}/16 high nibbles recovered "
+          f"({correct / 16 * 100:.0f}%) — 64 of 128 key bits leaked by "
+          "one round of cache observation.")
+
+
+if __name__ == "__main__":
+    main()

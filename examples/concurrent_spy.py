@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Concurrent key extraction: the whole stack against a live victim.
+
+Unlike ``spy_on_rsa.py`` (which steps the victim in lock-step for a clean
+measurement), here a square-and-multiply victim free-runs on core 1 while a
+Prime+Prefetch+Scope spy monitors the shared multiply-routine line from
+core 0.  The spy sees nothing but eviction timestamps; key recovery is pure
+timeline analysis, and a few OR-combined traces push it to ~100%.
+"""
+
+import random
+
+from repro import Machine
+from repro.experiments.end_to_end_spy import run_end_to_end_spy
+
+KEY_BITS = 96
+
+
+def main() -> None:
+    rng = random.Random(1337)
+    key = [rng.randint(0, 1) for _ in range(KEY_BITS)]
+    machine = Machine.skylake(seed=7)
+
+    print(f"Victim: {KEY_BITS}-bit square-and-multiply exponentiation, "
+          "free-running on core 1")
+    print("Spy   : Prime+Prefetch+Scope on the shared multiply line, core 0\n")
+    for traces in (1, 2, 4):
+        result = run_end_to_end_spy(Machine.skylake(seed=7), key, traces=traces)
+        print(f"{traces} trace(s): {result.accuracy * 100:5.1f}% of key bits "
+              f"recovered ({result.detections} detections)")
+    final = run_end_to_end_spy(machine, key, traces=4)
+    print("\ntrue key :", "".join(map(str, final.true_bits)))
+    print("recovered:", "".join(map(str, final.recovered_bits)))
+    wrong = sum(a != b for a, b in zip(final.true_bits, final.recovered_bits))
+    print(f"\n{wrong} bit(s) wrong — brute-forcing the residue is trivial.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""End-to-end covert messaging under noise.
+
+Frames an ASCII message (preamble + length + CRC-8), protects it with a
+3-fold repetition code, and ships it over NTP+NTP while a background
+process hammers the LLC — the realistic deployment the paper's Section
+IV-B3 sketches.  Compares against Prime+Probe on the same machine state.
+"""
+
+from repro import Machine
+from repro.attacks import NTPNTPChannel, PrimeProbeChannel
+from repro.channel import FrameCodec, RepetitionEncoder
+from repro.victims import NoiseConfig
+
+MESSAGE = b"MICRO 2022: Leaky Way"
+#: Aggregate third-party traffic: one access every ~2K cycles, 1% of which
+#: lands in a monitored set.  (Heavier noise cascades NTP+NTP errors — any
+#: foreign fill displaces the eviction-candidate the channel lives in — and
+#: needs the multi-set redundancy encodings of Section IV-B3.)
+NOISE = NoiseConfig(gap_cycles=2000, target_bias=0.01)
+
+
+def ship(channel, interval: int, label: str) -> None:
+    codec = FrameCodec()
+    encoder = RepetitionEncoder(3)
+    bits = encoder.encode(codec.encode(MESSAGE))
+    result = channel.transmit(bits, interval, noise=NOISE)
+    frame = codec.decode(encoder.decode(result.received_bits))
+    print(f"{label}:")
+    print(f"  raw bits        : {len(bits)} ({len(MESSAGE)} byte payload framed + 3x coded)")
+    print(f"  raw rate        : {result.raw_rate_kb_per_s:.0f} KB/s")
+    print(f"  channel BER     : {result.bit_error_rate * 100:.2f}%")
+    print(f"  capacity        : {result.capacity_kb_per_s:.0f} KB/s")
+    if frame is None:
+        print("  decode          : FAILED (no frame found)")
+    else:
+        status = "CRC OK" if frame.crc_ok else "CRC MISMATCH"
+        print(f"  decode          : {frame.payload!r} [{status}]")
+    print()
+
+
+def main() -> None:
+    machine = Machine.skylake(seed=2022)
+    print(f"Shipping {MESSAGE!r} over a noisy LLC "
+          f"(background load every ~{NOISE.gap_cycles} cycles)\n")
+    ship(
+        NTPNTPChannel(machine, seed=1, maintenance_period=96),
+        interval=1500,
+        label="NTP+NTP (with periodic set maintenance)",
+    )
+    ship(PrimeProbeChannel(machine, seed=1), interval=12000, label="Prime+Probe")
+    print("Same payload, same noise: NTP+NTP needs 2 cache references per bit,")
+    print("Prime+Probe needs ~50 — that is the set-associativity bypass.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Eviction-set construction: the paper's Algorithm 2 vs the state of the art.
+
+Given a target line whose LLC set the attacker cannot compute (physical
+page frames are random and the slice hash is keyed on high address bits),
+find 16 congruent lines.  The access-based baseline must age the target out
+of a 16-way set before every discovery; the prefetch-based method makes
+every congruent candidate evict the target immediately.
+"""
+
+from repro import Machine
+from repro.attacks import (
+    build_eviction_set_baseline,
+    build_eviction_set_prefetch,
+)
+from repro.attacks.evset import verify_eviction_set
+
+
+def hunt(builder, label: str, seed: int) -> None:
+    machine = Machine.skylake(seed=seed)
+    target = machine.address_space("victim").alloc_pages(1)[0]
+    space = machine.address_space("attacker")
+    candidates = space.candidate_lines(offset=target % 4096 // 64 * 64)
+    result = builder(machine, machine.cores[0], target, candidates)
+    accuracy = verify_eviction_set(machine, target, result.lines)
+    ms = result.execution_time_ms(machine.config.frequency_hz)
+    print(f"{label}:")
+    print(f"  candidates tested : {result.candidates_tested}")
+    print(f"  memory references : {result.memory_references}")
+    print(f"  simulated time    : {ms:.2f} ms @ 3.4 GHz")
+    print(f"  ground-truth check: {accuracy * 100:.0f}% of found lines congruent")
+    print()
+    return result
+
+
+def main() -> None:
+    print("Hunting a 16-line LLC eviction set (8192 sets, keyed slice hash)\n")
+    baseline = hunt(build_eviction_set_baseline, "Access-based baseline [42]", seed=3)
+    prefetch = hunt(build_eviction_set_prefetch, "PREFETCHNTA-based Algorithm 2", seed=3)
+    ratio = baseline.memory_references / prefetch.memory_references
+    print(f"Algorithm 2 used {ratio:.1f}x fewer memory references "
+          f"(paper, same simulation methodology: 7.25x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Inter-keystroke timing recovery with Prime+Prefetch+Scope.
+
+A victim "types" on core 1, its keystroke handler touching one shared cache
+line per press.  The spy on core 0 monitors that line with the paper's
+fast-re-priming scope attack and reconstructs the typing rhythm — the
+classic application of high temporal resolution (Section V-A1: one
+private-cache hit per check).
+"""
+
+from repro import Machine
+from repro.experiments.keystrokes import run_keystroke_experiment
+
+TEXT = "correct horse battery staple"
+
+
+def main() -> None:
+    machine = Machine.skylake(seed=9)
+    result = run_keystroke_experiment(machine, text=TEXT)
+
+    print(f'Victim typed: "{TEXT}" ({len(result.presses)} presses)')
+    print(f"Spy captured: {len(result.detections)} detections "
+          f"({result.capture_rate * 100:.0f}% of presses)\n")
+    print("recovered inter-keystroke intervals (cycles):")
+    pairs = list(zip(result.detections, result.detections[1:]))
+    for i, (a, b) in enumerate(pairs[:12]):
+        print(f"  gap {i:>2}: {b - a:>7}")
+    print(f"\nmedian timing error vs ground truth: "
+          f"{result.median_interval_error:.0f} cycles")
+    print("(one scope check is ~70 cycles — the attack recovers keystroke")
+    print(" timing at nearly the resolution of the check loop itself)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Side-channel key recovery with Prefetch+Refresh.
+
+A square-and-multiply RSA victim processes its private exponent; the
+multiply routine lives in a shared library, so its cache line is the
+classic monitoring target.  The attacker runs the paper's Prefetch+Refresh
+(v2) — one iteration per exponent bit — and reads the key out of the
+replacement-state channel, staying stealthy: the victim's line is served
+from cache the whole time.
+"""
+
+from repro import Machine
+from repro.attacks import PrefetchRefresh
+from repro.victims import SquareAndMultiplyRSA
+
+KEY_BITS = 96
+
+
+def main() -> None:
+    machine = Machine.skylake(seed=4096)
+    shared_library = machine.address_space("libcrypto")
+    import random
+
+    key = [random.Random(11).randint(0, 1) for _ in range(KEY_BITS)]
+    victim = SquareAndMultiplyRSA(
+        machine, core_id=1, shared_space=shared_library, key_bits=key
+    )
+
+    attack = PrefetchRefresh(
+        machine, variant=2, shared_line=victim.multiply_line
+    )
+    attack.prepare()
+
+    recovered = []
+    latencies = []
+    while not victim.finished:
+        victim.process_next_bit()
+        outcome = attack.run_iteration(victim_accesses=False)
+        # (victim_accesses=False: the victim above already ran this window;
+        #  the attack only performs its own steps 3-5.)
+        recovered.append(1 if outcome.detected else 0)
+        latencies.append(outcome.latency)
+
+    key = "".join(map(str, victim.key_bits))
+    got = "".join(map(str, recovered))
+    correct = sum(a == b for a, b in zip(victim.key_bits, recovered))
+    print(f"victim key  : {key}")
+    print(f"recovered   : {got}")
+    print(f"accuracy    : {correct}/{len(recovered)} bits "
+          f"({correct / len(recovered) * 100:.1f}%)")
+    print(f"attack cost : {sum(latencies) / len(latencies):.0f} cycles/bit "
+          f"(Reload+Refresh would need ~2x; paper Fig. 12)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim for environments whose pip cannot build PEP 660 editable wheels
+(offline boxes without the `wheel` package).  All real metadata lives in
+pyproject.toml; this file only enables `pip install -e . --no-use-pep517`."""
+
+from setuptools import setup
+
+setup()

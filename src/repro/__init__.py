@@ -1,0 +1,104 @@
+"""Leaky Way reproduction library.
+
+A production-quality Python reproduction of *"Leaky Way: A Conflict-Based
+Cache Covert Channel Bypassing Set Associativity"* (Guo, Xin, Zhang, Yang --
+MICRO 2022): a simulated Intel cache hierarchy with the reverse-engineered
+PREFETCHNTA behaviour, the NTP+NTP covert channel, the Prime+Prefetch+Scope
+and Prefetch+Refresh side-channel attacks, prefetch-based eviction-set
+construction, and the paper's proposed countermeasure.
+
+Quick start::
+
+    from repro import Machine
+    from repro.attacks import run_ntp_ntp_channel
+
+    machine = Machine.skylake(seed=7)
+    result = run_ntp_ntp_channel(machine, message_bits=[1, 0, 1, 1])
+    print(result.received_bits, result.bit_error_rate)
+"""
+
+from .config import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE,
+    CacheGeometry,
+    KABY_LAKE,
+    LatencyProfile,
+    NoiseProfile,
+    PLATFORMS,
+    PlatformConfig,
+    SKYLAKE,
+    SyncProfile,
+    kaby_lake,
+    skylake,
+)
+from .errors import (
+    AddressError,
+    AttackError,
+    CacheStateError,
+    ChannelError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+from .cache import (
+    BitPLRU,
+    CacheHierarchy,
+    CacheLevel,
+    CacheLine,
+    CacheSet,
+    Level,
+    MemOpResult,
+    QuadAgeLRU,
+    SRRIP,
+    TreePLRU,
+    TrueLRU,
+)
+from .cpu import Core, TimedResult, TimingModel
+from .mem import AddressSpace, CacheSetMapping, PageAllocator, SliceHash
+from .sim import Machine, Scheduler, SimProcess
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CACHE_LINE_SIZE",
+    "PAGE_SIZE",
+    "CacheGeometry",
+    "LatencyProfile",
+    "NoiseProfile",
+    "SyncProfile",
+    "PlatformConfig",
+    "SKYLAKE",
+    "KABY_LAKE",
+    "PLATFORMS",
+    "skylake",
+    "kaby_lake",
+    "ReproError",
+    "ConfigurationError",
+    "AddressError",
+    "CacheStateError",
+    "SimulationError",
+    "ChannelError",
+    "AttackError",
+    "CacheLine",
+    "CacheSet",
+    "CacheLevel",
+    "CacheHierarchy",
+    "Level",
+    "MemOpResult",
+    "QuadAgeLRU",
+    "TrueLRU",
+    "TreePLRU",
+    "BitPLRU",
+    "SRRIP",
+    "Core",
+    "TimingModel",
+    "TimedResult",
+    "AddressSpace",
+    "PageAllocator",
+    "CacheSetMapping",
+    "SliceHash",
+    "Machine",
+    "Scheduler",
+    "SimProcess",
+]

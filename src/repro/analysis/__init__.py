@@ -1,0 +1,22 @@
+"""Statistics and reporting helpers used by experiments and benchmarks."""
+
+from .stats import SampleSummary, cdf, percentile, summarize
+from .reporting import format_table, comparison_table
+from .histogram import ascii_cdf, ascii_histogram
+from .setviz import SetWatcher
+from .results_io import load_result, result_to_dict, save_result
+
+__all__ = [
+    "SampleSummary",
+    "cdf",
+    "percentile",
+    "summarize",
+    "format_table",
+    "comparison_table",
+    "ascii_histogram",
+    "ascii_cdf",
+    "SetWatcher",
+    "save_result",
+    "load_result",
+    "result_to_dict",
+]

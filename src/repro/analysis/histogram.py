@@ -1,0 +1,75 @@
+"""Text histograms and CDF plots for terminal output.
+
+The paper's figures are latency histograms (Figs 2, 4, 5) and CDFs (Figs
+11, 12); these helpers render the same views in a terminal, for the CLI and
+the examples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from ..errors import ReproError
+from .stats import cdf
+
+
+def ascii_histogram(
+    samples: Sequence[float],
+    bucket: int = 20,
+    width: int = 50,
+) -> str:
+    """Bucketed horizontal-bar histogram."""
+    if len(samples) == 0:
+        raise ReproError("cannot draw a histogram of no samples")
+    if bucket <= 0 or width <= 0:
+        raise ReproError("bucket and width must be positive")
+    counts = Counter(int(s // bucket) * bucket for s in samples)
+    peak = max(counts.values())
+    lines: List[str] = []
+    for value in sorted(counts):
+        bar = "#" * max(1, counts[value] * width // peak)
+        lines.append(f"  {value:>6}-{value + bucket - 1:<6} {bar} ({counts[value]})")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    populations: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Multi-population CDF plot (one glyph per population).
+
+    Mirrors the layout of the paper's Figure 11/12 comparisons: shared x
+    axis in cycles, y axis 0..1.
+    """
+    if not populations:
+        raise ReproError("cannot draw a CDF of no populations")
+    glyphs = "*o+x@%"
+    curves = []
+    lo, hi = float("inf"), float("-inf")
+    for label, samples in populations:
+        xs, ys = cdf(samples)
+        curves.append((label, xs, ys))
+        lo = min(lo, xs[0])
+        hi = max(hi, xs[-1])
+    if hi == lo:
+        hi = lo + 1
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, xs, ys) in enumerate(curves):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in zip(xs, ys):
+            col = min(width - 1, int((x - lo) / (hi - lo) * (width - 1)))
+            row = min(height - 1, int((1.0 - y) * (height - 1)))
+            grid[row][col] = glyph
+    lines = ["1.0 |" + "".join(row) for row in grid[:1]]
+    for row in grid[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 |" + "".join(grid[-1]))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {lo:<10.0f}{'cycles':^{max(0, width - 20)}}{hi:>10.0f}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} {label}" for i, (label, _, _) in enumerate(curves)
+    )
+    lines.append(f"     {legend}")
+    return "\n".join(lines)

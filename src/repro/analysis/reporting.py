@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark regenerating a paper table/figure prints its rows through
+these helpers so ``pytest benchmarks/ --benchmark-only -s`` reads like the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ReproError("a table needs headers")
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def comparison_table(
+    title: str,
+    metric: str,
+    entries: Sequence[tuple],
+) -> str:
+    """A paper-vs-measured table; entries are (label, paper, measured)."""
+    rows = []
+    for label, paper_value, measured in entries:
+        rows.append((label, paper_value, f"{measured}"))
+    return format_table(
+        headers=("case", f"paper {metric}", f"measured {metric}"),
+        rows=rows,
+        title=title,
+    )

@@ -1,0 +1,61 @@
+"""Experiment-result serialization.
+
+Every experiment returns a dataclass; this module turns those into JSON
+artifacts so benchmark runs leave machine-readable traces alongside the
+printed tables (`benchmarks/` writes into ``bench_artifacts/``), and past
+runs can be diffed without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from ..errors import ReproError
+
+
+def _encode(value: Any) -> Any:
+    """Recursively convert experiment results into JSON-compatible data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                field.name: _encode(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(key): _encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "value"):  # enums
+        return value.value
+    raise ReproError(f"cannot serialize {type(value).__name__} into a result artifact")
+
+
+def result_to_dict(result: Any) -> dict:
+    """A JSON-compatible dict for one experiment result."""
+    encoded = _encode(result)
+    if not isinstance(encoded, dict):
+        raise ReproError("top-level result must be a dataclass or dict")
+    return encoded
+
+
+def save_result(result: Any, path: Union[str, Path]) -> Path:
+    """Write one experiment result as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> dict:
+    """Read an artifact back (as a plain dict; types are not reconstructed)."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no artifact at {path}")
+    return json.loads(path.read_text())

@@ -1,0 +1,76 @@
+"""Cache-set state visualisation.
+
+Rendering a set the way the paper's figures draw it — one ``tag:age`` cell
+per way, left to right in victim-scan order — is the single most useful
+debugging view for replacement-state attacks.  :class:`SetWatcher` labels
+the lines an experiment cares about and renders snapshots like::
+
+    dr:3 w0:2 w1:2 w2:2 ??:1 __ ...
+
+where ``??`` is an unlabelled (foreign) line and ``__`` an empty way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..cache.cacheset import CacheSet
+from ..errors import ReproError
+from ..mem.address import line_address
+
+
+class SetWatcher:
+    """Labelled renderer for one (or more) cache sets."""
+
+    def __init__(self, labels: Optional[Dict[int, str]] = None):
+        self._labels: Dict[int, str] = {}
+        if labels:
+            for addr, label in labels.items():
+                self.label(addr, label)
+
+    def label(self, addr: int, label: str) -> None:
+        """Name a line; later snapshots render it as ``label:age``."""
+        if not label:
+            raise ReproError("label must be non-empty")
+        self._labels[line_address(addr)] = label
+
+    def label_many(self, addrs: Iterable[int], prefix: str) -> None:
+        """Name a group of lines ``prefix0, prefix1, ...`` in order."""
+        for i, addr in enumerate(addrs):
+            self.label(addr, f"{prefix}{i}")
+
+    def name_of(self, tag: int) -> str:
+        return self._labels.get(tag, "??")
+
+    def render(self, cache_set: CacheSet) -> str:
+        """One-line snapshot of the set in way order."""
+        cells: List[str] = []
+        for line in cache_set.ways:
+            if line is None:
+                cells.append("__")
+            else:
+                marker = "*" if line.prefetched else ""
+                cells.append(f"{self.name_of(line.tag)}:{line.age}{marker}")
+        return " ".join(cells)
+
+    def render_eviction_candidate(self, cache_set: CacheSet, now: int = 0) -> str:
+        """The line the next conflict would evict, by label."""
+        candidate = cache_set.eviction_candidate(now)
+        if candidate is None:
+            return "(set not full)"
+        return self.name_of(candidate)
+
+    def diff(self, before: List, after: CacheSet) -> str:
+        """Describe what changed between a snapshot and the current state.
+
+        ``before`` is a ``CacheSet.snapshot()`` list of (tag, age) pairs.
+        """
+        changes: List[str] = []
+        for way, (old, line) in enumerate(zip(before, after.ways)):
+            new = None if line is None else (line.tag, line.age)
+            if old == new:
+                continue
+            old_text = "__" if old is None else f"{self.name_of(old[0])}:{old[1]}"
+            new_text = "__" if new is None else f"{self.name_of(new[0])}:{new[1]}"
+            changes.append(f"way{way}: {old_text} -> {new_text}")
+        return "; ".join(changes) if changes else "(no change)"

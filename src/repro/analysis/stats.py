@@ -1,0 +1,64 @@
+"""Small statistics utilities (CDFs, percentiles, summaries)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (0 <= q <= 100) of a sample set."""
+    if not 0 <= q <= 100:
+        raise ReproError(f"percentile q must be in [0, 100], got {q}")
+    if len(samples) == 0:
+        raise ReproError("cannot take a percentile of no samples")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def cdf(samples: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical CDF as (sorted values, cumulative fractions].
+
+    The return format matches what the paper's CDF figures (11, 12) plot.
+    """
+    if len(samples) == 0:
+        raise ReproError("cannot build a CDF of no samples")
+    xs = sorted(float(s) for s in samples)
+    n = len(xs)
+    ys = [(i + 1) / n for i in range(n)]
+    return xs, ys
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Five-number-style summary of a latency population."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.0f} p50={self.p50:.0f} "
+            f"p95={self.p95:.0f} min={self.minimum:.0f} max={self.maximum:.0f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> SampleSummary:
+    if len(samples) == 0:
+        raise ReproError("cannot summarize no samples")
+    arr = np.asarray(samples, dtype=float)
+    return SampleSummary(
+        count=len(arr),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

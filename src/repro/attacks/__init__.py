@@ -1,0 +1,73 @@
+"""Attack primitives: the paper's contribution.
+
+* :mod:`repro.attacks.ntp_ntp` — the NTP+NTP covert channel (Section IV).
+* :mod:`repro.attacks.prime_probe` — the Prime+Probe baseline channel.
+* :mod:`repro.attacks.prime_scope` — Prime+Scope and Prime+Prefetch+Scope
+  (Section V-A).
+* :mod:`repro.attacks.reload_refresh` — Reload+Refresh and Prefetch+Refresh
+  v1/v2 (Section V-B).
+* :mod:`repro.attacks.evset` — eviction-set construction, baseline and
+  prefetch-based (Section VI-A, Algorithm 2).
+* :mod:`repro.attacks.threshold` — hit/miss timing-threshold calibration.
+"""
+
+from .common import ChannelResult, ChannelSetup
+from .threshold import ThresholdCalibration, calibrate_prefetch_threshold
+from .ntp_ntp import NTPNTPChannel, run_ntp_ntp_channel
+from .redundant_ntp import RedundantNTPChannel
+from .prefetch_prefetch import PrefetchPrefetchChannel
+from .occupancy import OccupancyChannel, make_occupancy_demo_machine
+from .prime_probe import PrimeProbeChannel, run_prime_probe_channel
+from .prime_scope import (
+    PrimeScope,
+    PrimePrefetchScope,
+    ScopeOutcome,
+)
+from .reload_refresh import (
+    PrefetchRefresh,
+    ReloadRefresh,
+    RevertCosts,
+)
+from .evset import (
+    EvictionSetResult,
+    build_eviction_set_baseline,
+    build_eviction_set_prefetch,
+    hugepage_candidates,
+    verify_eviction_set,
+)
+from .flush_reload import (
+    EvictReload,
+    FlushFlush,
+    FlushReload,
+    MonitorResult,
+)
+
+__all__ = [
+    "ChannelResult",
+    "ChannelSetup",
+    "ThresholdCalibration",
+    "calibrate_prefetch_threshold",
+    "NTPNTPChannel",
+    "run_ntp_ntp_channel",
+    "RedundantNTPChannel",
+    "PrefetchPrefetchChannel",
+    "OccupancyChannel",
+    "make_occupancy_demo_machine",
+    "PrimeProbeChannel",
+    "run_prime_probe_channel",
+    "PrimeScope",
+    "PrimePrefetchScope",
+    "ScopeOutcome",
+    "ReloadRefresh",
+    "PrefetchRefresh",
+    "RevertCosts",
+    "EvictionSetResult",
+    "build_eviction_set_baseline",
+    "build_eviction_set_prefetch",
+    "hugepage_candidates",
+    "verify_eviction_set",
+    "FlushReload",
+    "FlushFlush",
+    "EvictReload",
+    "MonitorResult",
+]

@@ -1,0 +1,119 @@
+"""Shared covert-channel plumbing: setup records and result accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..channel.capacity import bit_error_rate, channel_capacity
+from ..errors import ChannelError
+from ..sim.machine import Machine
+
+
+@dataclass
+class ChannelSetup:
+    """Addresses both channel parties agreed on for one LLC set.
+
+    ``sender_line``/``receiver_line`` are congruent in the target LLC set;
+    ``receiver_evset`` lets the receiver pre-fill the set so there are no
+    empty ways (paper footnote 4).
+    """
+
+    sender_line: int
+    receiver_line: int
+    receiver_evset: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ChannelResult:
+    """Outcome of one covert-channel transmission."""
+
+    sent_bits: List[int]
+    received_bits: List[int]
+    interval: int
+    frequency_hz: float
+    #: Bits transmitted per slot (2 for the paper's two-set Prime+Probe;
+    #: slightly below 1 for NTP+NTP with maintenance slots enabled).
+    bits_per_slot: float = 1.0
+    #: Receiver-side measured latencies, one per received bit (diagnostics).
+    measurements: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.sent_bits) != len(self.received_bits):
+            raise ChannelError(
+                f"sent {len(self.sent_bits)} bits but received "
+                f"{len(self.received_bits)}"
+            )
+
+    @property
+    def n_bits(self) -> int:
+        return len(self.sent_bits)
+
+    @property
+    def bit_error_rate(self) -> float:
+        return bit_error_rate(self.sent_bits, self.received_bits)
+
+    @property
+    def cycles_per_bit(self) -> float:
+        return self.interval / self.bits_per_slot
+
+    @property
+    def raw_rate_bits_per_s(self) -> float:
+        return self.frequency_hz / self.cycles_per_bit
+
+    @property
+    def raw_rate_kb_per_s(self) -> float:
+        return self.raw_rate_bits_per_s / 8_000.0
+
+    @property
+    def capacity_bits_per_s(self) -> float:
+        return channel_capacity(self.raw_rate_bits_per_s, self.bit_error_rate)
+
+    @property
+    def capacity_kb_per_s(self) -> float:
+        """The paper's Table II metric."""
+        return self.capacity_bits_per_s / 8_000.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_bits} bits @ interval {self.interval} cyc: "
+            f"raw {self.raw_rate_kb_per_s:.0f} KB/s, "
+            f"BER {self.bit_error_rate * 100:.2f}%, "
+            f"capacity {self.capacity_kb_per_s:.0f} KB/s"
+        )
+
+
+def make_channel_setups(
+    machine: Machine,
+    n_sets: int,
+    sender_name: str = "sender",
+    receiver_name: str = "receiver",
+) -> List[ChannelSetup]:
+    """Agree on ``n_sets`` target LLC sets between two fresh processes.
+
+    The paper's threat model assumes both parties can construct eviction
+    sets (Section IV-A); this helper uses the simulator's ground truth to
+    stand in for that step — the honest search is exercised separately in
+    :mod:`repro.attacks.evset`.
+    """
+    if n_sets < 1:
+        raise ChannelError(f"n_sets must be >= 1, got {n_sets}")
+    sender_space = machine.address_space(sender_name)
+    receiver_space = machine.address_space(receiver_name)
+    mapping = machine.hierarchy.llc_mapping
+    setups: List[ChannelSetup] = []
+    for k in range(n_sets):
+        # Distinct page offsets keep the target sets distinct.
+        receiver_line = receiver_space.alloc_pages(1)[0] + k * 64
+        sender_line = sender_space.congruent_lines(mapping, receiver_line, 1)[0]
+        evset = receiver_space.congruent_lines(
+            mapping, receiver_line, machine.llc_ways
+        )
+        setups.append(
+            ChannelSetup(
+                sender_line=sender_line,
+                receiver_line=receiver_line,
+                receiver_evset=evset,
+            )
+        )
+    return setups

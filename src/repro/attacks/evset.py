@@ -1,0 +1,210 @@
+"""Eviction-set construction (paper Section VI-A, Algorithm 2).
+
+Given a target line ``lt``, find lines congruent with it in the LLC.  The
+state-of-the-art access-based approach (Purnal et al. [42]) streams candidate
+lines and watches for the eviction of ``lt``; because a loaded ``lt`` enters
+the set at age 2 and congruent candidates enter at age 2 as well, roughly
+``w`` congruent candidates must pass before ``lt`` ages out — and only the
+*last* of them is identified.  The paper's prefetch-based Algorithm 2
+installs ``lt`` as the eviction candidate with PREFETCHNTA, so *every*
+congruent candidate evicts it immediately and is identified on the spot:
+one-way competition instead of w-way.
+
+Both algorithms below run against the full simulated hierarchy and count the
+memory references they issue — the metric of the paper's Figure 13 and of
+the Section VI-D countermeasure study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..cpu.core import Core
+from ..errors import AttackError
+from ..sim.machine import Machine
+from .threshold import (
+    calibrate_load_threshold,
+    calibrate_prefetch_threshold,
+)
+
+#: Default cap on candidates examined before giving up.
+DEFAULT_MAX_CANDIDATES = 200_000
+
+
+def _make_classifier(threshold: int, dram: int):
+    """Band classifier for "the target was evicted".
+
+    A genuine LLC miss lands near ``overhead + dram``; interrupt-style
+    outliers land thousands of cycles higher.  Treating only the band
+    ``(threshold, threshold + 6*dram)`` as a miss rejects those outliers —
+    the same filtering every practical eviction-set tool applies, since a
+    single false positive plants a non-congruent line in the set.
+    """
+    upper = threshold + 6 * dram
+
+    def is_miss(cycles: int) -> bool:
+        return threshold < cycles < upper
+
+    return is_miss
+
+
+@dataclass
+class EvictionSetResult:
+    """A constructed eviction set plus the cost of finding it."""
+
+    lines: List[int]
+    memory_references: int
+    cycles: int
+    candidates_tested: int
+
+    def execution_time_ms(self, frequency_hz: float) -> float:
+        """Wall-clock construction time (the paper's Figure 13 metric)."""
+        return self.cycles / frequency_hz * 1e3
+
+
+def build_eviction_set_prefetch(
+    machine: Machine,
+    core: Core,
+    target: int,
+    candidates: Iterator[int],
+    size: Optional[int] = None,
+    threshold: Optional[int] = None,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> EvictionSetResult:
+    """Algorithm 2: prefetch-based eviction set construction.
+
+    ``candidates`` yields attacker lines to test (e.g.
+    :meth:`~repro.mem.allocator.AddressSpace.candidate_lines`).
+    """
+    if size is None:
+        size = machine.llc_ways
+    if threshold is None:
+        threshold = calibrate_prefetch_threshold(machine, core).threshold
+    is_miss = _make_classifier(threshold, machine.config.latency.dram)
+    refs_before = core.memory_references
+    clock_before = machine.clock
+    found: List[int] = []
+    tested = 0
+    chase = machine.config.latency.chase_overhead
+    while len(found) < size:
+        core.prefetchnta(target)  # (re)install lt as the eviction candidate
+        machine.clock += chase
+        while True:
+            if tested >= max_candidates:
+                raise AttackError(
+                    f"prefetch evset search exhausted {max_candidates} candidates "
+                    f"with {len(found)}/{size} found"
+                )
+            candidate = next(candidates)
+            tested += 1
+            core.prefetchnta(candidate)
+            machine.clock += chase
+            timed = core.timed_prefetchnta(target)
+            machine.clock += chase
+            if is_miss(timed.cycles):
+                # The candidate evicted lt: congruent. The timed prefetch
+                # just reinstalled lt as the candidate for the next round.
+                found.append(candidate)
+                break
+    return EvictionSetResult(
+        lines=found,
+        memory_references=core.memory_references - refs_before,
+        cycles=machine.clock - clock_before,
+        candidates_tested=tested,
+    )
+
+
+def build_eviction_set_baseline(
+    machine: Machine,
+    core: Core,
+    target: int,
+    candidates: Iterator[int],
+    size: Optional[int] = None,
+    threshold: Optional[int] = None,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> EvictionSetResult:
+    """The access-based state of the art ([42]'s approach, per Section VI-A).
+
+    Identical loop structure to Algorithm 2 but with demand loads in place
+    of prefetches.  A congruent candidate is only *observable* after enough
+    congruent traffic has aged ``lt`` out of the set; re-walking the
+    already-found eviction-set members after each discovery (the "accessing
+    EV between line 4 and line 5" optimisation the paper credits to [42])
+    keeps them young so each new discovery needs roughly ``w - |EV|`` fresh
+    congruent lines instead of ``w``.
+    """
+    if size is None:
+        size = machine.llc_ways
+    if threshold is None:
+        threshold = calibrate_load_threshold(machine, core).threshold
+    is_miss = _make_classifier(threshold, machine.config.latency.dram)
+    refs_before = core.memory_references
+    clock_before = machine.clock
+    found: List[int] = []
+    tested = 0
+    chase = machine.config.latency.chase_overhead
+    while len(found) < size:
+        core.load(target)  # bring lt (back) into the LLC
+        machine.clock += chase
+        for line in found:  # refresh the EV members' ages
+            core.load(line)
+            machine.clock += chase
+        while True:
+            if tested >= max_candidates:
+                raise AttackError(
+                    f"baseline evset search exhausted {max_candidates} candidates "
+                    f"with {len(found)}/{size} found"
+                )
+            candidate = next(candidates)
+            tested += 1
+            core.load(candidate)
+            machine.clock += chase
+            timed = core.timed_load(target)
+            machine.clock += chase
+            if is_miss(timed.cycles):
+                # lt was finally evicted; blame the last candidate (the only
+                # information this approach yields).
+                found.append(candidate)
+                break
+    return EvictionSetResult(
+        lines=found,
+        memory_references=core.memory_references - refs_before,
+        cycles=machine.clock - clock_before,
+        candidates_tested=tested,
+    )
+
+
+def hugepage_candidates(
+    machine: Machine,
+    space,
+    target: int,
+    pages_per_batch: int = 2,
+) -> Iterator[int]:
+    """Candidate lines from huge pages that share the target's set-index bits.
+
+    A 2 MiB huge page covers all LLC set-index bits, so the attacker can
+    enumerate lines whose set index *within a slice* equals the target's —
+    only the slice hash is left to the timing test.  Congruence probability
+    jumps from 1/(2^unknown-index-bits x slices) to 1/slices (1/128 to 1/4
+    on the modelled parts), which is the well-known huge-page shortcut for
+    eviction-set construction.
+    """
+    sets_per_slice = machine.config.llc.sets
+    stride = sets_per_slice * 64  # bytes between same-set-index lines
+    set_offset = (target >> 6) % sets_per_slice * 64
+    while True:
+        for base in space.alloc_huge_pages(pages_per_batch):
+            offset = set_offset
+            while offset < 2 * 2**20:
+                yield base + offset
+                offset += stride
+
+
+def verify_eviction_set(machine: Machine, target: int, lines: List[int]) -> float:
+    """Ground-truth congruence rate of a constructed eviction set."""
+    mapping = machine.hierarchy.llc_mapping
+    if not lines:
+        return 0.0
+    good = sum(1 for line in lines if mapping.congruent(line, target))
+    return good / len(lines)

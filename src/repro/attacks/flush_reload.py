@@ -1,0 +1,166 @@
+"""The shared-memory monitoring attacks the paper compares against.
+
+Section II-C's "attacks with shared data" family, implemented on the same
+substrate so the paper's qualitative comparisons can be run directly:
+
+* **Flush+Reload** (Yarom & Falkner): flush the shared line, wait, reload
+  and time — fast means the victim brought it back.
+* **Flush+Flush** (Gruss et al.): time the *flush* itself instead of a
+  reload; flushing a cached line takes longer, and the attacker never
+  performs an access the victim's performance counters could see.
+* **Evict+Reload** (Gruss et al.): replace the flush with an eviction-set
+  walk, for settings where ``CLFLUSH`` is unavailable.
+
+All three assume a line shared between attacker and victim (page
+deduplication / shared libraries), which is exactly the assumption NTP+NTP
+avoids — these classes exist here as baselines and for the AES example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import AttackError
+from ..sim.machine import Machine
+from .threshold import (
+    calibrate_load_threshold,
+    threshold_from_samples,
+)
+
+
+@dataclass
+class MonitorResult:
+    """One monitoring iteration's outcome."""
+
+    detected: bool
+    measured_cycles: int
+    latency: int
+
+
+class _SharedLineMonitorBase:
+    """Common setup for the shared-line monitors."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        attacker_core: int = 0,
+        victim_core: int = 1,
+        shared_line: Optional[int] = None,
+    ):
+        if attacker_core == victim_core:
+            raise AttackError("attacker and victim must run on different cores")
+        self.machine = machine
+        self.attacker = machine.cores[attacker_core]
+        self.victim = machine.cores[victim_core]
+        if shared_line is None:
+            shared_line = machine.address_space("shared").alloc_pages(1)[0]
+        self.target = shared_line
+
+    def victim_access(self) -> None:
+        self.victim.load(self.target)
+
+    def run_trace(self, accesses) -> List[MonitorResult]:
+        return [self.run_iteration(active) for active in accesses]
+
+    def run_iteration(self, victim_accesses: bool) -> MonitorResult:
+        raise NotImplementedError
+
+    def prepare(self) -> None:
+        """Reach the steady pre-iteration state (default: flush the line)."""
+        self.attacker.clflush(self.target)
+
+
+class FlushReload(_SharedLineMonitorBase):
+    """Flush+Reload: flush / wait / timed reload."""
+
+    def __init__(self, machine: Machine, **kwargs):
+        super().__init__(machine, **kwargs)
+        self.threshold = calibrate_load_threshold(machine, self.attacker).threshold
+
+    def run_iteration(self, victim_accesses: bool) -> MonitorResult:
+        start = self.machine.clock
+        if victim_accesses:
+            self.victim_access()
+        timed = self.attacker.timed_load(self.target)
+        detected = timed.cycles <= self.threshold
+        self.attacker.clflush(self.target)  # reset for the next iteration
+        return MonitorResult(
+            detected=detected,
+            measured_cycles=timed.cycles,
+            latency=self.machine.clock - start,
+        )
+
+
+class FlushFlush(_SharedLineMonitorBase):
+    """Flush+Flush: time the flush itself; no attacker accesses at all."""
+
+    CALIBRATION_SAMPLES = 100
+
+    def __init__(self, machine: Machine, **kwargs):
+        super().__init__(machine, **kwargs)
+        self.threshold = self._calibrate()
+
+    def _calibrate(self) -> int:
+        fast: List[int] = []  # flush of an uncached line
+        slow: List[int] = []  # flush of a cached line
+        scratch = self.machine.address_space("ff-calibration").alloc_pages(1)[0]
+        for _ in range(self.CALIBRATION_SAMPLES):
+            self.attacker.clflush(scratch)
+            fast.append(self.attacker.timed_clflush(scratch).cycles)
+            self.attacker.load(scratch)
+            slow.append(self.attacker.timed_clflush(scratch).cycles)
+        return threshold_from_samples(fast, slow)
+
+    def run_iteration(self, victim_accesses: bool) -> MonitorResult:
+        start = self.machine.clock
+        if victim_accesses:
+            self.victim_access()
+        # The flush both measures (longer iff the line was cached) and
+        # resets the state — one instruction, zero attacker accesses.
+        timed = self.attacker.timed_clflush(self.target)
+        detected = timed.cycles > self.threshold
+        return MonitorResult(
+            detected=detected,
+            measured_cycles=timed.cycles,
+            latency=self.machine.clock - start,
+        )
+
+
+class EvictReload(_SharedLineMonitorBase):
+    """Evict+Reload: evictions through set conflicts instead of CLFLUSH."""
+
+    #: Eviction-set walks per reset (Quad-age LRU needs a couple of rounds
+    #: to age a demand-filled line out).
+    EVICT_ROUNDS = 3
+
+    def __init__(self, machine: Machine, **kwargs):
+        super().__init__(machine, **kwargs)
+        self.threshold = calibrate_load_threshold(machine, self.attacker).threshold
+        space = machine.address_space("evict-reload-attacker")
+        self.evset = space.congruent_lines(
+            machine.hierarchy.llc_mapping, self.target, machine.llc_ways + 1
+        )
+
+    def prepare(self) -> None:
+        self._evict()
+
+    def _evict(self) -> None:
+        chase = self.machine.config.latency.chase_overhead
+        for _ in range(self.EVICT_ROUNDS):
+            for line in self.evset:
+                self.attacker.load(line)
+                self.machine.clock += chase
+
+    def run_iteration(self, victim_accesses: bool) -> MonitorResult:
+        start = self.machine.clock
+        if victim_accesses:
+            self.victim_access()
+        timed = self.attacker.timed_load(self.target)
+        detected = timed.cycles <= self.threshold
+        self._evict()
+        return MonitorResult(
+            detected=detected,
+            measured_cycles=timed.cycles,
+            latency=self.machine.clock - start,
+        )

@@ -1,0 +1,180 @@
+"""The cache-occupancy channel (paper §II-C's citation [54]).
+
+The coarsest stateful channel: no eviction sets, no set targeting, no
+shared memory — the receiver repeatedly walks a buffer covering a large
+fraction of the LLC and times the walk; the sender modulates its own
+footprint (touch a big buffer for "1", idle for "0"), which displaces part
+of the receiver's working set and lengthens the next walk.  Used in
+practice from JavaScript where fine-grained primitives are unavailable
+(Shusterman et al.'s website fingerprinting).
+
+Included as the opposite end of the design space from NTP+NTP: zero setup
+cost, but two orders of magnitude less bandwidth — the walk covers
+thousands of lines per bit where NTP+NTP spends two.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..channel.sync import SlotClock
+from ..errors import ChannelError
+from ..sim.machine import Machine
+from ..sim.process import Load, ReadTSC, Sleep, WaitUntil
+from ..sim.scheduler import Scheduler
+from .common import ChannelResult
+from .threshold import robust_threshold_from_samples
+
+PREPARATION_BUDGET = 40_000
+CALIBRATION_ROUNDS = 8
+
+
+def make_occupancy_demo_machine(seed: int = 0) -> Machine:
+    """A scaled-down machine for occupancy experiments.
+
+    Occupancy channels displace a large *fraction* of the LLC per bit; at
+    the real 8 MiB (131072 lines) a single probe walk would dominate the
+    simulation, so the demo machine shrinks the LLC to 1024 lines while
+    keeping the same hierarchy semantics.  Rates do not compare to the
+    paper's Table II numbers — the point is the mechanism and its setup
+    profile (zero targeting), not absolute bandwidth.
+    """
+    from ..config import CacheGeometry, SKYLAKE
+
+    config = SKYLAKE.with_overrides(
+        name="occupancy-demo",
+        llc=CacheGeometry(sets=128, ways=8, slices=1),
+    )
+    return Machine(config, seed=seed)
+
+
+class OccupancyChannel:
+    """Whole-LLC occupancy covert channel."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        receiver_lines: int = 512,
+        sender_lines: int = 1024,
+        sender_core: int = 0,
+        receiver_core: int = 1,
+        seed: int = 0,
+    ):
+        if sender_core == receiver_core:
+            raise ChannelError("sender and receiver must run on different cores")
+        if receiver_lines < 16 or sender_lines < 16:
+            raise ChannelError("buffers must cover a meaningful LLC fraction")
+        self.machine = machine
+        self.sender_core = sender_core
+        self.receiver_core = receiver_core
+        self._rng = random.Random(seed)
+        receiver_space = machine.address_space("occupancy-receiver")
+        sender_space = machine.address_space("occupancy-sender")
+        #: The receiver's probe buffer: contiguous pages, covering every
+        #: set index (fixed-offset lines would bunch into a few sets).
+        self.receiver_buffer: List[int] = receiver_space.contiguous_lines(
+            receiver_lines
+        )
+        self.sender_buffer: List[int] = sender_space.contiguous_lines(
+            sender_lines
+        )
+        self.threshold: int = 0
+
+    # -- programs ----------------------------------------------------------
+
+    def _walk(self, lines: Sequence[int]):
+        chase = self.machine.config.latency.chase_overhead
+        for line in lines:
+            yield Load(line)
+            yield Sleep(chase)
+
+    def _timed_walk(self, lines: Sequence[int]):
+        start = yield ReadTSC()
+        yield from self._walk(lines)
+        end = yield ReadTSC()
+        return end - start
+
+    def _sender_program(self, bits: Sequence[int], clock: SlotClock):
+        overhead = self.machine.config.sync.overhead_cycles
+        for i, bit in enumerate(bits):
+            yield WaitUntil(clock.edge(i, phase=0.0))
+            if bit not in (0, 1):
+                raise ChannelError(f"bits must be 0 or 1, got {bit!r}")
+            if bit:
+                yield from self._walk(self.sender_buffer)
+            yield Sleep(overhead)
+        return None
+
+    def _receiver_program(self, n_bits: int, clock: SlotClock):
+        overhead = self.machine.config.sync.overhead_cycles
+        # Warm the probe buffer, then calibrate quiet vs displaced walks.
+        fast: List[int] = []
+        slow: List[int] = []
+        for _ in range(2):
+            yield from self._walk(self.receiver_buffer)
+        for _ in range(CALIBRATION_ROUNDS):
+            fast.append((yield from self._timed_walk(self.receiver_buffer)))
+        for _ in range(CALIBRATION_ROUNDS):
+            yield from self._walk(self.sender_buffer)  # self-displacement
+            slow.append((yield from self._timed_walk(self.receiver_buffer)))
+        self.threshold = robust_threshold_from_samples(fast, slow)
+        yield from self._walk(self.receiver_buffer)
+        bits: List[int] = [0] * n_bits
+        measurements: List[int] = [0] * n_bits
+        for i in range(n_bits):
+            arrival = yield WaitUntil(clock.edge(i, phase=0.5))
+            if arrival >= clock.slot_start(i + 1):
+                continue
+            elapsed = yield from self._timed_walk(self.receiver_buffer)
+            bits[i] = 1 if elapsed > self.threshold else 0
+            measurements[i] = elapsed
+            yield Sleep(overhead)
+        return bits, measurements
+
+    # -- driver --------------------------------------------------------------
+
+    def transmit(self, bits: Sequence[int], interval: int) -> ChannelResult:
+        bits = list(bits)
+        if not bits:
+            raise ChannelError("cannot transmit an empty message")
+        machine = self.machine
+        sync = machine.config.sync
+        lat = machine.config.latency
+        # Calibration walks many lines, much of it from DRAM: budget the
+        # warm-up, the quiet samples, and the displaced samples in full.
+        dram_walk = lat.dram + lat.chase_overhead
+        prep = (
+            PREPARATION_BUDGET
+            + (3 + 2 * CALIBRATION_ROUNDS) * len(self.receiver_buffer) * dram_walk
+            + CALIBRATION_ROUNDS * len(self.sender_buffer) * dram_walk
+        )
+        t0 = machine.clock + prep
+        sender_clock = SlotClock(
+            t0, interval, sync.jitter_sigma, random.Random(self._rng.getrandbits(32))
+        )
+        receiver_clock = SlotClock(
+            t0, interval, sync.jitter_sigma, random.Random(self._rng.getrandbits(32))
+        )
+        scheduler = Scheduler(machine)
+        scheduler.spawn(
+            "occ-sender", self.sender_core,
+            self._sender_program(bits, sender_clock), machine.clock,
+        )
+        receiver = scheduler.spawn(
+            "occ-receiver", self.receiver_core,
+            self._receiver_program(len(bits), receiver_clock), machine.clock,
+        )
+        walk_cost = len(self.receiver_buffer) * (lat.dram + lat.chase_overhead)
+        horizon = t0 + (len(bits) + 4) * max(interval, walk_cost + sync.overhead_cycles)
+        scheduler.run(until=horizon)
+        if receiver.result is None:
+            raise ChannelError("receiver did not finish within the horizon")
+        received, measurements = receiver.result
+        return ChannelResult(
+            sent_bits=bits,
+            received_bits=received,
+            interval=interval,
+            frequency_hz=machine.config.frequency_hz,
+            measurements=measurements,
+        )

@@ -1,0 +1,117 @@
+"""Prefetch+Prefetch — the shared-memory prefetch channel (paper §VI-C).
+
+Guo et al.'s "Adversarial Prefetch" (S&P 2022) channels — Prefetch+Reload
+and Prefetch+Prefetch — also signal through prefetch timing, but **require
+a line shared between sender and receiver**: the receiver flushes the
+shared line, the sender loads it (or not), and the receiver's timed
+PREFETCHNTA distinguishes an LLC hit (~95 cycles: the sender's load filled
+the LLC) from a DRAM miss (>200 cycles).  Property #3 is the measurement
+primitive; no conflicts are involved.
+
+The paper's point in §VI-C is exactly this contrast: NTP+NTP achieves
+comparable speed *without* shared memory.  Having both in one library makes
+the comparison runnable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..channel.sync import SlotClock
+from ..errors import ChannelError
+from ..sim.machine import Machine
+from ..sim.process import Clflush, Load, Sleep, TimedPrefetchNTA, WaitUntil
+from ..sim.scheduler import Scheduler
+from .common import ChannelResult
+from .threshold import calibrate_prefetch_threshold
+
+PREPARATION_BUDGET = 40_000
+
+
+class PrefetchPrefetchChannel:
+    """Shared-memory Prefetch+Prefetch covert channel."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        sender_core: int = 0,
+        receiver_core: int = 1,
+        seed: int = 0,
+    ):
+        if sender_core == receiver_core:
+            raise ChannelError("sender and receiver must run on different cores")
+        self.machine = machine
+        self.sender_core = sender_core
+        self.receiver_core = receiver_core
+        self._rng = random.Random(seed)
+        #: The shared line (page deduplication / shared library).
+        self.shared_line = machine.address_space("shared").alloc_pages(1)[0]
+        self.threshold = calibrate_prefetch_threshold(
+            machine, machine.cores[receiver_core]
+        ).threshold
+
+    def _sender_program(self, bits: Sequence[int], clock: SlotClock):
+        overhead = self.machine.config.sync.overhead_cycles
+        for i, bit in enumerate(bits):
+            yield WaitUntil(clock.edge(i, phase=0.0))
+            if bit not in (0, 1):
+                raise ChannelError(f"bits must be 0 or 1, got {bit!r}")
+            if bit:
+                yield Load(self.shared_line)
+            yield Sleep(overhead)
+        return None
+
+    def _receiver_program(self, n_bits: int, clock: SlotClock):
+        overhead = self.machine.config.sync.overhead_cycles
+        yield Clflush(self.shared_line)
+        bits: List[int] = [0] * n_bits
+        measurements: List[int] = [0] * n_bits
+        for i in range(n_bits):
+            arrival = yield WaitUntil(clock.edge(i, phase=0.5))
+            if arrival >= clock.slot_start(i + 1):
+                continue  # late: drop the bit, stay slot-aligned
+            timed = yield TimedPrefetchNTA(self.shared_line)
+            # LLC hit (the sender loaded it) reads fast-but-not-L1; a DRAM
+            # miss reads slow.  Either way the line is now cached, so flush
+            # to reset for the next bit (the channel's own reset step).
+            bits[i] = 1 if timed.cycles <= self.threshold else 0
+            measurements[i] = timed.cycles
+            yield Clflush(self.shared_line)
+            yield Sleep(overhead)
+        return bits, measurements
+
+    def transmit(self, bits: Sequence[int], interval: int) -> ChannelResult:
+        bits = list(bits)
+        if not bits:
+            raise ChannelError("cannot transmit an empty message")
+        machine = self.machine
+        sync = machine.config.sync
+        t0 = machine.clock + PREPARATION_BUDGET
+        sender_clock = SlotClock(
+            t0, interval, sync.jitter_sigma, random.Random(self._rng.getrandbits(32))
+        )
+        receiver_clock = SlotClock(
+            t0, interval, sync.jitter_sigma, random.Random(self._rng.getrandbits(32))
+        )
+        scheduler = Scheduler(machine)
+        scheduler.spawn(
+            "pp-sender", self.sender_core,
+            self._sender_program(bits, sender_clock), machine.clock,
+        )
+        receiver = scheduler.spawn(
+            "pp-receiver", self.receiver_core,
+            self._receiver_program(len(bits), receiver_clock), machine.clock,
+        )
+        worst = max(interval, sync.overhead_cycles + 700)
+        scheduler.run(until=t0 + (len(bits) + 4) * worst)
+        if receiver.result is None:
+            raise ChannelError("receiver did not finish within the horizon")
+        received, measurements = receiver.result
+        return ChannelResult(
+            sent_bits=bits,
+            received_bits=received,
+            interval=interval,
+            frequency_hz=machine.config.frequency_hz,
+            measurements=measurements,
+        )

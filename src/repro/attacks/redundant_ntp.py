@@ -1,0 +1,162 @@
+"""Multi-set redundant NTP+NTP (paper Section IV-B3).
+
+"This problem can be solved by using a more reliable data encoding method
+... For example, multiple LLC sets can be used to send one bit."  This
+channel sends every bit over ``redundancy`` LLC sets simultaneously and
+majority-votes on the receiver side: a noise eviction in one set no longer
+flips the bit.  Two set *groups* pipeline consecutive bits exactly like the
+plain channel's two sets (Figure 7).
+
+The price is linear: ``redundancy`` prefetches per party per bit instead of
+one, so the raw rate at a given reliability drops — the classic
+rate-vs-robustness trade the paper's Figure 8 capacity metric scores.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..channel.sync import SlotClock
+from ..errors import ChannelError
+from ..sim.machine import Machine
+from ..sim.process import Load, PrefetchNTA, Sleep, TimedPrefetchNTA, WaitUntil
+from ..sim.scheduler import Scheduler
+from ..victims.noise import NoiseConfig, background_noise_program, make_noise_lines
+from .common import ChannelResult, ChannelSetup, make_channel_setups
+from .threshold import calibrate_prefetch_threshold
+
+PREPARATION_BUDGET = 150_000
+N_GROUPS = 2  # pipelined groups, as in the plain two-set channel
+
+
+class RedundantNTPChannel:
+    """NTP+NTP with per-bit set redundancy and majority decoding."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        redundancy: int = 3,
+        sender_core: int = 0,
+        receiver_core: int = 1,
+        noise_core: Optional[int] = 2,
+        seed: int = 0,
+    ):
+        if redundancy < 1 or redundancy % 2 == 0:
+            raise ChannelError(f"redundancy must be odd and >= 1, got {redundancy}")
+        if sender_core == receiver_core:
+            raise ChannelError("sender and receiver must run on different cores")
+        self.machine = machine
+        self.redundancy = redundancy
+        self.sender_core = sender_core
+        self.receiver_core = receiver_core
+        self.noise_core = noise_core
+        self._rng = random.Random(seed)
+        setups = make_channel_setups(machine, N_GROUPS * redundancy)
+        #: groups[g] is the list of setups carrying bits at slots ≡ g (mod 2).
+        self.groups: List[List[ChannelSetup]] = [
+            setups[g * redundancy : (g + 1) * redundancy] for g in range(N_GROUPS)
+        ]
+        self.threshold = calibrate_prefetch_threshold(
+            machine, machine.cores[receiver_core]
+        ).threshold
+
+    # -- programs ----------------------------------------------------------
+
+    def _sender_program(self, bits: Sequence[int], clock: SlotClock):
+        overhead = self.machine.config.sync.overhead_cycles
+        for i, bit in enumerate(bits):
+            yield WaitUntil(clock.edge(i, phase=0.0))
+            if bit not in (0, 1):
+                raise ChannelError(f"bits must be 0 or 1, got {bit!r}")
+            if bit:
+                for setup in self.groups[i % N_GROUPS]:
+                    yield PrefetchNTA(setup.sender_line)
+            yield Sleep(overhead)
+        return None
+
+    def _receiver_program(self, n_bits: int, clock: SlotClock):
+        overhead = self.machine.config.sync.overhead_cycles
+        for group in self.groups:
+            for setup in group:
+                for _ in range(2):
+                    for line in setup.receiver_evset:
+                        yield Load(line)
+                yield PrefetchNTA(setup.receiver_line)
+        bits: List[int] = [0] * n_bits
+        measurements: List[int] = [0] * n_bits
+        for i in range(n_bits):
+            arrival = yield WaitUntil(clock.edge(i + 1, phase=0.5))
+            if arrival >= clock.slot_start(i + 2):
+                continue  # late: drop the bit rather than desync (see ntp_ntp)
+            votes = 0
+            total = 0
+            for setup in self.groups[i % N_GROUPS]:
+                timed = yield TimedPrefetchNTA(setup.receiver_line)
+                total += timed.cycles
+                if timed.cycles > self.threshold:
+                    votes += 1
+            bits[i] = 1 if 2 * votes > self.redundancy else 0
+            measurements[i] = total // self.redundancy
+            yield Sleep(overhead)
+        return bits, measurements
+
+    # -- driver --------------------------------------------------------------
+
+    def transmit(
+        self,
+        bits: Sequence[int],
+        interval: int,
+        noise: Optional[NoiseConfig] = None,
+    ) -> ChannelResult:
+        bits = list(bits)
+        if not bits:
+            raise ChannelError("cannot transmit an empty message")
+        machine = self.machine
+        sync = machine.config.sync
+        t0 = machine.clock + PREPARATION_BUDGET * self.redundancy
+        sender_clock = SlotClock(
+            t0, interval, sync.jitter_sigma, random.Random(self._rng.getrandbits(32))
+        )
+        receiver_clock = SlotClock(
+            t0, interval, sync.jitter_sigma, random.Random(self._rng.getrandbits(32))
+        )
+        scheduler = Scheduler(machine)
+        scheduler.spawn(
+            "rntp-sender", self.sender_core,
+            self._sender_program(bits, sender_clock), machine.clock,
+        )
+        receiver = scheduler.spawn(
+            "rntp-receiver", self.receiver_core,
+            self._receiver_program(len(bits), receiver_clock), machine.clock,
+        )
+        if noise is not None and self.noise_core is not None:
+            targets = [s.receiver_line for group in self.groups for s in group]
+            congruent, background = make_noise_lines(machine, targets)
+            scheduler.spawn(
+                "noise", self.noise_core,
+                background_noise_program(
+                    congruent, background, noise,
+                    random.Random(self._rng.getrandbits(32)),
+                ),
+                machine.clock,
+            )
+        worst_slot = max(
+            interval,
+            sync.overhead_cycles
+            + self.redundancy * (machine.config.latency.dram + 120)
+            + 600,
+        )
+        horizon = t0 + (len(bits) + 4) * worst_slot
+        scheduler.run(until=horizon)
+        if receiver.result is None:
+            raise ChannelError("receiver did not finish within the horizon")
+        received, measurements = receiver.result
+        return ChannelResult(
+            sent_bits=bits,
+            received_bits=received,
+            interval=interval,
+            frequency_hz=machine.config.frequency_hz,
+            bits_per_slot=1,
+            measurements=measurements,
+        )

@@ -1,0 +1,255 @@
+"""Reload+Refresh and Prefetch+Refresh (paper Section V-B, Figs 9-10).
+
+Reload+Refresh (Briongos et al., USENIX Security 2020) monitors a *shared*
+line ``dt`` by observing replacement-state changes instead of evictions —
+stealthy, because the victim keeps hitting in the cache.  Each iteration:
+
+1. The target set holds ``dt`` (way 0) and attacker lines ``l0..lw-2``.
+2. If the victim accesses ``dt``, its age improves (2 → 1).
+3. The attacker loads ``lw-1``, forcing a replacement that evicts ``dt``
+   (victim idle) or ``l0`` (victim active).
+4. A timed reload of ``dt`` reveals which: fast ⇒ the victim accessed it.
+5. The attacker reverts the set — which costs two flushes, two DRAM refills
+   and ``w-2`` serialized LLC accesses to walk ``l1..lw-2`` back from age 3
+   to age 2.
+
+Prefetch+Refresh is the paper's improvement: prepare every line at age 3
+with PREFETCHNTA.  Then steps 3/4 use prefetches, and after step 4 at most
+the two leftmost lines changed, so the expensive age-refresh walk of step 5
+disappears entirely (Table III).  Variant v2 additionally skips restoring
+the evicted line by swapping the roles of ``l0`` and ``lw-1`` each time the
+victim was active.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..cache.hierarchy import Level
+from ..errors import AttackError
+from ..sim.machine import Machine
+from .threshold import calibrate_load_threshold, calibrate_prefetch_threshold
+
+
+@dataclass(frozen=True)
+class RevertCosts:
+    """Operation counts of one state-revert step (the paper's Table III)."""
+
+    flushes: int = 0
+    dram_accesses: int = 0
+    llc_accesses: int = 0
+
+    def __add__(self, other: "RevertCosts") -> "RevertCosts":
+        return RevertCosts(
+            self.flushes + other.flushes,
+            self.dram_accesses + other.dram_accesses,
+            self.llc_accesses + other.llc_accesses,
+        )
+
+
+@dataclass
+class IterationResult:
+    """One attack iteration's outcome."""
+
+    detected: bool
+    latency: int
+    measured_cycles: int
+    revert_costs: RevertCosts
+
+
+class _RefreshAttackBase:
+    """Shared setup for the Reload+Refresh attack family.
+
+    These attacks assume shared memory between attacker and victim
+    (page-deduplication / shared-library threat model), so ``dt`` comes from
+    a common address space while the eviction set is attacker-private.
+    """
+
+    #: Extra cycles per protocol step (serialization fences, branch logic).
+    STEP_OVERHEAD = 70
+
+    def __init__(
+        self,
+        machine: Machine,
+        attacker_core: int = 0,
+        victim_core: int = 1,
+        shared_line: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if attacker_core == victim_core:
+            raise AttackError("attacker and victim must run on different cores")
+        self.machine = machine
+        self.attacker = machine.cores[attacker_core]
+        self.victim = machine.cores[victim_core]
+        self._rng = random.Random(seed)
+        if shared_line is None:
+            shared_line = machine.address_space("shared").alloc_pages(1)[0]
+        self.dt = shared_line
+        attacker_space = machine.address_space("refresh-attacker")
+        evset = attacker_space.congruent_lines(
+            machine.hierarchy.llc_mapping, self.dt, machine.llc_ways
+        )
+        # members fill the set alongside dt; conflict_line forces evictions.
+        self.members: List[int] = evset[: machine.llc_ways - 1]
+        self.conflict_line: int = evset[machine.llc_ways - 1]
+        self.spare_line: int = self.members[0]  # l0; v2 swaps it with lw-1
+
+    # -- helpers -----------------------------------------------------------
+
+    def _chase(self, lines: Sequence[int]) -> int:
+        """Serialized walk; returns number of accesses."""
+        chase = self.machine.config.latency.chase_overhead
+        for line in lines:
+            self.attacker.load(line)
+            self.machine.clock += chase
+        return len(lines)
+
+    def _step_gap(self) -> None:
+        self.machine.clock += self.STEP_OVERHEAD
+
+    def victim_access(self) -> None:
+        """The victim touches the shared line (the paper's Step 2)."""
+        self.victim.load(self.dt)
+
+    def run_trace(self, accesses: Sequence[bool]) -> List[IterationResult]:
+        """Run one iteration per entry; True means the victim accesses."""
+        results = []
+        for active in accesses:
+            results.append(self.run_iteration(active))
+        return results
+
+    def run_iteration(self, victim_accesses: bool) -> IterationResult:
+        raise NotImplementedError
+
+    def prepare(self) -> None:
+        raise NotImplementedError
+
+
+class ReloadRefresh(_RefreshAttackBase):
+    """The original Reload+Refresh attack."""
+
+    def __init__(self, machine: Machine, **kwargs):
+        super().__init__(machine, **kwargs)
+        calibration = calibrate_load_threshold(machine, self.attacker)
+        self.threshold = calibration.threshold
+
+    def prepare(self) -> None:
+        """Establish the Figure 9 step-1 state: [dt:2, l0:2, ..., lw-2:2]."""
+        for line in [self.dt, self.conflict_line, *self.members]:
+            self.attacker.clflush(line)
+        self.attacker.load(self.dt)
+        for line in self.members:
+            self.attacker.load(line)
+            self.machine.clock += self.machine.config.latency.chase_overhead
+
+    def run_iteration(self, victim_accesses: bool) -> IterationResult:
+        if victim_accesses:
+            self.victim_access()
+        start = self.machine.clock
+        # Step 3: force a replacement in the set.
+        self.attacker.load(self.conflict_line)
+        self._step_gap()
+        # Step 4: timed reload of dt. Fast => dt survived => victim accessed.
+        timed = self.attacker.timed_load(self.dt)
+        detected = timed.cycles <= self.threshold
+        self._step_gap()
+        # Step 5: revert — flush dt and lw-1, reload dt and l0, then walk
+        # l1..lw-2 to refresh their ages from 3 back to 2.
+        costs = RevertCosts(flushes=2)
+        self.attacker.clflush(self.dt)
+        self.attacker.clflush(self.conflict_line)
+        for line in (self.dt, self.members[0]):
+            result = self.attacker.load(line)
+            if result.level is Level.DRAM:
+                costs = costs + RevertCosts(dram_accesses=1)
+            else:
+                costs = costs + RevertCosts(llc_accesses=1)
+        walked = self._chase(self.members[1:])
+        costs = costs + RevertCosts(llc_accesses=walked)
+        self._step_gap()
+        return IterationResult(
+            detected=detected,
+            latency=self.machine.clock - start,
+            measured_cycles=timed.cycles,
+            revert_costs=costs,
+        )
+
+
+class PrefetchRefresh(_RefreshAttackBase):
+    """The paper's Prefetch+Refresh (v1) and its v2 variant.
+
+    ``variant=2`` swaps the evicted line's role instead of restoring it,
+    halving the revert cost again (Table III) at the price of a little
+    bookkeeping.
+    """
+
+    def __init__(self, machine: Machine, variant: int = 1, **kwargs):
+        if variant not in (1, 2):
+            raise AttackError(f"variant must be 1 or 2, got {variant}")
+        super().__init__(machine, **kwargs)
+        self.variant = variant
+        calibration = calibrate_prefetch_threshold(machine, self.attacker)
+        self.threshold = calibration.threshold
+
+    def prepare(self) -> None:
+        """Figure 10 step-1 state: every line prefetched, all ages 3."""
+        for line in [self.dt, self.conflict_line, *self.members]:
+            self.attacker.clflush(line)
+        self.attacker.prefetchnta(self.dt)
+        for line in self.members:
+            self.attacker.prefetchnta(line)
+            self.machine.clock += self.machine.config.latency.chase_overhead
+
+    def run_iteration(self, victim_accesses: bool) -> IterationResult:
+        if victim_accesses:
+            self.victim_access()
+        start = self.machine.clock
+        # Step 3: prefetch the conflict line to force a replacement.
+        self.attacker.prefetchnta(self.conflict_line)
+        self._step_gap()
+        # Step 4: timed prefetch of dt. Fast => dt survived => victim access.
+        timed = self.attacker.timed_prefetchnta(self.dt)
+        detected = timed.cycles <= self.threshold
+        self._step_gap()
+        costs = self._revert(detected)
+        self._step_gap()
+        return IterationResult(
+            detected=detected,
+            latency=self.machine.clock - start,
+            measured_cycles=timed.cycles,
+            revert_costs=costs,
+        )
+
+    def _revert(self, detected: bool) -> RevertCosts:
+        costs = RevertCosts()
+        if self.variant == 1:
+            # Flush dt and lw-1, prefetch dt and l0 back (2 flushes, up to
+            # 2 DRAM refills, no LLC age-walk at all).
+            costs = costs + RevertCosts(flushes=2)
+            self.attacker.clflush(self.dt)
+            self.attacker.clflush(self.conflict_line)
+            for line in (self.dt, self.spare_line):
+                result = self.attacker.prefetchnta(line)
+                if result.level is Level.DRAM:
+                    costs = costs + RevertCosts(dram_accesses=1)
+                else:
+                    costs = costs + RevertCosts(llc_accesses=1)
+        else:
+            # v2: reset dt only; if the victim's access cost us the spare
+            # line, swap roles — the old conflict line becomes a set member
+            # and the evicted spare becomes the next conflict line.
+            costs = costs + RevertCosts(flushes=1)
+            self.attacker.clflush(self.dt)
+            result = self.attacker.prefetchnta(self.dt)
+            if result.level is Level.DRAM:
+                costs = costs + RevertCosts(dram_accesses=1)
+            else:  # pragma: no cover - dt was just flushed
+                costs = costs + RevertCosts(llc_accesses=1)
+            if detected:
+                self.conflict_line, self.spare_line = (
+                    self.spare_line,
+                    self.conflict_line,
+                )
+        return costs

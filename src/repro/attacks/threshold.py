@@ -1,0 +1,129 @@
+"""Hit/miss threshold calibration.
+
+Every attack in the paper classifies a timed operation as "fast" (cache hit)
+or "slow" (LLC miss) against a threshold — Algorithm 1's ``Th0``.  Real
+attackers calibrate it by sampling both distributions on scratch lines; this
+module does the same against the simulated timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import AttackError
+from ..cpu.core import Core
+from ..mem.allocator import AddressSpace
+from ..sim.machine import Machine
+
+
+@dataclass(frozen=True)
+class ThresholdCalibration:
+    """Calibrated threshold plus the samples that produced it."""
+
+    threshold: int
+    fast_samples: List[int]
+    slow_samples: List[int]
+
+    @property
+    def separation(self) -> int:
+        """Gap between the slowest fast sample and the fastest slow sample."""
+        return min(self.slow_samples) - max(self.fast_samples)
+
+
+def threshold_from_samples(fast: Sequence[int], slow: Sequence[int]) -> int:
+    """Threshold between two latency populations.
+
+    Uses the midpoint between a high percentile of the fast population and a
+    low percentile of the slow one, which is robust to the heavy right tail
+    of real timing histograms.
+    """
+    if not fast or not slow:
+        raise AttackError("both sample populations must be non-empty")
+    fast_sorted = sorted(fast)
+    slow_sorted = sorted(slow)
+    fast_hi = fast_sorted[min(len(fast_sorted) - 1, int(len(fast_sorted) * 0.95))]
+    slow_lo = slow_sorted[max(0, int(len(slow_sorted) * 0.05))]
+    if slow_lo <= fast_hi:
+        raise AttackError(
+            f"populations overlap (fast p95={fast_hi}, slow p5={slow_lo}); "
+            "cannot calibrate a reliable threshold"
+        )
+    return (fast_hi + slow_lo) // 2
+
+
+def robust_threshold_from_samples(fast: Sequence[int], slow: Sequence[int]) -> int:
+    """Median-midpoint threshold, robust to a corrupted sample minority.
+
+    Calibration on a live machine races against third-party traffic: an
+    unlucky noise hit turns a "fast" calibration probe slow.  Medians
+    tolerate up to half the samples being polluted, where the tail
+    percentiles of :func:`threshold_from_samples` do not.
+    """
+    if not fast or not slow:
+        raise AttackError("both sample populations must be non-empty")
+    fast_sorted = sorted(fast)
+    slow_sorted = sorted(slow)
+    fast_mid = fast_sorted[len(fast_sorted) // 2]
+    slow_mid = slow_sorted[len(slow_sorted) // 2]
+    if slow_mid <= fast_mid:
+        raise AttackError(
+            f"populations overlap (fast p50={fast_mid}, slow p50={slow_mid}); "
+            "cannot calibrate a reliable threshold"
+        )
+    return (fast_mid + slow_mid) // 2
+
+
+def calibrate_prefetch_threshold(
+    machine: Machine,
+    core: Core,
+    space: AddressSpace | None = None,
+    samples: int = 200,
+) -> ThresholdCalibration:
+    """Calibrate PREFETCHNTA hit-vs-miss timing on scratch lines.
+
+    Mirrors what a real receiver does before a channel run: time prefetches
+    of a line that is resident (fast population) and of a freshly flushed
+    line (slow population).
+    """
+    if samples < 10:
+        raise AttackError(f"need at least 10 samples, got {samples}")
+    if space is None:
+        space = machine.address_space("calibration")
+    scratch = space.alloc_pages(1)[0]
+    fast: List[int] = []
+    slow: List[int] = []
+    for _ in range(samples):
+        core.clflush(scratch)
+        slow.append(core.timed_prefetchnta(scratch).cycles)
+        fast.append(core.timed_prefetchnta(scratch).cycles)
+    return ThresholdCalibration(
+        threshold=threshold_from_samples(fast, slow),
+        fast_samples=fast,
+        slow_samples=slow,
+    )
+
+
+def calibrate_load_threshold(
+    machine: Machine,
+    core: Core,
+    space: AddressSpace | None = None,
+    samples: int = 200,
+) -> ThresholdCalibration:
+    """Same as :func:`calibrate_prefetch_threshold` but for demand loads."""
+    if samples < 10:
+        raise AttackError(f"need at least 10 samples, got {samples}")
+    if space is None:
+        space = machine.address_space("calibration")
+    scratch = space.alloc_pages(1)[0]
+    fast: List[int] = []
+    slow: List[int] = []
+    for _ in range(samples):
+        core.clflush(scratch)
+        slow.append(core.timed_load(scratch).cycles)
+        fast.append(core.timed_load(scratch).cycles)
+    return ThresholdCalibration(
+        threshold=threshold_from_samples(fast, slow),
+        fast_samples=fast,
+        slow_samples=slow,
+    )

@@ -1,0 +1,27 @@
+"""Cache substrate: lines, sets, replacement policies, levels, hierarchy."""
+
+from .line import CacheLine
+from .replacement import ReplacementPolicy
+from .qlru import QuadAgeLRU
+from .lru import TrueLRU
+from .plru import TreePLRU, BitPLRU
+from .srrip import SRRIP
+from .cacheset import CacheSet
+from .cachelevel import CacheLevel, LevelStats
+from .hierarchy import CacheHierarchy, MemOpResult, Level
+
+__all__ = [
+    "CacheLine",
+    "ReplacementPolicy",
+    "QuadAgeLRU",
+    "TrueLRU",
+    "TreePLRU",
+    "BitPLRU",
+    "SRRIP",
+    "CacheSet",
+    "CacheLevel",
+    "LevelStats",
+    "CacheHierarchy",
+    "MemOpResult",
+    "Level",
+]

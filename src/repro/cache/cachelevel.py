@@ -1,0 +1,124 @@
+"""One cache level: a sliced array of sets with hit/miss accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..mem.address import line_address
+from ..mem.layout import CacheSetMapping, SetIndex
+from ..config import CacheGeometry
+from .cacheset import CacheSet
+from .replacement import ReplacementPolicy
+
+
+@dataclass
+class LevelStats:
+    """Access counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.fills = self.evictions = self.invalidations = 0
+
+
+class CacheLevel:
+    """A set-associative cache level (one slice array).
+
+    Sets are created lazily: the experiments only ever touch a handful of
+    sets, and the paper's 8 MiB LLC would otherwise cost 8192 live
+    ``CacheSet`` objects per machine.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        geometry: CacheGeometry,
+        mapping: CacheSetMapping,
+        policy_factory: Callable[[int], ReplacementPolicy],
+    ):
+        self.name = name
+        self.geometry = geometry
+        self.mapping = mapping
+        self._policy_factory = policy_factory
+        self._sets: Dict[Tuple[int, int], CacheSet] = {}
+        self.stats = LevelStats()
+
+    # -- set resolution -------------------------------------------------
+
+    def set_for(self, addr: int) -> CacheSet:
+        """The set ``addr`` maps into, creating it on first touch."""
+        key = self.mapping.index(addr).flat
+        cache_set = self._sets.get(key)
+        if cache_set is None:
+            cache_set = CacheSet(self._policy_factory(self.geometry.ways))
+            self._sets[key] = cache_set
+        return cache_set
+
+    def set_at(self, index: SetIndex) -> CacheSet:
+        key = index.flat
+        cache_set = self._sets.get(key)
+        if cache_set is None:
+            cache_set = CacheSet(self._policy_factory(self.geometry.ways))
+            self._sets[key] = cache_set
+        return cache_set
+
+    @property
+    def live_sets(self) -> int:
+        return len(self._sets)
+
+    # -- operations ------------------------------------------------------
+
+    def lookup(self, addr: int) -> Optional[CacheSet]:
+        """The set for ``addr`` if it holds the line, else None (counts stats)."""
+        tag = line_address(addr)
+        cache_set = self.set_for(addr)
+        if cache_set.contains(tag):
+            self.stats.hits += 1
+            return cache_set
+        self.stats.misses += 1
+        return None
+
+    def contains(self, addr: int) -> bool:
+        """Presence check without touching stats or policy state."""
+        return self.set_for(addr).contains(line_address(addr))
+
+    def touch(self, addr: int, is_prefetch: bool = False) -> None:
+        tag = line_address(addr)
+        cache_set = self.set_for(addr)
+        cache_set.touch(cache_set.find(tag), is_prefetch)
+
+    def fill(
+        self, addr: int, now: int, is_prefetch: bool = False, busy_until: int = 0
+    ) -> Tuple[Optional[int], bool]:
+        """Install the line for ``addr``; returns (evicted_tag, inserted)."""
+        evicted, inserted = self.set_for(addr).fill(
+            line_address(addr), now, is_prefetch, busy_until
+        )
+        if inserted:
+            self.stats.fills += 1
+        if evicted is not None:
+            self.stats.evictions += 1
+        return evicted, inserted
+
+    def invalidate(self, addr: int) -> bool:
+        if self.set_for(addr).invalidate(line_address(addr)):
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def flush_all(self) -> None:
+        """Drop every cached line (test helper)."""
+        self._sets.clear()

@@ -1,0 +1,119 @@
+"""A single cache set: ways plus an attached replacement policy."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import CacheStateError
+from .line import CacheLine
+from .replacement import ReplacementPolicy
+
+
+class CacheSet:
+    """Fixed-associativity set.
+
+    Ways are positional: the paper's figures show the Quad-age LRU victim
+    scan running left to right, so ``ways[0]`` is the leftmost way in those
+    diagrams.  Invalid ways hold ``None``; demand fills prefer the leftmost
+    invalid way, matching the "prepare an empty set, fill it in order"
+    experiments of Section III.
+    """
+
+    __slots__ = ("ways", "policy")
+
+    def __init__(self, policy: ReplacementPolicy):
+        self.policy = policy
+        self.ways: List[Optional[CacheLine]] = [None] * policy.n_ways
+
+    # -- lookup --------------------------------------------------------
+
+    def find(self, tag: int) -> int:
+        """Way index holding ``tag``, or -1."""
+        for i, line in enumerate(self.ways):
+            if line is not None and line.tag == tag:
+                return i
+        return -1
+
+    def contains(self, tag: int) -> bool:
+        return self.find(tag) >= 0
+
+    def line_for(self, tag: int) -> Optional[CacheLine]:
+        idx = self.find(tag)
+        return None if idx < 0 else self.ways[idx]
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for line in self.ways if line is not None)
+
+    @property
+    def is_full(self) -> bool:
+        return self.occupancy == len(self.ways)
+
+    # -- mutation ------------------------------------------------------
+
+    def touch(self, way: int, is_prefetch: bool = False) -> None:
+        """Record a hit on ``ways[way]``."""
+        if self.ways[way] is None:
+            raise CacheStateError(f"hit on invalid way {way}")
+        self.policy.on_hit(self.ways, way, is_prefetch)
+
+    def fill(
+        self,
+        tag: int,
+        now: int,
+        is_prefetch: bool = False,
+        busy_until: int = 0,
+    ) -> Tuple[Optional[int], bool]:
+        """Install ``tag``; returns ``(evicted_tag, inserted)``.
+
+        ``inserted`` is False only when every way holds an in-flight line so
+        the fill had to be dropped (possible for prefetches under extreme
+        contention; callers decide how to handle it for demand loads).
+        """
+        if self.contains(tag):
+            raise CacheStateError(f"fill of already-present tag {tag:#x}")
+        way = None
+        for i, line in enumerate(self.ways):
+            if line is None:
+                way = i
+                break
+        evicted_tag: Optional[int] = None
+        if way is None:
+            way = self.policy.select_victim(self.ways, now)
+            if way is None:
+                return None, False
+            evicted_tag = self.ways[way].tag
+            self.policy.on_invalidate(self.ways, way)
+        self.ways[way] = CacheLine(tag, busy_until=busy_until)
+        self.policy.on_fill(self.ways, way, is_prefetch)
+        return evicted_tag, True
+
+    def invalidate(self, tag: int) -> bool:
+        """Drop ``tag`` from this set (CLFLUSH / back-invalidation)."""
+        idx = self.find(tag)
+        if idx < 0:
+            return False
+        self.policy.on_invalidate(self.ways, idx)
+        self.ways[idx] = None
+        return True
+
+    # -- introspection (ground truth for tests & experiments) ----------
+
+    def eviction_candidate(self, now: int = 0) -> Optional[int]:
+        """Tag that the next conflict would evict, without mutating state."""
+        if not self.is_full:
+            return None
+        way = self.policy.peek_victim(self.ways, now)
+        return None if way is None else self.ways[way].tag
+
+    def tags(self) -> List[Optional[int]]:
+        return [None if line is None else line.tag for line in self.ways]
+
+    def ages(self) -> List[Optional[int]]:
+        return [None if line is None else line.age for line in self.ways]
+
+    def snapshot(self) -> List[Optional[Tuple[int, int]]]:
+        """(tag, age) per way — the representation the paper's figures use."""
+        return [
+            None if line is None else (line.tag, line.age) for line in self.ways
+        ]

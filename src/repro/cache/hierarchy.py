@@ -1,0 +1,274 @@
+"""The simulated memory hierarchy: per-core L1/L2 plus a shared, inclusive LLC.
+
+This module encodes the behaviours the paper reverse-engineers:
+
+* **Property #1** — an LLC miss served for PREFETCHNTA installs the line with
+  age 3 (the set's eviction candidate) instead of the demand-fill age 2.
+* **Property #2** — an LLC hit served for PREFETCHNTA does not update the
+  line's age.
+* **Property #3** — the latency of PREFETCHNTA reveals where the line was
+  (L1 ≈ issue cost, LLC ≈ LLC hit, DRAM ≈ full miss).
+* PREFETCHNTA fills the requesting core's **L1 and the LLC, bypassing L2**
+  (Intel optimization manual, for inclusive-LLC client parts).
+* The LLC is **inclusive**: evicting a line back-invalidates every private
+  copy on every core — the lever all cross-core conflict attacks rely on.
+* A line whose fill is still **in flight** cannot be evicted, which is the
+  paper's stated reason a single-set NTP+NTP channel needs spacing between
+  the sender's and receiver's prefetches (Section IV-B2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..config import PlatformConfig
+from ..errors import ConfigurationError
+from ..mem.address import line_address
+from ..mem.layout import CacheSetMapping, SetIndex
+from .cachelevel import CacheLevel
+from .cacheset import CacheSet
+from .plru import TreePLRU
+from .qlru import QuadAgeLRU
+from .replacement import ReplacementPolicy
+
+
+class Level(enum.Enum):
+    """Where a memory operation was satisfied."""
+
+    L1 = "L1"
+    L2 = "L2"
+    LLC = "LLC"
+    DRAM = "DRAM"
+
+
+@dataclass(frozen=True)
+class MemOpResult:
+    """Outcome of one memory operation."""
+
+    level: Level
+    latency: int
+
+    @property
+    def was_llc_miss(self) -> bool:
+        return self.level is Level.DRAM
+
+
+PolicyFactory = Callable[[int], ReplacementPolicy]
+
+
+class CacheHierarchy:
+    """Cores' private L1/L2 caches in front of one shared inclusive LLC."""
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        llc_policy_factory: Optional[PolicyFactory] = None,
+        private_policy_factory: Optional[PolicyFactory] = None,
+        llc_mapping: Optional[CacheSetMapping] = None,
+    ):
+        self.config = config
+        lat = config.latency
+        if private_policy_factory is None:
+            private_policy_factory = TreePLRU
+        if llc_policy_factory is None:
+            llc_policy_factory = lambda ways: QuadAgeLRU(  # noqa: E731
+                ways,
+                load_insert_age=config.llc_load_insert_age,
+                prefetch_insert_age=config.llc_prefetch_insert_age,
+            )
+        self.l1_mapping = CacheSetMapping(config.l1)
+        self.l2_mapping = CacheSetMapping(config.l2)
+        self.llc_mapping = llc_mapping or CacheSetMapping(config.llc)
+        self.l1s: List[CacheLevel] = [
+            CacheLevel(f"L1[{c}]", config.l1, self.l1_mapping, private_policy_factory)
+            for c in range(config.cores)
+        ]
+        self.l2s: List[CacheLevel] = [
+            CacheLevel(f"L2[{c}]", config.l2, self.l2_mapping, private_policy_factory)
+            for c in range(config.cores)
+        ]
+        self.llc = CacheLevel("LLC", config.llc, self.llc_mapping, llc_policy_factory)
+        self._lat = lat
+        # Sanity: inclusion requires the LLC to dominate private capacity in
+        # associativity terms for the experiments of Section III (footnote 3).
+        if config.l1.ways + config.l2.ways >= config.llc.ways + 16:
+            raise ConfigurationError(
+                "private associativity implausibly large relative to LLC"
+            )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < len(self.l1s):
+            raise ConfigurationError(f"core {core} out of range")
+
+    def _back_invalidate(self, tag: int) -> None:
+        """Inclusion: an LLC eviction purges all private copies of ``tag``."""
+        for level in self.l1s:
+            level.invalidate(tag)
+        for level in self.l2s:
+            level.invalidate(tag)
+
+    def _fill_llc(self, addr: int, now: int, is_prefetch: bool) -> bool:
+        """Fill ``addr`` into the LLC from DRAM; returns True if inserted."""
+        busy_until = now + self._lat.dram
+        evicted, inserted = self.llc.fill(
+            addr, now, is_prefetch=is_prefetch, busy_until=busy_until
+        )
+        if evicted is not None:
+            self._back_invalidate(evicted)
+        return inserted
+
+    def _fill_private(self, core: int, addr: int, now: int, include_l2: bool) -> None:
+        if include_l2:
+            l2 = self.l2s[core]
+            if not l2.contains(addr):
+                l2.fill(addr, now)
+        l1 = self.l1s[core]
+        if not l1.contains(addr):
+            l1.fill(addr, now)
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+
+    def load(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        """A demand load from ``core``; returns the satisfying level."""
+        self._check_core(core)
+        tag = line_address(addr)
+        l1 = self.l1s[core]
+        hit_set = l1.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag))
+            return MemOpResult(Level.L1, self._lat.l1_hit)
+        l2 = self.l2s[core]
+        hit_set = l2.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag))
+            l1.fill(addr, now)
+            return MemOpResult(Level.L2, self._lat.l2_hit)
+        hit_set = self.llc.lookup(addr)
+        if hit_set is not None:
+            # Demand hit: Quad-age LRU decrements the age (Section II-B).
+            hit_set.touch(hit_set.find(tag), is_prefetch=False)
+            self._fill_private(core, addr, now, include_l2=True)
+            return MemOpResult(Level.LLC, self._lat.llc_hit)
+        if self._fill_llc(addr, now, is_prefetch=False):
+            self._fill_private(core, addr, now, include_l2=True)
+        return MemOpResult(Level.DRAM, self._lat.dram)
+
+    def prefetchnta(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        """PREFETCHNTA from ``core`` with the paper's three properties."""
+        self._check_core(core)
+        tag = line_address(addr)
+        l1 = self.l1s[core]
+        hit_set = l1.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag), is_prefetch=True)
+            return MemOpResult(Level.L1, self._lat.prefetch_issue)
+        l2 = self.l2s[core]
+        hit_set = l2.lookup(addr)
+        if hit_set is not None:
+            # The request is satisfied by L2 and never reaches the LLC, so
+            # the LLC age is untouched (the concern behind Fig. 4's Step 1).
+            hit_set.touch(hit_set.find(tag), is_prefetch=True)
+            l1.fill(addr, now)
+            return MemOpResult(Level.L2, self._lat.l2_hit)
+        hit_set = self.llc.lookup(addr)
+        if hit_set is not None:
+            # Property #2: the LLC hit does not update the line's age.
+            hit_set.touch(hit_set.find(tag), is_prefetch=True)
+            self._fill_private(core, addr, now, include_l2=False)
+            return MemOpResult(Level.LLC, self._lat.llc_hit)
+        # Property #1: the miss fill installs the line as eviction candidate.
+        if self._fill_llc(addr, now, is_prefetch=True):
+            self._fill_private(core, addr, now, include_l2=False)
+        return MemOpResult(Level.DRAM, self._lat.dram)
+
+    def prefetcht0(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        """PREFETCHT0: same fill path as a demand load."""
+        result = self.load(core, addr, now)
+        if result.level is Level.L1:
+            return MemOpResult(Level.L1, self._lat.prefetch_issue)
+        return result
+
+    def prefetcht1(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        """PREFETCHT1/T2: fill L2 and the LLC with demand ages, not L1.
+
+        (On the modelled Intel parts T1 and T2 behave identically.)  The
+        LLC treatment is that of a regular fill — insertion at age 2 and
+        age-refreshing hits — which is why only PREFETCHNTA, not the other
+        software prefetches, yields the Leaky Way primitives.
+        """
+        self._check_core(core)
+        tag = line_address(addr)
+        if self.l1s[core].contains(addr):
+            return MemOpResult(Level.L1, self._lat.prefetch_issue)
+        l2 = self.l2s[core]
+        hit_set = l2.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag))
+            return MemOpResult(Level.L2, self._lat.prefetch_issue)
+        hit_set = self.llc.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag), is_prefetch=False)
+            l2.fill(addr, now)
+            return MemOpResult(Level.LLC, self._lat.llc_hit)
+        if self._fill_llc(addr, now, is_prefetch=False):
+            l2.fill(addr, now)
+        return MemOpResult(Level.DRAM, self._lat.dram)
+
+    def clflush(self, addr: int, now: int = 0) -> MemOpResult:
+        """Flush ``addr`` from every cache level on every core.
+
+        A flush that actually invalidates a cached copy takes measurably
+        longer than one whose target is already uncached — the timing
+        signal Flush+Flush (Gruss et al.) turns into a stealthy monitor.
+        """
+        tag = line_address(addr)
+        was_cached = self.llc.invalidate(addr)
+        self._back_invalidate(tag)
+        latency = self._lat.clflush
+        if was_cached:
+            latency += self._lat.clflush_cached_extra
+        return MemOpResult(Level.DRAM, latency)
+
+    # ------------------------------------------------------------------
+    # Ground-truth introspection (tests, experiment setup)
+    # ------------------------------------------------------------------
+
+    def llc_set_of(self, addr: int) -> CacheSet:
+        return self.llc.set_for(addr)
+
+    def llc_index_of(self, addr: int) -> SetIndex:
+        return self.llc_mapping.index(addr)
+
+    def in_llc(self, addr: int) -> bool:
+        return self.llc.contains(addr)
+
+    def in_l1(self, core: int, addr: int) -> bool:
+        return self.l1s[core].contains(addr)
+
+    def in_l2(self, core: int, addr: int) -> bool:
+        return self.l2s[core].contains(addr)
+
+    def in_private(self, core: int, addr: int) -> bool:
+        return self.in_l1(core, addr) or self.in_l2(core, addr)
+
+    def cached_level(self, core: int, addr: int) -> Optional[Level]:
+        """Highest level holding ``addr`` from ``core``'s point of view."""
+        if self.in_l1(core, addr):
+            return Level.L1
+        if self.in_l2(core, addr):
+            return Level.L2
+        if self.in_llc(addr):
+            return Level.LLC
+        return None
+
+    def reset_stats(self) -> None:
+        for level in [*self.l1s, *self.l2s, self.llc]:
+            level.stats.reset()

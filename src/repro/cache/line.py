@@ -1,0 +1,30 @@
+"""A single cache line's bookkeeping state."""
+
+from __future__ import annotations
+
+
+class CacheLine:
+    """One way's contents: a tag plus replacement metadata.
+
+    ``age`` is the Quad-age-LRU age (0 = youngest, 3 = oldest); policies that
+    do not use ages leave it at 0.  ``busy_until`` is the simulated cycle at
+    which the fill that installed this line completes; an in-flight line
+    (``busy_until > now``) may not be chosen for eviction — the hardware
+    behaviour behind the paper's single-set rate cap (Section IV-B2).
+    """
+
+    __slots__ = ("tag", "age", "busy_until", "prefetched")
+
+    def __init__(self, tag: int, age: int = 0, busy_until: int = 0, prefetched: bool = False):
+        self.tag = tag
+        self.age = age
+        self.busy_until = busy_until
+        self.prefetched = prefetched
+
+    def is_busy(self, now: int) -> bool:
+        """True while the fill that installed this line is still in flight."""
+        return self.busy_until > now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "P" if self.prefetched else ""
+        return f"CacheLine(tag={self.tag:#x}, age={self.age}{', ' + flags if flags else ''})"

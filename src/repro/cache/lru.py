@@ -1,0 +1,51 @@
+"""True LRU — exact recency ordering, used as a baseline policy."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .replacement import ReplacementPolicy, Ways
+
+
+class TrueLRU(ReplacementPolicy):
+    """Exact least-recently-used replacement.
+
+    Keeps an explicit recency stack of way indices (front = MRU).  This is
+    the textbook policy the paper's Section II-B contrasts with the cheap
+    pseudo-LRU variants real LLCs use.
+    """
+
+    def __init__(self, n_ways: int):
+        super().__init__(n_ways)
+        self._stack: List[int] = []
+
+    def _touch(self, way: int) -> None:
+        if way in self._stack:
+            self._stack.remove(way)
+        self._stack.insert(0, way)
+
+    def on_fill(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        self._touch(way)
+        ways[way].prefetched = is_prefetch
+
+    def on_hit(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        self._touch(way)
+
+    def select_victim(self, ways: Ways, now: int) -> Optional[int]:
+        for way in reversed(self._stack):
+            line = ways[way]
+            if line is not None and not line.is_busy(now):
+                return way
+        # Fall back to any valid, non-busy way not in the stack (can happen
+        # after invalidations).
+        for i, line in enumerate(ways):
+            if line is not None and not line.is_busy(now) and i not in self._stack:
+                return i
+        return None
+
+    def peek_victim(self, ways: Ways, now: int) -> Optional[int]:
+        return self.select_victim(ways, now)  # selection is side-effect free
+
+    def on_invalidate(self, ways: Ways, way: int) -> None:
+        if way in self._stack:
+            self._stack.remove(way)

@@ -1,0 +1,111 @@
+"""Pseudo-LRU policies: Tree-PLRU and Bit-PLRU.
+
+Section II-B cites both as the typical cheap approximations of LRU
+(Tree-LRU [56], Bit-LRU [33]).  Intel's private L1/L2 caches use tree-based
+pseudo-LRU; we use :class:`TreePLRU` for the simulated private levels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from .replacement import ReplacementPolicy, Ways
+
+
+class TreePLRU(ReplacementPolicy):
+    """Binary-tree pseudo-LRU for power-of-two associativities.
+
+    ``n_ways - 1`` internal bits; each bit points toward the less recently
+    used half of its subtree.  On an access, every bit along the path is
+    flipped to point *away* from the touched way.
+    """
+
+    def __init__(self, n_ways: int):
+        super().__init__(n_ways)
+        if n_ways & (n_ways - 1):
+            raise ConfigurationError(f"TreePLRU needs power-of-two ways, got {n_ways}")
+        self._bits: List[int] = [0] * (n_ways - 1)
+
+    def _touch(self, way: int) -> None:
+        node, low, size = 0, 0, self.n_ways
+        while size > 1:
+            half = size // 2
+            go_right = way >= low + half
+            # Point the bit at the half we did NOT touch.
+            self._bits[node] = 0 if go_right else 1
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                low += half
+            size = half
+
+    def _follow(self) -> int:
+        node, low, size = 0, 0, self.n_ways
+        while size > 1:
+            half = size // 2
+            go_right = self._bits[node] == 1
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                low += half
+            size = half
+        return low
+
+    def on_fill(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        self._touch(way)
+        ways[way].prefetched = is_prefetch
+
+    def on_hit(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        self._touch(way)
+
+    def select_victim(self, ways: Ways, now: int) -> Optional[int]:
+        preferred = self._follow()
+        line = ways[preferred]
+        if line is not None and not line.is_busy(now):
+            return preferred
+        for i, other in enumerate(ways):
+            if other is not None and not other.is_busy(now):
+                return i
+        return None
+
+    def peek_victim(self, ways: Ways, now: int) -> Optional[int]:
+        return self.select_victim(ways, now)  # selection is side-effect free
+
+
+class BitPLRU(ReplacementPolicy):
+    """MRU-bit pseudo-LRU (a.k.a. Bit-LRU).
+
+    One MRU bit per way; set on access.  When all bits would become set,
+    the others are cleared.  Victim = first way with a clear bit.
+    """
+
+    def __init__(self, n_ways: int):
+        super().__init__(n_ways)
+        self._mru: List[bool] = [False] * n_ways
+
+    def _mark(self, way: int) -> None:
+        self._mru[way] = True
+        if all(self._mru):
+            self._mru = [False] * self.n_ways
+            self._mru[way] = True
+
+    def on_fill(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        self._mark(way)
+        ways[way].prefetched = is_prefetch
+
+    def on_hit(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        self._mark(way)
+
+    def select_victim(self, ways: Ways, now: int) -> Optional[int]:
+        for i, line in enumerate(ways):
+            if not self._mru[i] and line is not None and not line.is_busy(now):
+                return i
+        for i, line in enumerate(ways):
+            if line is not None and not line.is_busy(now):
+                return i
+        return None
+
+    def peek_victim(self, ways: Ways, now: int) -> Optional[int]:
+        return self.select_victim(ways, now)
+
+    def on_invalidate(self, ways: Ways, way: int) -> None:
+        self._mru[way] = False

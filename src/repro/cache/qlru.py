@@ -1,0 +1,96 @@
+"""Quad-age LRU — the Intel LLC replacement policy the paper builds on.
+
+Reverse-engineered by Briongos et al. (Reload+Refresh, USENIX Security 2020)
+and restated in the paper's Section II-B:
+
+* **Insertion**: a demand load fills a line with age 2 (age 3 on some
+  pre-Skylake parts, footnote 1).  PREFETCHNTA fills with age 3
+  (paper Property #1).
+* **Replacement**: scan the ways left-to-right and evict the first line with
+  age 3; if none exists, increment every line's age by one (saturating at 3)
+  and scan again.
+* **Update**: a demand-load hit decrements the line's age (floor 0).  A
+  PREFETCHNTA hit leaves the age untouched (paper Property #2).
+
+The countermeasure the paper proposes in Section VI-D is the same machinery
+with different insertion ages (loads at 1, prefetches at 2), obtained via the
+constructor parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .replacement import ReplacementPolicy, Ways
+
+MAX_AGE = 3
+
+
+class QuadAgeLRU(ReplacementPolicy):
+    """Intel's quad-age (2-bit) pseudo-LRU, with configurable insertion ages.
+
+    Parameters
+    ----------
+    n_ways:
+        Set associativity.
+    load_insert_age:
+        Age given to demand-filled lines (2 on the paper's parts).
+    prefetch_insert_age:
+        Age given to PREFETCHNTA-filled lines (3 = instant eviction
+        candidate; this is Property #1 and the root of the Leaky Way attack).
+    prefetch_hit_updates:
+        Whether a PREFETCHNTA hit rejuvenates the line.  ``False`` on the
+        paper's parts (Property #2).
+    """
+
+    def __init__(
+        self,
+        n_ways: int,
+        load_insert_age: int = 2,
+        prefetch_insert_age: int = 3,
+        prefetch_hit_updates: bool = False,
+    ):
+        super().__init__(n_ways)
+        for name, age in (
+            ("load_insert_age", load_insert_age),
+            ("prefetch_insert_age", prefetch_insert_age),
+        ):
+            if not 0 <= age <= MAX_AGE:
+                raise ConfigurationError(f"{name} must be in 0..{MAX_AGE}, got {age}")
+        self.load_insert_age = load_insert_age
+        self.prefetch_insert_age = prefetch_insert_age
+        self.prefetch_hit_updates = prefetch_hit_updates
+
+    def on_fill(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        line = ways[way]
+        line.age = self.prefetch_insert_age if is_prefetch else self.load_insert_age
+        line.prefetched = is_prefetch
+
+    def on_hit(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        line = ways[way]
+        if is_prefetch and not self.prefetch_hit_updates:
+            return  # Property #2: PREFETCHNTA hits do not touch the age.
+        if line.age > 0:
+            line.age -= 1
+        if not is_prefetch:
+            # A demand hit clears the non-temporal marker: the line has
+            # proven temporal locality after all.
+            line.prefetched = False
+
+    def select_victim(self, ways: Ways, now: int) -> Optional[int]:
+        evictable = [
+            i for i, line in enumerate(ways) if line is not None and not line.is_busy(now)
+        ]
+        if not evictable:
+            return None
+        # At most MAX_AGE rounds of aging guarantee an age-3 line among the
+        # evictable ways (ages saturate at 3).
+        for _ in range(MAX_AGE + 1):
+            for i in evictable:
+                if ways[i].age == MAX_AGE:
+                    return i
+            for i in evictable:
+                if ways[i].age < MAX_AGE:
+                    ways[i].age += 1
+        raise AssertionError("aging loop failed to produce a victim")  # pragma: no cover

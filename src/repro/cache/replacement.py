@@ -1,0 +1,58 @@
+"""Replacement-policy interface.
+
+A policy instance is attached to exactly one :class:`~repro.cache.cacheset.CacheSet`
+and manipulates that set's ``ways`` list (``List[Optional[CacheLine]]``).
+Policies may keep private per-set metadata (e.g. PLRU tree bits); Quad-age
+LRU stores its ages directly on the lines because the paper's experiments
+observe them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from .line import CacheLine
+
+Ways = List[Optional[CacheLine]]
+
+
+class ReplacementPolicy(ABC):
+    """Per-set replacement policy."""
+
+    def __init__(self, n_ways: int):
+        self.n_ways = n_ways
+
+    @abstractmethod
+    def on_fill(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        """A new line was installed into ``ways[way]``."""
+
+    @abstractmethod
+    def on_hit(self, ways: Ways, way: int, is_prefetch: bool) -> None:
+        """An access hit ``ways[way]``."""
+
+    @abstractmethod
+    def select_victim(self, ways: Ways, now: int) -> Optional[int]:
+        """Choose (and commit to) a victim way among non-busy valid lines.
+
+        May mutate policy state (Quad-age LRU ages all lines when no age-3
+        way exists).  Returns ``None`` when every way is in flight and no
+        eviction is possible.
+        """
+
+    def peek_victim(self, ways: Ways, now: int) -> Optional[int]:
+        """Victim that :meth:`select_victim` would pick, without mutating.
+
+        Default implementation simulates on copies; policies with cheap
+        introspection may override.
+        """
+        snapshot = [
+            None
+            if line is None
+            else CacheLine(line.tag, line.age, line.busy_until, line.prefetched)
+            for line in ways
+        ]
+        return self.select_victim(snapshot, now)
+
+    def on_invalidate(self, ways: Ways, way: int) -> None:
+        """``ways[way]`` was flushed or back-invalidated (optional hook)."""

@@ -1,0 +1,34 @@
+"""Covert-channel protocol stack: capacity metric, sync, encoding, framing."""
+
+from .capacity import (
+    binary_entropy,
+    channel_capacity,
+    capacity_kb_per_s,
+    raw_rate_kb_per_s,
+    bit_error_rate,
+)
+from .sync import SlotClock
+from .encoding import RepetitionEncoder, bits_to_bytes, bytes_to_bits
+from .framing import Frame, FrameCodec, crc8
+from .hamming import HammingEncoder
+from .interleave import BlockInterleaver
+from .transport import Delivery, ReliableTransport
+
+__all__ = [
+    "binary_entropy",
+    "channel_capacity",
+    "capacity_kb_per_s",
+    "raw_rate_kb_per_s",
+    "bit_error_rate",
+    "SlotClock",
+    "RepetitionEncoder",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "Frame",
+    "FrameCodec",
+    "crc8",
+    "HammingEncoder",
+    "BlockInterleaver",
+    "ReliableTransport",
+    "Delivery",
+]

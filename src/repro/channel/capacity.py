@@ -1,0 +1,59 @@
+"""Channel-capacity arithmetic.
+
+The paper (Section IV-B2, following Paccagnella et al. [39] and DRAMA [41])
+scores covert channels as ``capacity = raw_rate × (1 − H(e))`` where ``e`` is
+the bit error rate and ``H`` the binary entropy function — the Shannon
+capacity of a binary symmetric channel running at the raw transmission rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ChannelError
+
+#: The paper reports rates in KB/s with 1 KB = 1000 bytes of 8 bits.
+BITS_PER_KB = 8_000.0
+
+
+def binary_entropy(p: float) -> float:
+    """H(p) in bits; H(0) = H(1) = 0, H(0.5) = 1."""
+    if not 0.0 <= p <= 1.0:
+        raise ChannelError(f"probability must be in [0, 1], got {p}")
+    if p == 0.0 or p == 1.0:
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def channel_capacity(raw_rate_bits_per_s: float, error_rate: float) -> float:
+    """Binary-symmetric-channel capacity in bits/s at the given raw rate."""
+    if raw_rate_bits_per_s < 0:
+        raise ChannelError(f"raw rate must be non-negative, got {raw_rate_bits_per_s}")
+    return raw_rate_bits_per_s * (1.0 - binary_entropy(error_rate))
+
+
+def raw_rate_kb_per_s(cycles_per_bit: float, frequency_hz: float) -> float:
+    """Raw transmission rate in KB/s for a given per-bit cost."""
+    if cycles_per_bit <= 0:
+        raise ChannelError(f"cycles_per_bit must be positive, got {cycles_per_bit}")
+    bits_per_s = frequency_hz / cycles_per_bit
+    return bits_per_s / BITS_PER_KB
+
+
+def capacity_kb_per_s(cycles_per_bit: float, frequency_hz: float, error_rate: float) -> float:
+    """Channel capacity in KB/s — the metric of the paper's Table II."""
+    raw = raw_rate_kb_per_s(cycles_per_bit, frequency_hz)
+    return raw * (1.0 - binary_entropy(error_rate))
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Fraction of mismatched bits between two equal-length bit strings."""
+    if len(sent) != len(received):
+        raise ChannelError(
+            f"length mismatch: sent {len(sent)} bits, received {len(received)}"
+        )
+    if not sent:
+        return 0.0
+    errors = sum(1 for a, b in zip(sent, received) if a != b)
+    return errors / len(sent)

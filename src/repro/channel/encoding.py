@@ -1,0 +1,69 @@
+"""Bit encodings for noisy covert channels.
+
+Section IV-B3: errors from third-party cache activity can be tolerated with
+"a more reliable data encoding method", e.g. sending each bit over multiple
+LLC sets.  :class:`RepetitionEncoder` is the simplest such scheme — each
+logical bit is repeated *k* times and majority-decoded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ChannelError
+
+
+def bytes_to_bits(data: bytes) -> List[int]:
+    """MSB-first bit expansion."""
+    bits: List[int] = []
+    for byte in data:
+        bits.extend((byte >> shift) & 1 for shift in range(7, -1, -1))
+    return bits
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """MSB-first bit packing; length must be a multiple of 8."""
+    if len(bits) % 8 != 0:
+        raise ChannelError(f"bit count must be a multiple of 8, got {len(bits)}")
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[i : i + 8]:
+            if bit not in (0, 1):
+                raise ChannelError(f"bits must be 0 or 1, got {bit!r}")
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)
+
+
+class RepetitionEncoder:
+    """k-fold repetition code with majority decoding (k odd)."""
+
+    def __init__(self, repetitions: int = 3):
+        if repetitions < 1 or repetitions % 2 == 0:
+            raise ChannelError(f"repetitions must be odd and >= 1, got {repetitions}")
+        self.repetitions = repetitions
+
+    def encode(self, bits: Sequence[int]) -> List[int]:
+        encoded: List[int] = []
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ChannelError(f"bits must be 0 or 1, got {bit!r}")
+            encoded.extend([bit] * self.repetitions)
+        return encoded
+
+    def decode(self, bits: Sequence[int]) -> List[int]:
+        if len(bits) % self.repetitions != 0:
+            raise ChannelError(
+                f"encoded length {len(bits)} not a multiple of {self.repetitions}"
+            )
+        decoded: List[int] = []
+        k = self.repetitions
+        for i in range(0, len(bits), k):
+            ones = sum(bits[i : i + k])
+            decoded.append(1 if ones * 2 > k else 0)
+        return decoded
+
+    def overhead(self) -> float:
+        """Raw-bit multiplier paid for the redundancy."""
+        return float(self.repetitions)

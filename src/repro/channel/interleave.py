@@ -1,0 +1,72 @@
+"""Block interleaving for burst-error resistance.
+
+Covert-channel errors are bursty: one displaced eviction candidate or one
+late slot corrupts a run of adjacent bits, which defeats per-block codes
+like Hamming(7,4) (single-error-correcting).  A block interleaver writes
+the bit stream into a ``rows x cols`` matrix row-wise and transmits it
+column-wise, so a burst of up to ``rows`` channel bits lands in ``rows``
+*different* code blocks — each sees at most one error, which the code can
+fix.  The standard pairing used by robust cache channels (e.g. the
+SSH-over-covert-channel system the paper cites).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ChannelError
+
+
+class BlockInterleaver:
+    """Fixed-geometry block interleaver."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ChannelError(f"rows and cols must be >= 1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def block_bits(self) -> int:
+        return self.rows * self.cols
+
+    def _check_length(self, bits: Sequence[int]) -> None:
+        if len(bits) % self.block_bits != 0:
+            raise ChannelError(
+                f"bit count must be a multiple of {self.block_bits}, "
+                f"got {len(bits)} (pad first)"
+            )
+
+    def pad(self, bits: Sequence[int]) -> List[int]:
+        """Zero-pad to a whole number of interleaver blocks."""
+        bits = list(bits)
+        remainder = len(bits) % self.block_bits
+        if remainder:
+            bits.extend([0] * (self.block_bits - remainder))
+        return bits
+
+    def interleave(self, bits: Sequence[int]) -> List[int]:
+        """Row-wise in, column-wise out."""
+        self._check_length(bits)
+        out: List[int] = []
+        for block_start in range(0, len(bits), self.block_bits):
+            block = bits[block_start : block_start + self.block_bits]
+            for col in range(self.cols):
+                for row in range(self.rows):
+                    out.append(block[row * self.cols + col])
+        return out
+
+    def deinterleave(self, bits: Sequence[int]) -> List[int]:
+        """Inverse of :meth:`interleave`."""
+        self._check_length(bits)
+        out: List[int] = []
+        for block_start in range(0, len(bits), self.block_bits):
+            block = bits[block_start : block_start + self.block_bits]
+            restored = [0] * self.block_bits
+            index = 0
+            for col in range(self.cols):
+                for row in range(self.rows):
+                    restored[row * self.cols + col] = block[index]
+                    index += 1
+            out.extend(restored)
+        return out

@@ -1,0 +1,63 @@
+"""Slot-based synchronisation.
+
+The paper's sender and receiver synchronise on the time-stamp counter
+(Section IV-B1): iteration *i* of the protocol owns the time slot
+``[t0 + i·interval, t0 + (i+1)·interval)``.  Landing exactly on a slot edge
+is impossible on real hardware — the TSC spin exits a little late and
+scheduling adds jitter — so :meth:`SlotClock.edge` applies Gaussian jitter
+drawn per (slot, party).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ChannelError
+
+
+class SlotClock:
+    """Shared slot timing for one covert-channel run."""
+
+    def __init__(
+        self,
+        t0: int,
+        interval: int,
+        jitter_sigma: float = 0.0,
+        rng: random.Random | None = None,
+    ):
+        if interval <= 0:
+            raise ChannelError(f"interval must be positive, got {interval}")
+        if jitter_sigma < 0:
+            raise ChannelError(f"jitter_sigma must be non-negative, got {jitter_sigma}")
+        self.t0 = t0
+        self.interval = interval
+        self.jitter_sigma = jitter_sigma
+        self._rng = rng or random.Random(0)
+
+    def slot_start(self, index: int) -> int:
+        """Nominal start cycle of slot ``index``."""
+        if index < 0:
+            raise ChannelError(f"slot index must be non-negative, got {index}")
+        return self.t0 + index * self.interval
+
+    def edge(self, index: int, phase: float = 0.0) -> int:
+        """A party's actual arrival time at slot ``index``.
+
+        ``phase`` in [0, 1) offsets within the slot (e.g. the receiver
+        samples mid-slot at phase 0.5).  Jitter is Gaussian, clipped so a
+        party can never arrive before the previous slot's nominal start.
+        """
+        if not 0.0 <= phase < 1.0:
+            raise ChannelError(f"phase must be in [0, 1), got {phase}")
+        nominal = self.slot_start(index) + int(phase * self.interval)
+        if self.jitter_sigma == 0.0:
+            return nominal
+        jitter = int(self._rng.gauss(0.0, self.jitter_sigma))
+        floor = self.slot_start(index - 1) if index > 0 else self.t0
+        return max(floor, nominal + jitter)
+
+    def slot_of(self, time: int) -> int:
+        """Which slot a cycle count falls in (before t0 counts as slot 0)."""
+        if time <= self.t0:
+            return 0
+        return (time - self.t0) // self.interval

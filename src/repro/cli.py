@@ -1,0 +1,491 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Examples::
+
+    python -m repro fig5                 # PREFETCHNTA timing bands
+    python -m repro table2 --bits 256    # channel capacity peaks
+    python -m repro send "hello world"   # ship a message over NTP+NTP
+    python -m repro detect --duration 500000
+    python -m repro evset --size 12 --platform kaby-lake
+
+Every command accepts ``--platform`` (skylake / kaby-lake) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .analysis.reporting import format_table
+from .attacks.ntp_ntp import NTPNTPChannel
+from .attacks.prime_scope import PrimePrefetchScope, PrimeScope
+from .channel.encoding import RepetitionEncoder
+from .channel.framing import FrameCodec
+from .config import KABY_LAKE, SKYLAKE, PlatformConfig
+from .sim.machine import Machine
+from .victims.noise import NoiseConfig
+
+_PLATFORMS: Dict[str, PlatformConfig] = {
+    "skylake": SKYLAKE,
+    "kaby-lake": KABY_LAKE,
+}
+
+
+def _machine(args: argparse.Namespace) -> Machine:
+    return Machine(_PLATFORMS[args.platform], seed=args.seed)
+
+
+def _machine_factory(args: argparse.Namespace) -> Callable[[], Machine]:
+    platform = _PLATFORMS[args.platform]
+    seed = args.seed
+    return lambda: Machine(platform, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    from .experiments.insertion import run_insertion_experiment
+
+    result = run_insertion_experiment(_machine(args), repetitions=args.repetitions)
+    rows = [
+        (a, f"{result.summary(a).p50:.0f}", f"{result.evicted_fraction[a]*100:.0f}%")
+        for a in sorted(result.latencies)
+    ]
+    print(format_table(("a", "reload p50 (cyc)", "evicted"), rows,
+                       title="Figure 2 — insertion policy (paper: >200 cyc, 100%)"))
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    from .experiments.insertion import run_insertion_age_experiment
+
+    result = run_insertion_age_experiment(_machine(args))
+    print(f"Figure 3 — eviction order in-order fraction: "
+          f"{result.in_order_fraction():.2f} (paper: 1.00)")
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    from .experiments.updating import run_updating_experiment
+
+    result = run_updating_experiment(_machine(args), repetitions=args.repetitions)
+    print(f"Figure 4 — candidate evicted despite prefetch hit: "
+          f"{result.evicted_fraction*100:.0f}% (paper: 100%)")
+    print(f"           ages preserved on prefetch hits: {result.age_preserved}")
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from .experiments.timing_variance import run_timing_variance_experiment
+
+    result = run_timing_variance_experiment(_machine(args), repetitions=args.repetitions)
+    rows = []
+    paper = {"l1_hit": "~70", "llc_hit": "90-100", "dram": ">200"}
+    for scenario in ("l1_hit", "llc_hit", "dram"):
+        summary = result.summary(scenario)
+        rows.append((scenario, paper[scenario], f"{summary.p50:.0f}"))
+    print(format_table(("scenario", "paper (cyc)", "measured p50"), rows,
+                       title="Figure 5 — PREFETCHNTA timing bands"))
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    from .experiments.protocol_walkthrough import run_protocol_walkthrough
+
+    result = run_protocol_walkthrough(_machine(args))
+    print("Figure 6 — NTP+NTP state walkthrough (executed live)")
+    print(result.render())
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments.capacity_sweep import run_capacity_sweep
+
+    rows = []
+    for channel in ("ntp+ntp", "prime+probe"):
+        sweep = run_capacity_sweep(
+            _machine_factory(args), channel, n_bits=args.bits, seed=args.seed
+        )
+        peak = sweep.peak
+        rows.append(
+            (channel, sweep.platform, f"{peak.raw_rate_kb_per_s:.0f}",
+             f"{peak.bit_error_rate*100:.2f}%", f"{peak.capacity_kb_per_s:.0f}")
+        )
+    print(format_table(
+        ("channel", "platform", "raw KB/s", "BER", "capacity KB/s"), rows,
+        title="Table II — peak channel capacities "
+              "(paper: NTP+NTP 302/275, Prime+Probe 86/81)",
+    ))
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    from .experiments.capacity_sweep import run_capacity_sweep
+
+    sweep = run_capacity_sweep(
+        _machine_factory(args), args.channel, n_bits=args.bits, seed=args.seed
+    )
+    print(format_table(
+        ("interval", "raw KB/s", "BER", "capacity KB/s"), sweep.rows(),
+        title=f"Figure 8 — {args.channel} on {sweep.platform}",
+    ))
+    return 0
+
+
+def cmd_fig11(args: argparse.Namespace) -> int:
+    from .experiments.prep_latency import run_prep_latency_experiment
+
+    result = run_prep_latency_experiment(_machine(args), rounds=args.repetitions)
+    ps, pps = result.summaries()
+    rows = [
+        ("Prime+Scope", PrimeScope.PREP_REFERENCES, f"{ps.mean:.0f}"),
+        ("Prime+Prefetch+Scope", PrimePrefetchScope.PREP_REFERENCES, f"{pps.mean:.0f}"),
+    ]
+    print(format_table(("attack", "references", "prep mean (cyc)"), rows,
+                       title="Figure 11 — preparation latency "
+                             "(paper: 1906 vs 1043 on Skylake)"))
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    from .experiments.detection import run_detection_comparison
+
+    results = run_detection_comparison(
+        _machine_factory(args), victim_period=args.period, duration=args.duration
+    )
+    rows = [
+        (r.attack, len(r.victim_accesses), len(r.detections),
+         f"{r.false_negative_rate*100:.1f}%")
+        for r in results
+    ]
+    print(format_table(("attack", "events", "detections", "FN rate"), rows,
+                       title="Section V-A3 — detection false negatives "
+                             "(paper: ~50% vs <2%)"))
+    return 0
+
+
+def cmd_fig12(args: argparse.Namespace) -> int:
+    from .experiments.iteration_latency import run_iteration_latency_experiment
+
+    result = run_iteration_latency_experiment(
+        _machine_factory(args), iterations=args.repetitions
+    )
+    rows = []
+    for name in ("reload+refresh", "prefetch+refresh_v1", "prefetch+refresh_v2"):
+        summary = result.summary(name)
+        costs = result.revert_costs[name]
+        rows.append(
+            (name, f"{summary.mean:.0f}",
+             f"{costs.flushes}/{costs.dram_accesses}/{costs.llc_accesses}",
+             f"{result.accuracy[name]*100:.0f}%")
+        )
+    print(format_table(
+        ("attack", "iter mean (cyc)", "revert f/d/l", "accuracy"), rows,
+        title="Figure 12 + Table III (paper: 1601/1165/873; 2-2-14/2-2-0/1-1-0)",
+    ))
+    return 0
+
+
+def cmd_evset(args: argparse.Namespace) -> int:
+    from .attacks.evset import (
+        build_eviction_set_prefetch,
+        hugepage_candidates,
+        verify_eviction_set,
+    )
+    from .experiments.evset_speed import run_evset_speed_experiment
+
+    result = run_evset_speed_experiment(
+        _machine_factory(args), size=args.size, seed=args.seed
+    )
+    rows = [
+        ("baseline", result.baseline.memory_references, f"{result.baseline_ms:.2f}",
+         f"{result.baseline_accuracy*100:.0f}%"),
+        ("prefetch (Alg. 2)", result.prefetch.memory_references,
+         f"{result.prefetch_ms:.2f}", f"{result.prefetch_accuracy*100:.0f}%"),
+    ]
+    if args.huge_pages:
+        machine = _machine(args)
+        target = machine.address_space("victim").alloc_pages(1)[0]
+        space = machine.address_space("attacker")
+        huge = build_eviction_set_prefetch(
+            machine, machine.cores[0], target,
+            hugepage_candidates(machine, space, target), size=args.size,
+        )
+        accuracy = verify_eviction_set(machine, target, huge.lines)
+        rows.append(
+            ("prefetch + huge pages", huge.memory_references,
+             f"{huge.execution_time_ms(machine.config.frequency_hz):.2f}",
+             f"{accuracy*100:.0f}%")
+        )
+    print(format_table(("method", "references", "time (ms)", "accuracy"), rows,
+                       title="Figure 13 — eviction set construction"))
+    print(f"reference ratio: {result.reference_ratio:.2f}x (paper: 7.25x)")
+    return 0
+
+
+def cmd_noise(args: argparse.Namespace) -> int:
+    from .experiments.noise_sweep import run_noise_sweep
+
+    result = run_noise_sweep(_machine_factory(args), n_bits=args.bits, seed=args.seed)
+    print(format_table(result.header(), result.rows(),
+                       title="Section IV-B3 — BER vs noise intensity"))
+    return 0
+
+
+def cmd_spy(args: argparse.Namespace) -> int:
+    import random as random_module
+
+    from .experiments.end_to_end_spy import run_end_to_end_spy
+
+    rng = random_module.Random(args.seed)
+    key = [rng.randint(0, 1) for _ in range(args.bits)]
+    result = run_end_to_end_spy(_machine(args), key, traces=args.traces)
+    print(f"concurrent spy: {result.accuracy * 100:.1f}% of {args.bits} key bits "
+          f"recovered over {args.traces} trace(s)")
+    print("true key :", "".join(map(str, result.true_bits)))
+    print("recovered:", "".join(map(str, result.recovered_bits)))
+    return 0
+
+
+def cmd_countermeasure(args: argparse.Namespace) -> int:
+    from .experiments.countermeasure import run_countermeasure_experiment
+
+    result = run_countermeasure_experiment(
+        _PLATFORMS[args.platform], size=args.size,
+        check_channel=not args.no_channel, seed=args.seed,
+    )
+    print(f"Section VI-D — ref ratio: Intel policy {result.original_ratio:.2f}x "
+          f"(paper 7.25x), modified {result.modified_ratio:.2f}x (paper 1.26x)")
+    if result.protected_channel_ber is not None:
+        print(f"NTP+NTP BER on protected machine: "
+              f"{result.protected_channel_ber*100:.0f}%")
+    return 0
+
+
+def cmd_directory(args: argparse.Namespace) -> int:
+    from .directory.hierarchy import DirectoryConfig
+    from .directory.ntp import run_directory_ntp_exchange
+
+    bits = [1, 0, 1, 1, 0, 0, 1, 0] * 8
+    vulnerable = run_directory_ntp_exchange(bits, seed=args.seed)
+    safe = run_directory_ntp_exchange(
+        bits, config=DirectoryConfig(directory_prefetch_insert_age=2), seed=args.seed
+    )
+    rows = [
+        ("age-3 insertion (vulnerable hypothesis)",
+         f"{vulnerable.bit_error_rate*100:.1f}%", vulnerable.works),
+        ("age-2 insertion (safe)", f"{safe.bit_error_rate*100:.1f}%", safe.works),
+    ]
+    print(format_table(("directory policy", "BER", "channel works"), rows,
+                       title="Section VI-B — directory NTP+NTP hypothesis"))
+    return 0
+
+
+def cmd_resolution(args: argparse.Namespace) -> int:
+    from .experiments.resolution import (
+        measure_prime_probe_granularity,
+        measure_scope_granularity,
+    )
+
+    pps = measure_scope_granularity(_machine(args), PrimePrefetchScope)
+    ps = measure_scope_granularity(_machine(args), PrimeScope)
+    pp = measure_prime_probe_granularity(_machine(args))
+    rows = [
+        ("Prime+Prefetch+Scope check", "~70", f"{pps:.0f}"),
+        ("Prime+Scope check", "~70", f"{ps:.0f}"),
+        ("Prime+Probe round", ">2000", f"{pp:.0f}"),
+    ]
+    print(format_table(("attack", "paper (cyc)", "measured"), rows,
+                       title="Section V-A1 — temporal resolution"))
+    return 0
+
+
+def cmd_pollution(args: argparse.Namespace) -> int:
+    from .countermeasures.insertion_policy import machine_with_modified_insertion
+    from .experiments.pollution import run_pollution_experiment
+
+    stock = run_pollution_experiment(_machine(args))
+    modified = run_pollution_experiment(
+        machine_with_modified_insertion(_PLATFORMS[args.platform], seed=args.seed)
+    )
+    rows = [
+        ("Intel policy", "1 (the 1/w bound)", stock.peak_prefetched_ways),
+        ("modified policy", "bound lost", modified.peak_prefetched_ways),
+    ]
+    print(format_table(("policy", "paper", "peak prefetched ways"), rows,
+                       title="Section VI-D — LLC pollution bound"))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    machine = _machine(args)
+    channel = NTPNTPChannel(machine, seed=args.seed)
+    channel.transmit([1, 0] * 32, 1500)
+    print(machine.stats_report())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .experiments.channel_comparison import (
+        ComparisonResult,
+        run_channel_comparison,
+    )
+
+    result = run_channel_comparison(_machine_factory(args), n_bits=args.bits)
+    print(format_table(ComparisonResult.HEADER, result.rows(),
+                       title="Covert-channel design space"))
+    return 0
+
+
+def cmd_send(args: argparse.Namespace) -> int:
+    machine = _machine(args)
+    channel = NTPNTPChannel(
+        machine, seed=args.seed,
+        maintenance_period=96 if args.noise else None,
+    )
+    codec = FrameCodec()
+    encoder = RepetitionEncoder(args.repetition)
+    bits = encoder.encode(codec.encode(args.message.encode()))
+    noise = NoiseConfig() if args.noise else None
+    result = channel.transmit(bits, args.interval, noise=noise)
+    frame = codec.decode(encoder.decode(result.received_bits))
+    print(result.summary())
+    if frame is None:
+        print("decode: no frame found")
+        return 1
+    status = "CRC OK" if frame.crc_ok else "CRC MISMATCH"
+    print(f"decode: {frame.payload!r} [{status}]")
+    return 0 if frame.crc_ok else 1
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Leaky Way (MICRO 2022) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, repetitions: Optional[int] = None):
+        p.add_argument("--platform", choices=sorted(_PLATFORMS), default="skylake")
+        p.add_argument("--seed", type=int, default=0)
+        if repetitions is not None:
+            p.add_argument("--repetitions", type=int, default=repetitions)
+
+    p = sub.add_parser("fig2", help="insertion policy (Property #1)")
+    common(p, repetitions=100)
+    p.set_defaults(func=cmd_fig2)
+
+    p = sub.add_parser("fig3", help="insertion age (eviction order)")
+    common(p)
+    p.set_defaults(func=cmd_fig3)
+
+    p = sub.add_parser("fig4", help="updating policy (Property #2)")
+    common(p, repetitions=100)
+    p.set_defaults(func=cmd_fig4)
+
+    p = sub.add_parser("fig5", help="PREFETCHNTA timing bands (Property #3)")
+    common(p, repetitions=200)
+    p.set_defaults(func=cmd_fig5)
+
+    p = sub.add_parser("fig6", help="NTP+NTP protocol state walkthrough")
+    common(p)
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser("table2", help="peak channel capacities")
+    common(p)
+    p.add_argument("--bits", type=int, default=256)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("fig8", help="capacity/BER sweep for one channel")
+    common(p)
+    p.add_argument("--channel", choices=("ntp+ntp", "prime+probe"), default="ntp+ntp")
+    p.add_argument("--bits", type=int, default=256)
+    p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser("fig11", help="Prime+Scope prep latency")
+    common(p, repetitions=200)
+    p.set_defaults(func=cmd_fig11)
+
+    p = sub.add_parser("detect", help="Section V-A3 false negatives")
+    common(p)
+    p.add_argument("--period", type=int, default=1500)
+    p.add_argument("--duration", type=int, default=1_000_000)
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("fig12", help="Reload+Refresh iteration latency + Table III")
+    common(p, repetitions=200)
+    p.set_defaults(func=cmd_fig12)
+
+    p = sub.add_parser("evset", help="eviction set construction (Figure 13)")
+    common(p)
+    p.add_argument("--size", type=int, default=16)
+    p.add_argument("--huge-pages", action="store_true",
+                   help="also build with 2 MiB pages (slice-only search)")
+    p.set_defaults(func=cmd_evset)
+
+    p = sub.add_parser("noise", help="BER vs third-party noise sweep")
+    common(p)
+    p.add_argument("--bits", type=int, default=128)
+    p.set_defaults(func=cmd_noise)
+
+    p = sub.add_parser("compare", help="all channels on one table")
+    common(p)
+    p.add_argument("--bits", type=int, default=96)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("spy", help="concurrent RSA key extraction")
+    common(p)
+    p.add_argument("--bits", type=int, default=64)
+    p.add_argument("--traces", type=int, default=4)
+    p.set_defaults(func=cmd_spy)
+
+    p = sub.add_parser("countermeasure", help="Section VI-D modified insertion")
+    common(p)
+    p.add_argument("--size", type=int, default=12)
+    p.add_argument("--no-channel", action="store_true")
+    p.set_defaults(func=cmd_countermeasure)
+
+    p = sub.add_parser("directory", help="Section VI-B directory hypothesis")
+    common(p)
+    p.set_defaults(func=cmd_directory)
+
+    p = sub.add_parser("resolution", help="Section V-A1 temporal resolution")
+    common(p)
+    p.set_defaults(func=cmd_resolution)
+
+    p = sub.add_parser("pollution", help="Section VI-D LLC pollution bound")
+    common(p)
+    p.set_defaults(func=cmd_pollution)
+
+    p = sub.add_parser("stats", help="cache statistics of a channel run")
+    common(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("send", help="ship a text message over NTP+NTP")
+    common(p)
+    p.add_argument("message")
+    p.add_argument("--interval", type=int, default=1500)
+    p.add_argument("--repetition", type=int, default=3)
+    p.add_argument("--noise", action="store_true",
+                   help="run background LLC noise during the transfer")
+    p.set_defaults(func=cmd_send)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

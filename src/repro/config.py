@@ -1,0 +1,250 @@
+"""Platform configuration: cache geometries, latencies, and presets.
+
+The paper evaluates on two Intel desktop parts (Table I):
+
+=================  ==============  ===============
+Platform           Core i7-6700    Core i7-7700K
+=================  ==============  ===============
+Microarchitecture  Skylake         Kaby Lake
+Num of cores       4               4
+Frequency          3.4 GHz         4.2 GHz
+L1 associativity   8               8
+L2 associativity   4               4
+LLC associativity  16              16
+LLC type           Shared, incl.   Shared, incl.
+=================  ==============  ===============
+
+:data:`SKYLAKE` and :data:`KABY_LAKE` reproduce those parts.  Latencies are
+calibrated so that the simulated measurements land where the paper's
+histograms do (Figure 2, Figure 5): a timed load of an L1-resident line takes
+~70 cycles including measurement overhead, a PREFETCHNTA whose target sits
+only in the LLC takes 90-100 cycles, and a DRAM-sourced operation takes over
+200 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .errors import ConfigurationError
+
+#: Bytes per cache line on every modeled platform.
+CACHE_LINE_SIZE = 64
+#: Bytes per (small) page; attackers control the low 12 address bits.
+PAGE_SIZE = 4096
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of one cache level.
+
+    ``sets`` is the number of sets *per slice* for sliced caches (the LLC);
+    private caches always have ``slices == 1``.
+    """
+
+    sets: int
+    ways: int
+    line_size: int = CACHE_LINE_SIZE
+    slices: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("sets", "ways", "line_size", "slices"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(f"{name} must be a positive int, got {value!r}")
+        if not _is_power_of_two(self.sets):
+            raise ConfigurationError(f"sets must be a power of two, got {self.sets}")
+        if not _is_power_of_two(self.line_size):
+            raise ConfigurationError(f"line_size must be a power of two, got {self.line_size}")
+        if not _is_power_of_two(self.slices):
+            raise ConfigurationError(f"slices must be a power of two, got {self.slices}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity of this level in bytes (across all slices)."""
+        return self.sets * self.ways * self.line_size * self.slices
+
+    @property
+    def total_sets(self) -> int:
+        """Number of sets across all slices."""
+        return self.sets * self.slices
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Access latencies in CPU cycles.
+
+    ``*_hit`` values are the raw data-return latencies used when an
+    instruction executes without being timed.  ``measure_overhead`` models
+    the serialized RDTSCP pair wrapped around a timed operation, so a *timed*
+    L1 hit costs ``measure_overhead + l1_hit`` cycles — about 70 on the
+    paper's Skylake part.
+    """
+
+    l1_hit: int = 4
+    l2_hit: int = 12
+    llc_hit: int = 36
+    dram: int = 165
+    #: Cost of the back-to-back RDTSCP/LFENCE pair around a timed op.
+    measure_overhead: int = 62
+    #: Fixed front-end cost of issuing a PREFETCHNTA (it retires quickly but
+    #: the timed sequence waits for the fill; the paper's Figure 5 shows the
+    #: same three-level separation as loads, shifted up by this constant).
+    prefetch_issue: int = 4
+    #: Cost of a CLFLUSH instruction whose target is uncached.
+    clflush: int = 40
+    #: Extra CLFLUSH cost when the line is cached (the write-back/invalidate
+    #: round trip) — the timing difference Flush+Flush measures.
+    clflush_cached_extra: int = 18
+    #: Per-access loop overhead (address generation, pointer chase, loop
+    #: control) paid by attacker code that walks an eviction set with
+    #: serialized (dependent) loads.
+    chase_overhead: int = 14
+    #: Per-access issue cost in *independent* access streams (Listing 1/2
+    #: style priming), where out-of-order execution overlaps the loads.
+    stream_overhead: int = 4
+    #: Memory-level parallelism of independent access streams: the latency
+    #: of a streamed load is divided by this factor (out-of-order cores
+    #: overlap several outstanding misses).
+    stream_mlp: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.l1_hit < self.l2_hit < self.llc_hit < self.dram:
+            raise ConfigurationError(
+                "latencies must satisfy l1_hit < l2_hit < llc_hit < dram; got "
+                f"{self.l1_hit}, {self.l2_hit}, {self.llc_hit}, {self.dram}"
+            )
+
+
+@dataclass(frozen=True)
+class NoiseProfile:
+    """Stochastic measurement noise added to timed operations.
+
+    Real RDTSCP histograms are right-skewed: a tight mode plus a heavy tail
+    from interrupts and contention.  We model a half-lognormal perturbation:
+    ``noise = lognormal(mu, sigma) - exp(mu)`` clipped at zero, plus a rare
+    large "interrupt" spike.
+    """
+
+    jitter_sigma: float = 0.35
+    jitter_scale: float = 4.0
+    spike_probability: float = 0.0005
+    spike_cycles: int = 3000
+
+
+@dataclass(frozen=True)
+class SyncProfile:
+    """Covert-channel synchronisation model.
+
+    The sender and receiver synchronise on time-stamp-counter slots.  Each
+    party lands on its slot edge with Gaussian jitter; the per-iteration
+    bookkeeping (loop control, TSC spin exit, result store) costs
+    ``overhead_cycles``.
+    """
+
+    overhead_cycles: int = 880
+    jitter_sigma: float = 45.0
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything needed to instantiate a simulated machine."""
+
+    name: str
+    microarchitecture: str
+    cores: int
+    frequency_hz: float
+    l1: CacheGeometry
+    l2: CacheGeometry
+    llc: CacheGeometry
+    latency: LatencyProfile = field(default_factory=LatencyProfile)
+    noise: NoiseProfile = field(default_factory=NoiseProfile)
+    sync: SyncProfile = field(default_factory=SyncProfile)
+    #: Pre-Skylake parts sometimes insert loads at age 3 (paper footnote 1).
+    llc_load_insert_age: int = 2
+    #: PREFETCHNTA inserts at the maximum age (Property #1).
+    llc_prefetch_insert_age: int = 3
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive, got {self.cores}")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(f"frequency_hz must be positive, got {self.frequency_hz}")
+        if self.llc.slices != self.cores and self.llc.slices != 1:
+            # Intel parts have one LLC slice per core; allow 1 for simple tests.
+            raise ConfigurationError(
+                f"llc.slices must be 1 or equal to cores ({self.cores}), got {self.llc.slices}"
+            )
+
+    @property
+    def llc_ways(self) -> int:
+        return self.llc.ways
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count on this part to wall-clock seconds."""
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.frequency_hz
+
+    def with_overrides(self, **changes) -> "PlatformConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **changes)
+
+
+def _desktop_geometries() -> Tuple[CacheGeometry, CacheGeometry, CacheGeometry]:
+    l1 = CacheGeometry(sets=64, ways=8)            # 32 KiB per core
+    l2 = CacheGeometry(sets=1024, ways=4)          # 256 KiB per core
+    llc = CacheGeometry(sets=2048, ways=16, slices=4)  # 8 MiB shared
+    return l1, l2, llc
+
+
+def skylake() -> PlatformConfig:
+    """The paper's Core i7-6700 (Skylake) platform."""
+    l1, l2, llc = _desktop_geometries()
+    return PlatformConfig(
+        name="Core i7-6700",
+        microarchitecture="Skylake",
+        cores=4,
+        frequency_hz=3.4e9,
+        l1=l1,
+        l2=l2,
+        llc=llc,
+        latency=LatencyProfile(),
+        sync=SyncProfile(overhead_cycles=1240, jitter_sigma=45.0),
+    )
+
+
+def kaby_lake() -> PlatformConfig:
+    """The paper's Core i7-7700K (Kaby Lake) platform.
+
+    Same geometry as Skylake; the higher core clock makes DRAM and the
+    cross-process synchronisation slack cost proportionally more cycles,
+    which is why the paper measures a slightly lower channel capacity on
+    this part despite the faster clock.
+    """
+    l1, l2, llc = _desktop_geometries()
+    return PlatformConfig(
+        name="Core i7-7700K",
+        microarchitecture="Kaby Lake",
+        cores=4,
+        frequency_hz=4.2e9,
+        l1=l1,
+        l2=l2,
+        llc=llc,
+        latency=LatencyProfile(llc_hit=38, dram=205, measure_overhead=64),
+        sync=SyncProfile(overhead_cycles=1700, jitter_sigma=55.0),
+    )
+
+
+#: Preset matching the paper's Skylake test machine (Table I).
+SKYLAKE = skylake()
+#: Preset matching the paper's Kaby Lake test machine (Table I).
+KABY_LAKE = kaby_lake()
+#: Both evaluation platforms, in the order the paper's tables list them.
+PLATFORMS = (SKYLAKE, KABY_LAKE)

@@ -1,0 +1,21 @@
+"""Countermeasures against PREFETCHNTA-based attacks (paper Section VI-D)."""
+
+from .insertion_policy import (
+    modified_insertion_factory,
+    machine_with_modified_insertion,
+)
+from .partitioning import ColoredPageAllocator, domain_color_of
+from .randomization import RandomizedSetMapping, machine_with_randomized_llc
+from .detector import DetectionVerdict, DetectorSample, PerfCounterDetector
+
+__all__ = [
+    "PerfCounterDetector",
+    "DetectorSample",
+    "DetectionVerdict",
+    "modified_insertion_factory",
+    "machine_with_modified_insertion",
+    "ColoredPageAllocator",
+    "domain_color_of",
+    "RandomizedSetMapping",
+    "machine_with_randomized_llc",
+]

@@ -1,0 +1,49 @@
+"""The paper's proposed countermeasure: a modified LLC insertion policy.
+
+Section VI-D: insert demand loads at age **1** and prefetches at age **2**.
+Prefetched lines are still evicted sooner than loaded lines — preserving the
+LLC-pollution bound rationale of PREFETCHNTA — but a prefetched line is no
+longer *guaranteed* to be the set's eviction candidate, so the one-way
+competition that NTP+NTP and Algorithm 2 exploit disappears.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cache.qlru import QuadAgeLRU
+from ..config import PlatformConfig
+from ..sim.machine import Machine
+
+#: The modified insertion ages the paper proposes.
+MODIFIED_LOAD_AGE = 1
+MODIFIED_PREFETCH_AGE = 2
+
+
+def modified_insertion_factory(ways: int) -> QuadAgeLRU:
+    """LLC policy factory implementing the Section VI-D countermeasure."""
+    return QuadAgeLRU(
+        ways,
+        load_insert_age=MODIFIED_LOAD_AGE,
+        prefetch_insert_age=MODIFIED_PREFETCH_AGE,
+    )
+
+
+def machine_with_modified_insertion(
+    config: PlatformConfig, seed: int = 0
+) -> Machine:
+    """A machine whose LLC runs the modified insertion policy."""
+    return Machine(config, seed=seed, llc_policy_factory=modified_insertion_factory)
+
+
+def pollution_bound(prefetch_insert_age: int, ways: int) -> Optional[float]:
+    """Worst-case LLC-set fraction prefetched data can occupy.
+
+    With the original Intel policy (insert at the maximum age), prefetched
+    lines can hold at most one way — the 1/w bound the paper credits the
+    design with.  With the modified policy the bound disappears (returns
+    None), the performance cost the paper acknowledges.
+    """
+    if prefetch_insert_age >= 3:
+        return 1.0 / ways
+    return None

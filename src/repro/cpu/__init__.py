@@ -1,0 +1,6 @@
+"""CPU-side modeling: instruction timing, measurement noise, cores."""
+
+from .timing import TimingModel, TimedResult
+from .core import Core
+
+__all__ = ["TimingModel", "TimedResult", "Core"]

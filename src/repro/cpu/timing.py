@@ -1,0 +1,69 @@
+"""Measurement timing model.
+
+The paper's attacker measures operations with serialized RDTSCP pairs.  A
+*timed* operation therefore costs ``measure_overhead + raw_latency + noise``,
+where the noise term reproduces the shape of real latency histograms: a tight
+mode with a heavy right tail (cache/TLB interference, interrupts).
+
+Calibration targets (paper Figures 2, 4, 5; Section V-A1):
+
+* timed load of a private-cache-resident line ≈ 70 cycles,
+* timed PREFETCHNTA with the target only in the LLC ≈ 90-100 cycles,
+* timed operation reaching DRAM ≈ 200+ cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..cache.hierarchy import MemOpResult
+from ..config import LatencyProfile, NoiseProfile
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """A measured operation: what the attacker sees plus ground truth."""
+
+    cycles: int
+    result: MemOpResult
+
+    @property
+    def level(self):
+        return self.result.level
+
+
+class TimingModel:
+    """Turns raw hierarchy latencies into noisy RDTSCP-style measurements."""
+
+    def __init__(self, latency: LatencyProfile, noise: NoiseProfile, rng: random.Random):
+        self.latency = latency
+        self.noise = noise
+        self._rng = rng
+
+    def noise_cycles(self) -> int:
+        """One draw from the measurement-noise distribution (≥ 0 cycles)."""
+        base = self._rng.lognormvariate(0.0, self.noise.jitter_sigma)
+        jitter = max(0.0, (base - 1.0) * self.noise.jitter_scale)
+        if self._rng.random() < self.noise.spike_probability:
+            jitter += self.noise.spike_cycles
+        return int(round(jitter))
+
+    def measured(self, raw_latency: int) -> int:
+        """Cycles an attacker's timed measurement of the op reports."""
+        return self.latency.measure_overhead + raw_latency + self.noise_cycles()
+
+    def measure(self, result: MemOpResult) -> TimedResult:
+        return TimedResult(self.measured(result.latency), result)
+
+    def default_miss_threshold(self) -> int:
+        """Midpoint threshold separating LLC hits from DRAM misses.
+
+        The paper's Th0 (Algorithm 1): measurements above it are classified
+        as misses.  Attack code normally *calibrates* this
+        (:func:`repro.attacks.threshold.calibrate_threshold`); the midpoint
+        is the noise-free ideal.
+        """
+        hit = self.latency.measure_overhead + self.latency.llc_hit
+        miss = self.latency.measure_overhead + self.latency.dram
+        return (hit + miss) // 2

@@ -1,0 +1,29 @@
+"""Non-inclusive LLC + coherence directory (paper Section VI-B).
+
+Most Intel *server* parts use non-inclusive LLCs; there PREFETCHNTA brings
+data "only to the L1 cache and the coherence directory, but not the LLC".
+The paper leaves a directory version of NTP+NTP as future work, conditional
+on the directory's replacement policy treating prefetched entries as
+eviction candidates.  This package models that hypothetical so the condition
+can be explored: the directory's insertion behaviour is configurable, and
+:func:`run_directory_ntp_exchange` shows the channel working under the
+vulnerable hypothesis and failing under a safe insertion policy.
+"""
+
+from .hierarchy import DirectoryHierarchy, DirectoryConfig
+from .ntp import DirectoryExchangeResult, run_directory_ntp_exchange
+from .amd_buffer import (
+    AMDPrefetchBuffer,
+    BufferExchangeResult,
+    run_amd_buffer_exchange,
+)
+
+__all__ = [
+    "DirectoryHierarchy",
+    "DirectoryConfig",
+    "DirectoryExchangeResult",
+    "run_directory_ntp_exchange",
+    "AMDPrefetchBuffer",
+    "BufferExchangeResult",
+    "run_amd_buffer_exchange",
+]

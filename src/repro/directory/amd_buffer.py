@@ -1,0 +1,120 @@
+"""The AMD non-temporal prefetch buffer hypothesis (paper §VI-B, last note).
+
+"According to [the AMD optimization guide], on some AMD processors
+prefetched data are placed into a software-invisible buffer (instead of
+cache/directory).  Therefore, it may be possible to build conflicts using
+PREFETCHNTA in this buffer and create a new covert channel."
+
+This module models that hypothetical: a small, fully-associative,
+LRU-managed NT buffer shared by the cores.  Because the buffer is tiny and
+fully associative, *any* handful of distinct lines conflicts — no eviction
+sets, no slice hashes, no set targeting at all — which would make the
+resulting channel even easier to set up than NTP+NTP.  The exchange below
+demonstrates the mechanics and measures the buffer-capacity requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ChannelError, ConfigurationError
+from ..mem.address import line_address
+
+#: Latency constants for the standalone buffer model (cycles).
+BUFFER_HIT = 12
+MEMORY_FILL = 165
+MEASURE_OVERHEAD = 62
+
+
+class AMDPrefetchBuffer:
+    """A software-invisible, fully-associative NT-prefetch buffer."""
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: List[int] = []  # MRU at the end
+
+    def __contains__(self, addr: int) -> bool:
+        return line_address(addr) in self._entries
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def prefetchnta(self, addr: int) -> int:
+        """NT prefetch into the buffer; returns the raw latency.
+
+        A hit refreshes LRU; a miss fills from memory, evicting the LRU
+        entry when full.
+        """
+        tag = line_address(addr)
+        if tag in self._entries:
+            self._entries.remove(tag)
+            self._entries.append(tag)
+            return BUFFER_HIT
+        self._entries.append(tag)
+        if len(self._entries) > self.capacity:
+            self._entries.pop(0)
+        return MEMORY_FILL
+
+    def timed_prefetchnta(self, addr: int) -> int:
+        return MEASURE_OVERHEAD + self.prefetchnta(addr)
+
+
+@dataclass
+class BufferExchangeResult:
+    """Outcome of one buffer-channel exchange."""
+
+    sent_bits: List[int]
+    received_bits: List[int]
+    #: Sender prefetches needed per "1" bit (the conflict cost).
+    conflict_cost: int = 0
+
+    @property
+    def bit_error_rate(self) -> float:
+        errors = sum(1 for a, b in zip(self.sent_bits, self.received_bits) if a != b)
+        return errors / len(self.sent_bits) if self.sent_bits else 0.0
+
+    @property
+    def works(self) -> bool:
+        return self.bit_error_rate < 0.05
+
+
+def run_amd_buffer_exchange(
+    message_bits: Sequence[int],
+    capacity: int = 8,
+    sender_lines: Optional[int] = None,
+) -> BufferExchangeResult:
+    """Lock-step exchange over the hypothetical buffer.
+
+    The receiver parks its line in the buffer; the sender signals "1" by
+    prefetching ``sender_lines`` arbitrary distinct lines (default: exactly
+    the buffer capacity), which flushes the receiver's entry out; the
+    receiver's timed prefetch reads hit-vs-fill.
+    """
+    bits = list(message_bits)
+    if not bits:
+        raise ChannelError("cannot transmit an empty message")
+    if sender_lines is None:
+        sender_lines = capacity
+    buffer = AMDPrefetchBuffer(capacity)
+    receiver_line = 0x1000
+    sender_pool = [0x100000 + i * 64 for i in range(sender_lines)]
+    threshold = MEASURE_OVERHEAD + (BUFFER_HIT + MEMORY_FILL) // 2
+    received: List[int] = []
+    buffer.prefetchnta(receiver_line)  # park dr
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ChannelError(f"bits must be 0 or 1, got {bit!r}")
+        if bit:
+            for line in sender_pool:
+                buffer.prefetchnta(line)
+        measured = buffer.timed_prefetchnta(receiver_line)
+        received.append(1 if measured > threshold else 0)
+    return BufferExchangeResult(
+        sent_bits=bits,
+        received_bits=received,
+        conflict_cost=sender_lines,
+    )

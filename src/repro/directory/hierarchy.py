@@ -1,0 +1,182 @@
+"""A minimal non-inclusive LLC hierarchy with a snoop-filter directory.
+
+Server-class model (Skylake-SP style, simplified to the parts that matter
+for the Section VI-B discussion):
+
+* Per-core private L1 caches.
+* A shared *coherence directory* (snoop filter) tracking every line present
+  in any private cache.  Evicting a directory entry back-invalidates the
+  private copies — the lever a directory conflict attack uses ("Attack
+  Directories, Not Caches", Yan et al.).
+* A non-inclusive LLC acting as a victim cache: lines enter it when evicted
+  from a private cache, not on fills.
+* ``PREFETCHNTA`` installs the line in the requesting core's L1 and
+  allocates a directory entry, bypassing the LLC (per the Intel manual).
+
+The directory replacement policy is configurable; whether prefetch-allocated
+entries become instant eviction candidates is exactly the unknown the paper
+flags ("verifying this vulnerability requires comprehensively understanding
+the replacement policy of the directory").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..cache.cachelevel import CacheLevel
+from ..cache.hierarchy import Level, MemOpResult
+from ..cache.plru import TreePLRU
+from ..cache.qlru import QuadAgeLRU
+from ..config import CacheGeometry, LatencyProfile
+from ..errors import ConfigurationError
+from ..mem.address import line_address
+from ..mem.layout import CacheSetMapping
+
+
+@dataclass(frozen=True)
+class DirectoryConfig:
+    """Geometry and policy knobs of the directory machine."""
+
+    cores: int = 4
+    l1: CacheGeometry = field(default_factory=lambda: CacheGeometry(sets=64, ways=8))
+    #: Snoop-filter directory: wider than the private caches it covers.
+    directory: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(sets=2048, ways=12, slices=1)
+    )
+    #: Non-inclusive victim LLC.
+    llc: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(sets=2048, ways=11, slices=1)
+    )
+    latency: LatencyProfile = field(default_factory=LatencyProfile)
+    #: Age of directory entries allocated by demand fills.
+    directory_load_insert_age: int = 2
+    #: Age of directory entries allocated by PREFETCHNTA — the paper's open
+    #: question.  3 models the vulnerable hypothesis (like the inclusive
+    #: LLC); 2 models a safe design.
+    directory_prefetch_insert_age: int = 3
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive, got {self.cores}")
+
+
+class DirectoryHierarchy:
+    """Cores' L1s in front of a shared directory and a victim LLC."""
+
+    def __init__(self, config: DirectoryConfig):
+        self.config = config
+        lat = config.latency
+        directory_policy = lambda ways: QuadAgeLRU(  # noqa: E731
+            ways,
+            load_insert_age=config.directory_load_insert_age,
+            prefetch_insert_age=config.directory_prefetch_insert_age,
+        )
+        self.l1_mapping = CacheSetMapping(config.l1)
+        self.directory_mapping = CacheSetMapping(config.directory)
+        self.llc_mapping = CacheSetMapping(config.llc)
+        self.l1s: List[CacheLevel] = [
+            CacheLevel(f"L1[{c}]", config.l1, self.l1_mapping, TreePLRU)
+            for c in range(config.cores)
+        ]
+        self.directory = CacheLevel(
+            "DIR", config.directory, self.directory_mapping, directory_policy
+        )
+        self.llc = CacheLevel("LLC", config.llc, self.llc_mapping, QuadAgeLRU)
+        self._lat = lat
+
+    # -- internals ---------------------------------------------------------
+
+    def _dir_back_invalidate(self, tag: int) -> None:
+        """Directory eviction: purge the line from every private cache."""
+        for level in self.l1s:
+            level.invalidate(tag)
+
+    def _allocate_directory(self, addr: int, now: int, is_prefetch: bool) -> None:
+        evicted, inserted = self.directory.fill(addr, now, is_prefetch=is_prefetch)
+        if evicted is not None:
+            self._dir_back_invalidate(evicted)
+        if not inserted:  # pragma: no cover - all-busy corner
+            self._dir_back_invalidate(line_address(addr))
+
+    def _fill_l1(self, core: int, addr: int, now: int) -> None:
+        """Fill a private L1; its victim spills into the non-inclusive LLC."""
+        evicted, _ = self.l1s[core].fill(addr, now)
+        if evicted is None:
+            return
+        # The victim leaves the private domain: directory entry dies, the
+        # line lands in the LLC (victim-cache insertion).
+        if not any(l1.contains(evicted) for l1 in self.l1s):
+            self.directory.invalidate(evicted)
+            if not self.llc.contains(evicted):
+                spilled, _ = self.llc.fill(evicted, now)
+                del spilled  # non-inclusive: LLC evictions are silent
+
+    # -- instruction semantics ----------------------------------------------
+
+    def load(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        tag = line_address(addr)
+        l1 = self.l1s[core]
+        hit_set = l1.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag))
+            return MemOpResult(Level.L1, self._lat.l1_hit)
+        hit_set = self.llc.lookup(addr)
+        if hit_set is not None:
+            # Non-inclusive: promote from the LLC back into the private
+            # domain (the LLC copy is dropped, a directory entry appears).
+            hit_set.touch(hit_set.find(tag))
+            self.llc.invalidate(addr)
+            if not self.directory.contains(addr):
+                self._allocate_directory(addr, now, is_prefetch=False)
+            self._fill_l1(core, addr, now)
+            return MemOpResult(Level.LLC, self._lat.llc_hit)
+        if self.directory.contains(addr):
+            # Present in another core's private cache: directory-assisted
+            # cache-to-cache transfer at LLC-like latency.
+            self._fill_l1(core, addr, now)
+            return MemOpResult(Level.LLC, self._lat.llc_hit)
+        self._allocate_directory(addr, now, is_prefetch=False)
+        self._fill_l1(core, addr, now)
+        return MemOpResult(Level.DRAM, self._lat.dram)
+
+    def prefetchnta(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        """PREFETCHNTA: L1 + directory only, never the LLC (Section VI-B)."""
+        tag = line_address(addr)
+        l1 = self.l1s[core]
+        hit_set = l1.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag), is_prefetch=True)
+            return MemOpResult(Level.L1, self._lat.prefetch_issue)
+        source = Level.DRAM
+        latency = self._lat.dram
+        if self.llc.contains(addr):
+            self.llc.invalidate(addr)
+            source, latency = Level.LLC, self._lat.llc_hit
+        elif self.directory.contains(addr):
+            source, latency = Level.LLC, self._lat.llc_hit
+        if not self.directory.contains(addr):
+            self._allocate_directory(addr, now, is_prefetch=True)
+        self._fill_l1(core, addr, now)
+        return MemOpResult(source, latency)
+
+    def clflush(self, addr: int, now: int = 0) -> MemOpResult:
+        tag = line_address(addr)
+        self.llc.invalidate(addr)
+        self.directory.invalidate(addr)
+        self._dir_back_invalidate(tag)
+        return MemOpResult(Level.DRAM, self._lat.clflush)
+
+    # -- introspection ---------------------------------------------------------
+
+    def in_l1(self, core: int, addr: int) -> bool:
+        return self.l1s[core].contains(addr)
+
+    def in_directory(self, addr: int) -> bool:
+        return self.directory.contains(addr)
+
+    def in_llc(self, addr: int) -> bool:
+        return self.llc.contains(addr)
+
+    def directory_set_of(self, addr: int):
+        return self.directory.set_for(addr)

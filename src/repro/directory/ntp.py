@@ -1,0 +1,109 @@
+"""A directory version of NTP+NTP — the paper's Section VI-B hypothesis.
+
+The channel mechanics transfer one-to-one from the inclusive LLC to the
+directory *if* prefetch-allocated directory entries are installed as
+eviction candidates: the sender's prefetch then displaces the receiver's
+directory entry, which back-invalidates the receiver's L1 copy, and the
+receiver's next timed prefetch misses.  Under a safe insertion policy the
+displacement is no longer targeted and the channel decays to noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ChannelError
+from .hierarchy import DirectoryConfig, DirectoryHierarchy
+
+#: Cycle gap between protocol steps (generous: correctness-focused model).
+STEP_GAP = 2_000
+
+
+@dataclass
+class DirectoryExchangeResult:
+    """Outcome of a directory NTP+NTP exchange."""
+
+    sent_bits: List[int]
+    received_bits: List[int]
+
+    @property
+    def bit_error_rate(self) -> float:
+        errors = sum(1 for a, b in zip(self.sent_bits, self.received_bits) if a != b)
+        return errors / len(self.sent_bits) if self.sent_bits else 0.0
+
+    @property
+    def works(self) -> bool:
+        """The channel is usable when essentially every bit arrives."""
+        return self.bit_error_rate < 0.05
+
+
+def run_directory_ntp_exchange(
+    message_bits: Sequence[int],
+    config: DirectoryConfig = None,
+    seed: int = 0,
+) -> DirectoryExchangeResult:
+    """Exchange ``message_bits`` over the directory conflict channel.
+
+    Runs a lock-step (turn-based) exchange — the timing subtleties of the
+    inclusive-LLC channel are studied elsewhere; here the question is purely
+    whether directory replacement state can carry bits at all.
+    """
+    bits = list(message_bits)
+    if not bits:
+        raise ChannelError("cannot transmit an empty message")
+    if config is None:
+        config = DirectoryConfig()
+    hierarchy = DirectoryHierarchy(config)
+    rng = random.Random(seed)
+    mapping = hierarchy.directory_mapping
+
+    # Pick congruent sender/receiver lines in one directory set (ground
+    # truth, as for the LLC channel: both parties can build eviction sets).
+    base = rng.randrange(1 << 20) << 12
+    receiver_line = base
+    sender_line = None
+    probe = base
+    while sender_line is None:
+        probe += 1 << 12
+        if mapping.congruent(probe, receiver_line):
+            sender_line = probe
+    # Fill the directory set so there are no free ways.  A directory entry
+    # only lives while the line is private-cache resident, and congruent
+    # lines share an L1 set — so one core can pin at most l1.ways entries.
+    # Helper threads on two spare cores pin enough entries together.
+    fillers: List[int] = []
+    probe = base + (1 << 30)
+    needed = config.directory.ways + 4
+    while len(fillers) < needed:
+        probe += 1 << 12
+        if mapping.congruent(probe, receiver_line):
+            fillers.append(probe)
+
+    now = 0
+    filler_cores = [2 % config.cores, 3 % config.cores]
+    for _ in range(2):
+        for i, line in enumerate(fillers):
+            hierarchy.load(filler_cores[i % len(filler_cores)], line, now)
+            now += STEP_GAP
+
+    threshold = (
+        config.latency.measure_overhead
+        + (config.latency.llc_hit + config.latency.dram) // 2
+    )
+    received: List[int] = []
+    # Receiver prepares: its entry becomes the (hypothetical) candidate.
+    hierarchy.prefetchnta(1, receiver_line, now)
+    now += STEP_GAP
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ChannelError(f"bits must be 0 or 1, got {bit!r}")
+        if bit:
+            hierarchy.prefetchnta(0, sender_line, now)
+        now += STEP_GAP
+        result = hierarchy.prefetchnta(1, receiver_line, now)
+        measured = config.latency.measure_overhead + result.latency
+        received.append(1 if measured > threshold else 0)
+        now += STEP_GAP
+    return DirectoryExchangeResult(sent_bits=bits, received_bits=received)

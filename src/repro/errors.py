@@ -1,0 +1,36 @@
+"""Exception hierarchy for the Leaky Way reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A platform or cache configuration is inconsistent."""
+
+
+class AddressError(ReproError):
+    """An address is malformed, unmapped, or out of range."""
+
+
+class CacheStateError(ReproError):
+    """The cache hierarchy was driven into an impossible state.
+
+    Raised, for example, when a replacement decision is requested in a set
+    whose every way holds an in-flight line that may not be evicted.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event scheduler detected an invalid program."""
+
+
+class ChannelError(ReproError):
+    """A covert-channel protocol violation (framing, sync, decode)."""
+
+
+class AttackError(ReproError):
+    """An attack primitive could not be set up (e.g. eviction set search
+    exhausted its candidate pool)."""

@@ -1,0 +1,100 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+=============================  ====================================
+Module                         Paper artifact
+=============================  ====================================
+:mod:`.insertion`              Figure 2, Figure 3 (Property #1)
+:mod:`.updating`               Figure 4 (Property #2)
+:mod:`.timing_variance`        Figure 5 (Property #3)
+:mod:`.capacity_sweep`         Figure 8, Table II
+:mod:`.prep_latency`           Figure 11, Listings 1-2
+:mod:`.detection`              Section V-A3 false negatives
+:mod:`.iteration_latency`      Figure 12, Table III
+:mod:`.evset_speed`            Figure 13, Algorithm 2
+:mod:`.countermeasure`         Section VI-D
+=============================  ====================================
+"""
+
+from .insertion import (
+    InsertionAgeResult,
+    InsertionResult,
+    run_insertion_age_experiment,
+    run_insertion_experiment,
+)
+from .updating import UpdatingResult, run_updating_experiment
+from .timing_variance import TimingVarianceResult, run_timing_variance_experiment
+from .capacity_sweep import CapacityPoint, CapacitySweepResult, run_capacity_sweep
+from .prep_latency import PrepLatencyResult, run_prep_latency_experiment
+from .detection import (
+    DetectionResult,
+    run_detection_comparison,
+    run_detection_experiment,
+)
+from .iteration_latency import (
+    IterationLatencyResult,
+    run_iteration_latency_experiment,
+)
+from .evset_speed import EvsetSpeedResult, run_evset_speed_experiment
+from .countermeasure import CountermeasureResult, run_countermeasure_experiment
+from .pollution import PollutionResult, run_pollution_experiment
+from .resolution import (
+    ResolutionResult,
+    measure_prime_probe_granularity,
+    measure_scope_granularity,
+    run_resolution_experiment,
+)
+from .end_to_end_spy import SpyResult, run_end_to_end_spy
+from .noise_sweep import NoiseSweepResult, run_noise_sweep
+from .detection_sweep import DetectionSweepResult, run_detection_sweep
+from .protocol_walkthrough import WalkthroughResult, run_protocol_walkthrough
+from .pipelining import PipeliningResult, run_pipelining_demo
+from .sensitivity import SensitivityResult, run_sensitivity_experiment
+from .keystrokes import KeystrokeResult, run_keystroke_experiment
+from .channel_comparison import ComparisonResult, run_channel_comparison
+
+__all__ = [
+    "InsertionResult",
+    "InsertionAgeResult",
+    "run_insertion_experiment",
+    "run_insertion_age_experiment",
+    "UpdatingResult",
+    "run_updating_experiment",
+    "TimingVarianceResult",
+    "run_timing_variance_experiment",
+    "CapacityPoint",
+    "CapacitySweepResult",
+    "run_capacity_sweep",
+    "PrepLatencyResult",
+    "run_prep_latency_experiment",
+    "DetectionResult",
+    "run_detection_experiment",
+    "run_detection_comparison",
+    "IterationLatencyResult",
+    "run_iteration_latency_experiment",
+    "EvsetSpeedResult",
+    "run_evset_speed_experiment",
+    "CountermeasureResult",
+    "run_countermeasure_experiment",
+    "PollutionResult",
+    "run_pollution_experiment",
+    "ResolutionResult",
+    "run_resolution_experiment",
+    "measure_scope_granularity",
+    "measure_prime_probe_granularity",
+    "SpyResult",
+    "run_end_to_end_spy",
+    "NoiseSweepResult",
+    "run_noise_sweep",
+    "DetectionSweepResult",
+    "run_detection_sweep",
+    "WalkthroughResult",
+    "run_protocol_walkthrough",
+    "PipeliningResult",
+    "run_pipelining_demo",
+    "SensitivityResult",
+    "run_sensitivity_experiment",
+    "KeystrokeResult",
+    "run_keystroke_experiment",
+    "ComparisonResult",
+    "run_channel_comparison",
+]

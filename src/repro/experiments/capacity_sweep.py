@@ -1,0 +1,113 @@
+"""Channel-capacity sweeps (paper Figure 8 and Table II).
+
+Sweeps the transmission interval (hence the raw rate) for NTP+NTP and
+Prime+Probe, measuring bit error rate and channel capacity at each point —
+the paper's Figure 8 curves — and reports each channel's peak capacity,
+the paper's Table II.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..attacks.ntp_ntp import NTPNTPChannel
+from ..attacks.prime_probe import PrimeProbeChannel
+from ..errors import ChannelError
+from ..sim.machine import Machine
+from ..victims.noise import NoiseConfig
+
+#: Interval grids roughly spanning the paper's 0-400 KB/s raw-rate axis.
+NTP_NTP_INTERVALS = (
+    4200, 2800, 2100, 1900, 1800, 1700, 1550, 1450, 1400, 1340, 1250, 1050
+)
+PRIME_PROBE_INTERVALS = (
+    42000, 28000, 21000, 17000, 14000, 12000, 10500, 9800, 9200, 8600,
+    8000, 7400, 6800, 6200,
+)
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One point of a Figure 8 curve."""
+
+    interval: int
+    raw_rate_kb_per_s: float
+    bit_error_rate: float
+    capacity_kb_per_s: float
+
+
+@dataclass
+class CapacitySweepResult:
+    """One channel's sweep on one platform."""
+
+    channel: str
+    platform: str
+    points: List[CapacityPoint] = field(default_factory=list)
+
+    @property
+    def peak(self) -> CapacityPoint:
+        """The Table II number: the sweep's best operating point."""
+        if not self.points:
+            raise ChannelError("sweep produced no points")
+        return max(self.points, key=lambda p: p.capacity_kb_per_s)
+
+    def rows(self) -> List[tuple]:
+        return [
+            (
+                p.interval,
+                f"{p.raw_rate_kb_per_s:.0f}",
+                f"{p.bit_error_rate * 100:.2f}%",
+                f"{p.capacity_kb_per_s:.0f}",
+            )
+            for p in self.points
+        ]
+
+
+def _message(n_bits: int, seed: int) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(n_bits)]
+
+
+def run_capacity_sweep(
+    machine_factory,
+    channel: str,
+    intervals: Optional[Sequence[int]] = None,
+    n_bits: int = 256,
+    noise: Optional[NoiseConfig] = None,
+    seed: int = 0,
+) -> CapacitySweepResult:
+    """Sweep one channel on one platform.
+
+    ``machine_factory`` builds a fresh machine per interval (e.g.
+    ``lambda: Machine.skylake(seed=7)``) so sweep points are independent.
+    """
+    if channel not in ("ntp+ntp", "prime+probe"):
+        raise ChannelError(f"unknown channel {channel!r}")
+    if noise is None:
+        noise = NoiseConfig()
+    if intervals is None:
+        intervals = NTP_NTP_INTERVALS if channel == "ntp+ntp" else PRIME_PROBE_INTERVALS
+    bits = _message(n_bits, seed)
+    result: Optional[CapacitySweepResult] = None
+    for interval in intervals:
+        machine: Machine = machine_factory()
+        if result is None:
+            result = CapacitySweepResult(
+                channel=channel, platform=machine.config.name
+            )
+        if channel == "ntp+ntp":
+            chan = NTPNTPChannel(machine, seed=seed)
+        else:
+            chan = PrimeProbeChannel(machine, seed=seed)
+        outcome = chan.transmit(bits, interval, noise=noise)
+        result.points.append(
+            CapacityPoint(
+                interval=interval,
+                raw_rate_kb_per_s=outcome.raw_rate_kb_per_s,
+                bit_error_rate=outcome.bit_error_rate,
+                capacity_kb_per_s=outcome.capacity_kb_per_s,
+            )
+        )
+    return result

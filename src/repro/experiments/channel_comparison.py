@@ -1,0 +1,124 @@
+"""The covert-channel design space, on one table.
+
+Runs every channel class in the library at (near-)optimal operating points
+and lines up the three axes the paper's Sections II-C/IV/VI-C argue about:
+speed (capacity), setup requirements (eviction sets? shared memory?), and
+per-bit footprint (cache references).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from ..attacks.ntp_ntp import NTPNTPChannel
+from ..attacks.occupancy import OccupancyChannel, make_occupancy_demo_machine
+from ..attacks.prefetch_prefetch import PrefetchPrefetchChannel
+from ..attacks.prime_probe import PrimeProbeChannel
+from ..attacks.redundant_ntp import RedundantNTPChannel
+from ..errors import ChannelError
+from ..sim.machine import Machine
+
+
+@dataclass(frozen=True)
+class ChannelProfile:
+    """One channel's measured and structural profile."""
+
+    name: str
+    capacity_kb_per_s: float
+    bit_error_rate: float
+    refs_per_bit: float
+    needs_eviction_sets: bool
+    needs_shared_memory: bool
+
+
+@dataclass
+class ComparisonResult:
+    profiles: List[ChannelProfile] = field(default_factory=list)
+
+    def profile(self, name: str) -> ChannelProfile:
+        for entry in self.profiles:
+            if entry.name == name:
+                return entry
+        raise ChannelError(f"no profile named {name!r}")
+
+    def rows(self) -> List[tuple]:
+        return [
+            (
+                p.name,
+                f"{p.capacity_kb_per_s:.1f}",
+                f"{p.bit_error_rate * 100:.2f}%",
+                f"{p.refs_per_bit:.0f}",
+                "yes" if p.needs_eviction_sets else "no",
+                "yes" if p.needs_shared_memory else "no",
+            )
+            for p in self.profiles
+        ]
+
+    HEADER = (
+        "channel", "capacity KB/s", "BER", "refs/bit",
+        "eviction sets", "shared memory",
+    )
+
+
+def _measure(name, machine, channel, interval, bits, evsets, shared) -> ChannelProfile:
+    sender = machine.cores[channel.sender_core]
+    receiver = machine.cores[channel.receiver_core]
+    refs_before = sender.memory_references + receiver.memory_references
+    outcome = channel.transmit(bits, interval)
+    refs = sender.memory_references + receiver.memory_references - refs_before
+    return ChannelProfile(
+        name=name,
+        capacity_kb_per_s=outcome.capacity_kb_per_s,
+        bit_error_rate=outcome.bit_error_rate,
+        refs_per_bit=refs / len(bits),
+        needs_eviction_sets=evsets,
+        needs_shared_memory=shared,
+    )
+
+
+def run_channel_comparison(
+    machine_factory: Callable[[], Machine] = None,
+    n_bits: int = 128,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Measure every channel class at a near-optimal operating point.
+
+    The occupancy channel runs on its scaled-down demo machine (its probe
+    walks would dominate the simulation at full LLC size); all others share
+    the given factory (default: the paper's Skylake).
+    """
+    if machine_factory is None:
+        machine_factory = lambda: Machine.skylake(seed=340)  # noqa: E731
+    rng = random.Random(seed)
+    bits = [rng.randint(0, 1) for _ in range(n_bits)]
+    result = ComparisonResult()
+    machine = machine_factory()
+    result.profiles.append(_measure(
+        "NTP+NTP", machine, NTPNTPChannel(machine, seed=seed),
+        1400, bits, evsets=True, shared=False,
+    ))
+    machine = machine_factory()
+    result.profiles.append(_measure(
+        "NTP+NTP 3-set redundant", machine,
+        RedundantNTPChannel(machine, redundancy=3, seed=seed),
+        2400, bits, evsets=True, shared=False,
+    ))
+    machine = machine_factory()
+    result.profiles.append(_measure(
+        "Prime+Probe", machine, PrimeProbeChannel(machine, seed=seed),
+        10500, bits, evsets=True, shared=False,
+    ))
+    machine = machine_factory()
+    result.profiles.append(_measure(
+        "Prefetch+Prefetch", machine, PrefetchPrefetchChannel(machine, seed=seed),
+        1600, bits, evsets=False, shared=True,
+    ))
+    demo = make_occupancy_demo_machine(seed=340)
+    result.profiles.append(_measure(
+        "occupancy (demo-scale LLC)", demo,
+        OccupancyChannel(demo, receiver_lines=640, sender_lines=1024, seed=seed),
+        220_000, bits[: max(16, n_bits // 4)], evsets=False, shared=False,
+    ))
+    return result

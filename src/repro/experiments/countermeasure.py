@@ -1,0 +1,89 @@
+"""The Section VI-D countermeasure evaluation.
+
+The paper models both LLC insertion policies in Python and simulates both
+eviction-set construction methods: with the original Intel policy the
+prefetch-based method needs **7.25× fewer memory references** than the
+state of the art; with the modified policy (loads at age 1, prefetches at
+age 2) the advantage collapses to **1.26×**.  The same modified policy also
+destroys NTP+NTP's reliability, which this experiment verifies by running
+the channel on a protected machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..attacks.evset import (
+    build_eviction_set_baseline,
+    build_eviction_set_prefetch,
+)
+from ..attacks.ntp_ntp import NTPNTPChannel
+from ..config import PlatformConfig
+from ..countermeasures.insertion_policy import machine_with_modified_insertion
+from ..errors import AttackError
+from ..sim.machine import Machine
+
+
+@dataclass
+class CountermeasureResult:
+    """Section VI-D data."""
+
+    #: Memory-reference ratio baseline/prefetch under the Intel policy.
+    original_ratio: float
+    #: Same ratio under the modified insertion policy.
+    modified_ratio: float
+    #: NTP+NTP bit error rate on the protected machine.
+    protected_channel_ber: Optional[float] = None
+
+    @property
+    def advantage_reduced(self) -> bool:
+        """The countermeasure's goal: the prefetch advantage collapses."""
+        return self.modified_ratio < self.original_ratio / 2
+
+
+def _reference_ratio(machine: Machine, size: int, seed: int) -> float:
+    """Baseline/prefetch memory references for one eviction-set build."""
+    results = {}
+    for name, builder in (
+        ("baseline", build_eviction_set_baseline),
+        ("prefetch", build_eviction_set_prefetch),
+    ):
+        core = machine.cores[0]
+        space = machine.address_space(f"cm-{name}-{seed}")
+        target = machine.address_space(f"cm-target-{name}-{seed}").alloc_pages(1)[0]
+        candidates = space.candidate_lines(offset=target % 4096 // 64 * 64)
+        results[name] = builder(
+            machine, core, target, candidates, size=size
+        ).memory_references
+    if results["prefetch"] == 0:
+        raise AttackError("prefetch build issued no references")
+    return results["baseline"] / results["prefetch"]
+
+
+def run_countermeasure_experiment(
+    config: PlatformConfig,
+    size: Optional[int] = None,
+    check_channel: bool = True,
+    channel_bits: int = 128,
+    seed: int = 0,
+) -> CountermeasureResult:
+    """Compare both policies; optionally verify the channel breaks."""
+    if size is None:
+        size = config.llc.ways
+    original = Machine(config, seed=seed)
+    modified = machine_with_modified_insertion(config, seed=seed)
+    original_ratio = _reference_ratio(original, size, seed)
+    modified_ratio = _reference_ratio(modified, size, seed)
+    ber: Optional[float] = None
+    if check_channel:
+        protected = machine_with_modified_insertion(config, seed=seed + 1)
+        channel = NTPNTPChannel(protected, seed=seed)
+        bits = [(i * 7) % 2 for i in range(channel_bits)]
+        outcome = channel.transmit(bits, interval=1400)
+        ber = outcome.bit_error_rate
+    return CountermeasureResult(
+        original_ratio=original_ratio,
+        modified_ratio=modified_ratio,
+        protected_channel_ber=ber,
+    )

@@ -1,0 +1,89 @@
+"""False negatives vs victim period (extends Section V-A3).
+
+The paper measures one point — victim period 1.5K cycles — where
+Prime+Scope misses ~50% of events and Prime+Prefetch+Scope <2%.  The
+mechanism (a blind window equal to the preparation latency) predicts the
+whole curve: an attack misses events roughly while the period is shorter
+than its preparation, and converges to ~0% once the period comfortably
+exceeds it.  This sweep measures the curve and locates each attack's
+usable-frequency threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from ..attacks.prime_scope import PrimePrefetchScope, PrimeScope
+from ..errors import AttackError
+from ..sim.machine import Machine
+from .detection import run_detection_experiment
+
+DEFAULT_PERIODS = (1000, 1500, 2200, 3200, 4500)
+
+
+@dataclass(frozen=True)
+class DetectionPoint:
+    period: int
+    false_negative_rate: float
+
+
+@dataclass
+class DetectionSweepResult:
+    """FN-vs-period curves for both attacks."""
+
+    curves: dict = field(default_factory=dict)
+
+    def curve(self, attack: str) -> List[DetectionPoint]:
+        return self.curves[attack]
+
+    def usable_period(self, attack: str, fn_limit: float = 0.1) -> int:
+        """Shortest tested victim period the attack handles below ``fn_limit``."""
+        for point in self.curves[attack]:
+            if point.false_negative_rate <= fn_limit:
+                return point.period
+        raise AttackError(f"{attack} never reached FN <= {fn_limit}")
+
+    def rows(self) -> List[tuple]:
+        names = sorted(self.curves)
+        rows = []
+        for i, point in enumerate(self.curves[names[0]]):
+            row = [point.period]
+            for name in names:
+                row.append(f"{self.curves[name][i].false_negative_rate * 100:.1f}%")
+            rows.append(tuple(row))
+        return rows
+
+    def header(self) -> tuple:
+        return ("victim period", *sorted(self.curves))
+
+
+def run_detection_sweep(
+    machine_factory: Callable[[], Machine],
+    periods: Sequence[int] = None,
+    duration: int = 600_000,
+) -> DetectionSweepResult:
+    """Measure FN rates for both attacks across victim periods."""
+    if periods is None:
+        periods = DEFAULT_PERIODS
+    if not periods:
+        raise AttackError("need at least one victim period")
+    result = DetectionSweepResult()
+    for attack_cls in (PrimeScope, PrimePrefetchScope):
+        points: List[DetectionPoint] = []
+        for period in periods:
+            # An attacker expecting events every ~period cycles keeps
+            # scoping for about two periods before re-priming.
+            quiet_checks = max(24, 2 * period // 70)
+            outcome = run_detection_experiment(
+                machine_factory(), attack_cls, victim_period=period,
+                duration=duration, max_quiet_checks=quiet_checks,
+            )
+            points.append(
+                DetectionPoint(
+                    period=period,
+                    false_negative_rate=outcome.false_negative_rate,
+                )
+            )
+        result.curves[attack_cls.__name__] = points
+    return result

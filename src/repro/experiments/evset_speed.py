@@ -1,0 +1,84 @@
+"""Eviction-set construction speed (paper Figure 13 and Section VI-A).
+
+Builds a full eviction set with the access-based state of the art and with
+the paper's prefetch-based Algorithm 2, on the same candidate distribution,
+and compares execution time (Figure 13's milliseconds) and memory
+references (the Section VI-D metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..attacks.evset import (
+    EvictionSetResult,
+    build_eviction_set_baseline,
+    build_eviction_set_prefetch,
+    verify_eviction_set,
+)
+from ..sim.machine import Machine
+
+
+@dataclass
+class EvsetSpeedResult:
+    """Figure 13 data for one platform."""
+
+    platform: str
+    baseline: EvictionSetResult
+    prefetch: EvictionSetResult
+    baseline_accuracy: float
+    prefetch_accuracy: float
+    frequency_hz: float
+
+    @property
+    def baseline_ms(self) -> float:
+        return self.baseline.execution_time_ms(self.frequency_hz)
+
+    @property
+    def prefetch_ms(self) -> float:
+        return self.prefetch.execution_time_ms(self.frequency_hz)
+
+    @property
+    def time_speedup(self) -> float:
+        return self.baseline_ms / self.prefetch_ms
+
+    @property
+    def reference_ratio(self) -> float:
+        """Baseline / prefetch memory references (Section VI-D's metric)."""
+        return self.baseline.memory_references / self.prefetch.memory_references
+
+
+def run_evset_speed_experiment(
+    machine_factory,
+    size: Optional[int] = None,
+    seed: int = 0,
+) -> EvsetSpeedResult:
+    """Build one eviction set with each method on fresh machines.
+
+    Fresh machines (same seed) give both methods an identical physical page
+    layout, so they search the same congruence distribution.
+    """
+    machine_a: Machine = machine_factory()
+    machine_b: Machine = machine_factory()
+    results = {}
+    accuracy = {}
+    for name, machine, builder in (
+        ("baseline", machine_a, build_eviction_set_baseline),
+        ("prefetch", machine_b, build_eviction_set_prefetch),
+    ):
+        core = machine.cores[0]
+        space = machine.address_space("evset-attacker")
+        target = machine.address_space("evset-victim").alloc_pages(1)[0]
+        candidates = space.candidate_lines(offset=target % 4096 // 64 * 64)
+        built = builder(machine, core, target, candidates, size=size)
+        results[name] = built
+        accuracy[name] = verify_eviction_set(machine, target, built.lines)
+    return EvsetSpeedResult(
+        platform=machine_a.config.name,
+        baseline=results["baseline"],
+        prefetch=results["prefetch"],
+        baseline_accuracy=accuracy["baseline"],
+        prefetch_accuracy=accuracy["prefetch"],
+        frequency_hz=machine_a.config.frequency_hz,
+    )

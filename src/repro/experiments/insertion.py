@@ -1,0 +1,167 @@
+"""The insertion-policy experiments (paper Figures 2 and 3, Property #1).
+
+Figure 2: fill an LLC set with one PREFETCHNTA-ed line ``la`` among demand
+loads, force one replacement, and time a reload of ``la``.  On the paper's
+parts the reload is always slow — the prefetched line was evicted first,
+regardless of its position ``a`` in the fill order.
+
+Figure 3: prepare a set where every line except ``l0`` has age 3, replace
+one line ``la`` with a prefetched copy, then load fresh conflicting lines
+and record which line each one evicts.  The eviction order is ``l1..lw-1``
+left to right, with the prefetched ``la`` evicted exactly in its turn —
+proving the prefetched line carries a plain age 3 rather than a special
+"evict me first" flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.stats import summarize, SampleSummary
+from ..errors import AttackError
+from ..mem.address import line_address
+from ..sim.machine import Machine
+
+
+def _flush_set(machine: Machine, core, lines: List[int]) -> None:
+    """Empty the target set the way the paper does: load then flush all."""
+    for line in lines:
+        core.load(line)
+    for line in lines:
+        core.clflush(line)
+
+
+@dataclass
+class InsertionResult:
+    """Figure 2 data: per-position reload latency of the prefetched line."""
+
+    #: a -> timed reload samples of la after one forced replacement.
+    latencies: Dict[int, List[int]] = field(default_factory=dict)
+    #: a -> fraction of repetitions in which la had been evicted.
+    evicted_fraction: Dict[int, float] = field(default_factory=dict)
+
+    def summary(self, a: int) -> SampleSummary:
+        return summarize(self.latencies[a])
+
+    @property
+    def always_evicted(self) -> bool:
+        """Property #1's behavioural signature."""
+        return all(fraction == 1.0 for fraction in self.evicted_fraction.values())
+
+
+def run_insertion_experiment(
+    machine: Machine,
+    repetitions: int = 200,
+    core_id: int = 0,
+    miss_threshold: int = None,
+) -> InsertionResult:
+    """Run the Figure 2 experiment on ``machine``."""
+    core = machine.cores[core_id]
+    space = machine.address_space("insertion-experiment")
+    w = machine.llc_ways
+    target = space.alloc_pages(1)[0]
+    evset = [target] + space.congruent_lines(
+        machine.hierarchy.llc_mapping, target, w
+    )
+    if miss_threshold is None:
+        miss_threshold = machine.miss_threshold()
+    result = InsertionResult()
+    for a in range(w):
+        samples: List[int] = []
+        evictions = 0
+        for _ in range(repetitions):
+            _flush_set(machine, core, evset)
+            # Step 2: fill the set with la prefetched at position a.
+            for i in range(a):
+                core.load(evset[i])
+                core.lfence()
+            core.prefetchnta(evset[a])
+            core.lfence()
+            for i in range(a + 1, w):
+                core.load(evset[i])
+                core.lfence()
+            # Step 3: force one replacement.
+            machine.clock += machine.config.latency.dram  # drain in-flight fills
+            core.load(evset[w])
+            machine.clock += machine.config.latency.dram
+            # Step 4: timed reload of la.
+            timed = core.timed_load(evset[a])
+            samples.append(timed.cycles)
+            if timed.cycles > miss_threshold:
+                evictions += 1
+        result.latencies[a] = samples
+        result.evicted_fraction[a] = evictions / repetitions
+    return result
+
+
+@dataclass
+class InsertionAgeResult:
+    """Figure 3 data: eviction order after replacing ``la`` with a prefetch."""
+
+    #: a -> observed eviction order (line indices) while loading l'1..l'w-1.
+    eviction_orders: Dict[int, List[int]] = field(default_factory=dict)
+
+    def in_order_fraction(self) -> float:
+        """Fraction of trials whose eviction order was exactly l1..lw-1."""
+        if not self.eviction_orders:
+            raise AttackError("experiment produced no data")
+        expected = None
+        good = 0
+        for a, order in self.eviction_orders.items():
+            if expected is None:
+                expected = list(range(1, len(order) + 1))
+            if order == expected:
+                good += 1
+        return good / len(self.eviction_orders)
+
+
+def run_insertion_age_experiment(
+    machine: Machine,
+    core_id: int = 0,
+) -> InsertionAgeResult:
+    """Run the Figure 3 experiment once per position ``a``.
+
+    The paper identifies each evicted line with timed reloads and a restart
+    per probe; the simulator reads the set contents directly, which measures
+    the same ground truth without the measurement detour.
+    """
+    core = machine.cores[core_id]
+    space = machine.address_space("insertion-age-experiment")
+    w = machine.llc_ways
+    target = space.alloc_pages(1)[0]
+    evset = [target] + space.congruent_lines(
+        machine.hierarchy.llc_mapping, target, 2 * w + 1
+    )
+    lines = evset[: w + 1]          # l0 .. lw
+    fresh = evset[w + 1 :]          # l'1 .. l'w-1 (fresh conflicting lines)
+    index_of = {line_address(line): i for i, line in enumerate(lines)}
+    result = InsertionAgeResult()
+    for a in range(1, w):
+        _flush_set(machine, core, evset)
+        # Step 1: fill with lw, l1..lw-1, then load l0 to evict lw.
+        core.load(lines[w])
+        for i in range(1, w):
+            core.load(lines[i])
+        machine.clock += machine.config.latency.dram
+        core.load(lines[0])
+        # Step 2: flush la, prefetch it back.
+        core.clflush(lines[a])
+        core.prefetchnta(lines[a])
+        machine.clock += machine.config.latency.dram
+        # Step 3: load fresh lines; record who gets evicted after each.
+        target_set = machine.hierarchy.llc_set_of(target)
+        order: List[int] = []
+        for i, line in enumerate(fresh[: w - 1]):
+            before = set(t for t in target_set.tags() if t is not None)
+            core.load(line)
+            machine.clock += machine.config.latency.dram
+            after = set(t for t in target_set.tags() if t is not None)
+            evicted = before - after
+            if len(evicted) != 1:
+                raise AttackError(
+                    f"expected exactly one eviction, got {len(evicted)}"
+                )
+            order.append(index_of[evicted.pop()])
+        result.eviction_orders[a] = order
+    return result

@@ -1,0 +1,93 @@
+"""Attack-iteration latency (paper Figure 12 and Table III).
+
+Measures the attacker-side cost of one Reload+Refresh iteration against the
+two Prefetch+Refresh variants, and records the operation counts of the
+state-revert step.  The paper's Skylake means: 1601 (Reload+Refresh), 1165
+(Prefetch+Refresh v1), 873 (v2) cycles; Table III counts 2/2/14 flush/DRAM/
+LLC revert operations for Reload+Refresh against 2/2/0 (v1) and 1/1/0 (v2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.stats import SampleSummary, cdf, summarize
+from ..attacks.reload_refresh import (
+    IterationResult,
+    PrefetchRefresh,
+    ReloadRefresh,
+    RevertCosts,
+)
+from ..errors import AttackError
+from ..sim.machine import Machine
+
+ATTACK_NAMES = ("reload+refresh", "prefetch+refresh_v1", "prefetch+refresh_v2")
+
+
+@dataclass
+class IterationLatencyResult:
+    """Figure 12 / Table III data."""
+
+    #: attack name -> per-iteration latency samples.
+    latencies: Dict[str, List[int]] = field(default_factory=dict)
+    #: attack name -> worst-case revert costs observed.
+    revert_costs: Dict[str, RevertCosts] = field(default_factory=dict)
+    #: attack name -> detection accuracy over the trace.
+    accuracy: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self, attack: str) -> SampleSummary:
+        return summarize(self.latencies[attack])
+
+    def cdf(self, attack: str):
+        return cdf(self.latencies[attack])
+
+    def mean_ordering_holds(self) -> bool:
+        """v2 faster than v1 faster than Reload+Refresh, as in the paper."""
+        rr = self.summary("reload+refresh").mean
+        v1 = self.summary("prefetch+refresh_v1").mean
+        v2 = self.summary("prefetch+refresh_v2").mean
+        return v2 < v1 < rr
+
+
+def _score(results: List[IterationResult], truth: List[bool]) -> float:
+    if len(results) != len(truth):
+        raise AttackError("result/truth length mismatch")
+    hits = sum(1 for r, t in zip(results, truth) if r.detected == t)
+    return hits / len(results)
+
+
+def run_iteration_latency_experiment(
+    machine_factory,
+    iterations: int = 300,
+    victim_probability: float = 0.5,
+    seed: int = 0,
+) -> IterationLatencyResult:
+    """Run all three attacks over the same victim access pattern."""
+    rng = random.Random(seed)
+    truth = [rng.random() < victim_probability for _ in range(iterations)]
+    result = IterationLatencyResult()
+    attacks = {
+        "reload+refresh": lambda m: ReloadRefresh(m),
+        "prefetch+refresh_v1": lambda m: PrefetchRefresh(m, variant=1),
+        "prefetch+refresh_v2": lambda m: PrefetchRefresh(m, variant=2),
+    }
+    for name, build in attacks.items():
+        machine: Machine = machine_factory()
+        attack = build(machine)
+        attack.prepare()
+        outcomes = attack.run_trace(truth)
+        result.latencies[name] = [o.latency for o in outcomes]
+        result.accuracy[name] = _score(outcomes, truth)
+        worst = RevertCosts()
+        for o in outcomes:
+            c = o.revert_costs
+            if (c.flushes, c.dram_accesses, c.llc_accesses) > (
+                worst.flushes,
+                worst.dram_accesses,
+                worst.llc_accesses,
+            ):
+                worst = c
+        result.revert_costs[name] = worst
+    return result

@@ -1,0 +1,100 @@
+"""Channel robustness under increasing third-party noise (Section IV-B3).
+
+The paper treats noise qualitatively ("the error caused by other processes'
+accesses in one attack iteration will not affect the next iteration") and
+points at encodings for mitigation.  This extension quantifies it: sweep
+the rate of third-party traffic into the monitored sets and record each
+channel's bit error rate, with and without the reliability options
+(sender re-arm + maintenance slots for NTP+NTP, multi-set redundancy).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..attacks.ntp_ntp import NTPNTPChannel
+from ..attacks.prime_probe import PrimeProbeChannel
+from ..attacks.redundant_ntp import RedundantNTPChannel
+from ..errors import ChannelError
+from ..sim.machine import Machine
+from ..victims.noise import NoiseConfig
+
+#: Noise levels: probability-per-2K-cycles of a fill into a monitored set.
+DEFAULT_BIASES = (0.0, 0.005, 0.01, 0.02, 0.04)
+
+
+@dataclass
+class NoisePoint:
+    bias: float
+    bit_error_rate: float
+
+
+@dataclass
+class NoiseSweepResult:
+    """BER-vs-noise curves per channel variant."""
+
+    curves: dict = field(default_factory=dict)
+
+    def curve(self, name: str) -> List[NoisePoint]:
+        return self.curves[name]
+
+    def final_ber(self, name: str) -> float:
+        return self.curves[name][-1].bit_error_rate
+
+    def rows(self) -> List[tuple]:
+        names = sorted(self.curves)
+        rows = []
+        biases = [p.bias for p in self.curves[names[0]]]
+        for i, bias in enumerate(biases):
+            row = [f"{bias:.3f}"]
+            for name in names:
+                row.append(f"{self.curves[name][i].bit_error_rate * 100:.2f}%")
+            rows.append(tuple(row))
+        return rows
+
+    def header(self) -> tuple:
+        return ("bias", *sorted(self.curves))
+
+
+def _message(n_bits: int, seed: int) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(n_bits)]
+
+
+def run_noise_sweep(
+    machine_factory: Callable[[], Machine],
+    biases: Optional[Sequence[float]] = None,
+    n_bits: int = 192,
+    seed: int = 0,
+) -> NoiseSweepResult:
+    """Sweep noise intensity over the channel variants."""
+    if biases is None:
+        biases = DEFAULT_BIASES
+    if not biases:
+        raise ChannelError("need at least one noise level")
+    bits = _message(n_bits, seed)
+    variants = {
+        "ntp+ntp": lambda m: (NTPNTPChannel(m, seed=seed), 1500),
+        "ntp+ntp (maintained)": lambda m: (
+            NTPNTPChannel(m, seed=seed, maintenance_period=96),
+            1500,
+        ),
+        "ntp 3-set redundant": lambda m: (
+            RedundantNTPChannel(m, redundancy=3, seed=seed),
+            2400,
+        ),
+        "prime+probe": lambda m: (PrimeProbeChannel(m, seed=seed), 11000),
+    }
+    result = NoiseSweepResult()
+    for name, build in variants.items():
+        points: List[NoisePoint] = []
+        for bias in biases:
+            machine = machine_factory()
+            channel, interval = build(machine)
+            noise = None if bias == 0.0 else NoiseConfig(target_bias=bias)
+            outcome = channel.transmit(bits, interval, noise=noise)
+            points.append(NoisePoint(bias=bias, bit_error_rate=outcome.bit_error_rate))
+        result.curves[name] = points
+    return result

@@ -1,0 +1,65 @@
+"""The PREFETCHNTA timing-variance experiment (paper Figure 5, Property #3).
+
+Times PREFETCHNTA in three scenarios: target in L1, target only in the LLC,
+target uncached.  The paper's bands on Skylake: ~70 cycles, 90-100 cycles,
+and 200+ cycles respectively — the separation that makes the receiver's
+single prefetch a usable measurement primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.stats import SampleSummary, summarize
+from ..sim.machine import Machine
+
+SCENARIOS = ("l1_hit", "llc_hit", "dram")
+
+
+@dataclass
+class TimingVarianceResult:
+    """Figure 5 data: timed PREFETCHNTA samples per scenario."""
+
+    samples: Dict[str, List[int]] = field(default_factory=dict)
+
+    def summary(self, scenario: str) -> SampleSummary:
+        return summarize(self.samples[scenario])
+
+    def separated(self) -> bool:
+        """Do the three bands separate as in the paper (medians ordered)?"""
+        l1 = self.summary("l1_hit").p50
+        llc = self.summary("llc_hit").p50
+        dram = self.summary("dram").p50
+        return l1 < llc < dram
+
+
+def run_timing_variance_experiment(
+    machine: Machine,
+    repetitions: int = 300,
+    core_id: int = 0,
+) -> TimingVarianceResult:
+    """Run the Figure 5 experiment on ``machine``."""
+    core = machine.cores[core_id]
+    space = machine.address_space("timing-variance")
+    target = space.alloc_pages(1)[0]
+    private_evset = machine.private_eviction_lines(space, target)
+    result = TimingVarianceResult(samples={name: [] for name in SCENARIOS})
+    dram = machine.config.latency.dram
+    for _ in range(repetitions):
+        # Scenario 1: target resident in L1.
+        core.load(target)
+        result.samples["l1_hit"].append(core.timed_prefetchnta(target).cycles)
+        # Scenario 2: evict from L1/L2 only, then prefetch (LLC hit).
+        core.load(target)
+        for _ in range(2):
+            for line in private_evset:
+                core.load(line)
+        result.samples["llc_hit"].append(core.timed_prefetchnta(target).cycles)
+        # Scenario 3: flush everywhere (the paper builds LLC set conflicts;
+        # CLFLUSH reaches the same uncached state deterministically).
+        core.clflush(target)
+        machine.clock += dram
+        result.samples["dram"].append(core.timed_prefetchnta(target).cycles)
+        machine.clock += dram
+    return result

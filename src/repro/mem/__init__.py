@@ -1,0 +1,32 @@
+"""Physical memory modeling: addresses, set/slice mapping, page allocation."""
+
+from .address import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE,
+    LINE_OFFSET_BITS,
+    PAGE_OFFSET_BITS,
+    line_address,
+    line_offset,
+    page_number,
+    page_offset,
+    validate_address,
+)
+from .layout import CacheSetMapping, SliceHash, SetIndex
+from .allocator import PageAllocator, AddressSpace
+
+__all__ = [
+    "CACHE_LINE_SIZE",
+    "PAGE_SIZE",
+    "LINE_OFFSET_BITS",
+    "PAGE_OFFSET_BITS",
+    "line_address",
+    "line_offset",
+    "page_number",
+    "page_offset",
+    "validate_address",
+    "CacheSetMapping",
+    "SliceHash",
+    "SetIndex",
+    "PageAllocator",
+    "AddressSpace",
+]

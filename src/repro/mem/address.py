@@ -1,0 +1,47 @@
+"""Physical-address arithmetic.
+
+Addresses are plain integers (byte-granular physical addresses).  All cache
+state is keyed on *line addresses* — the address with its low six bits
+dropped — exactly as a real tag/index pipeline would see them.
+"""
+
+from __future__ import annotations
+
+from ..config import CACHE_LINE_SIZE, PAGE_SIZE
+from ..errors import AddressError
+
+#: log2(cache line size): the bits below the set index.
+LINE_OFFSET_BITS = CACHE_LINE_SIZE.bit_length() - 1
+#: log2(page size): the bits an unprivileged attacker controls.
+PAGE_OFFSET_BITS = PAGE_SIZE.bit_length() - 1
+#: Number of cache lines in one page.
+LINES_PER_PAGE = PAGE_SIZE // CACHE_LINE_SIZE
+
+
+def validate_address(addr: int) -> int:
+    """Check that ``addr`` is a usable physical address and return it."""
+    if not isinstance(addr, int) or isinstance(addr, bool):
+        raise AddressError(f"address must be an int, got {type(addr).__name__}")
+    if addr < 0:
+        raise AddressError(f"address must be non-negative, got {addr}")
+    return addr
+
+
+def line_address(addr: int) -> int:
+    """The line-aligned address containing ``addr`` (low 6 bits cleared)."""
+    return validate_address(addr) >> LINE_OFFSET_BITS << LINE_OFFSET_BITS
+
+
+def line_offset(addr: int) -> int:
+    """Byte offset of ``addr`` within its cache line."""
+    return validate_address(addr) & (CACHE_LINE_SIZE - 1)
+
+
+def page_number(addr: int) -> int:
+    """Physical page frame number containing ``addr``."""
+    return validate_address(addr) >> PAGE_OFFSET_BITS
+
+
+def page_offset(addr: int) -> int:
+    """Byte offset of ``addr`` within its page."""
+    return validate_address(addr) & (PAGE_SIZE - 1)

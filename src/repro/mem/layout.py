@@ -1,0 +1,109 @@
+"""Set-index and slice-hash computation.
+
+Intel LLCs are physically sliced (one slice per core on the paper's parts)
+and the slice is selected by an undocumented XOR hash over high physical
+address bits.  That hash is the reason eviction-set construction is a search
+problem: an attacker who controls only the page offset cannot directly name
+an LLC set.  We model the hash as a parameterised XOR fold — the same family
+the published reverse-engineering results ("Systematic Reverse Engineering of
+Cache Slice Selection", Maurice et al.) describe — so the search algorithms in
+:mod:`repro.attacks.evset` face the same problem shape as on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..config import CacheGeometry
+from ..errors import AddressError
+from .address import LINE_OFFSET_BITS, validate_address
+
+
+@dataclass(frozen=True)
+class SetIndex:
+    """Fully resolved location of a line within a (possibly sliced) cache."""
+
+    slice: int
+    set: int
+
+    @property
+    def flat(self) -> Tuple[int, int]:
+        return (self.slice, self.set)
+
+
+class SliceHash:
+    """XOR-fold slice selector.
+
+    Each output bit of the slice id is the parity of the physical line
+    address ANDed with a mask.  The default masks interleave high address
+    bits so consecutive lines spread over slices, as on real parts.
+    """
+
+    #: Default per-bit XOR masks (over the *line address*, i.e. addr >> 6),
+    #: chosen to mix bits 6..33 and to be linearly independent.
+    DEFAULT_MASKS = (
+        0x1B5F575440 >> LINE_OFFSET_BITS,
+        0x2EB5FAA880 >> LINE_OFFSET_BITS,
+    )
+
+    def __init__(self, n_slices: int, masks: Tuple[int, ...] = None):
+        if n_slices <= 0 or (n_slices & (n_slices - 1)) != 0:
+            raise AddressError(f"n_slices must be a power of two, got {n_slices}")
+        self.n_slices = n_slices
+        n_bits = n_slices.bit_length() - 1
+        if masks is None:
+            if n_bits > len(self.DEFAULT_MASKS):
+                raise AddressError(
+                    f"no default masks for {n_slices} slices; pass masks explicitly"
+                )
+            masks = self.DEFAULT_MASKS[:n_bits]
+        if len(masks) != n_bits:
+            raise AddressError(
+                f"{n_slices} slices need {n_bits} masks, got {len(masks)}"
+            )
+        self._masks = tuple(masks)
+
+    @property
+    def masks(self) -> Tuple[int, ...]:
+        return self._masks
+
+    def slice_of(self, line_addr: int) -> int:
+        """Slice id of a line address (``addr >> 6``)."""
+        result = 0
+        for bit, mask in enumerate(self._masks):
+            result |= ((line_addr & mask).bit_count() & 1) << bit
+        return result
+
+
+class CacheSetMapping:
+    """Maps physical addresses to (slice, set) for one cache level."""
+
+    def __init__(self, geometry: CacheGeometry, slice_hash: SliceHash = None):
+        self.geometry = geometry
+        self._set_mask = geometry.sets - 1
+        if geometry.slices > 1:
+            self.slice_hash = slice_hash or SliceHash(geometry.slices)
+            if self.slice_hash.n_slices != geometry.slices:
+                raise AddressError(
+                    f"slice hash covers {self.slice_hash.n_slices} slices but "
+                    f"geometry has {geometry.slices}"
+                )
+        else:
+            self.slice_hash = None
+
+    def index(self, addr: int) -> SetIndex:
+        """Resolve ``addr`` to its (slice, set) in this cache level."""
+        line = validate_address(addr) >> LINE_OFFSET_BITS
+        set_idx = line & self._set_mask
+        if self.slice_hash is None:
+            return SetIndex(slice=0, set=set_idx)
+        return SetIndex(slice=self.slice_hash.slice_of(line), set=set_idx)
+
+    def congruent(self, a: int, b: int) -> bool:
+        """True when two addresses map to the same slice and set."""
+        return self.index(a) == self.index(b)
+
+    def set_bits(self) -> int:
+        """Number of address bits consumed by the set index."""
+        return self._set_mask.bit_length()

@@ -1,0 +1,35 @@
+"""Simulation layer: machine assembly and the discrete-event scheduler."""
+
+from .machine import Machine
+from .process import (
+    SimProcess,
+    Load,
+    TimedLoad,
+    PrefetchNTA,
+    TimedPrefetchNTA,
+    PrefetchT0,
+    Clflush,
+    WaitUntil,
+    Sleep,
+    ReadTSC,
+    StreamLoad,
+    StreamClflush,
+)
+from .scheduler import Scheduler
+
+__all__ = [
+    "Machine",
+    "SimProcess",
+    "Scheduler",
+    "Load",
+    "TimedLoad",
+    "PrefetchNTA",
+    "TimedPrefetchNTA",
+    "PrefetchT0",
+    "Clflush",
+    "WaitUntil",
+    "Sleep",
+    "ReadTSC",
+    "StreamLoad",
+    "StreamClflush",
+]

@@ -1,0 +1,140 @@
+"""Machine assembly: config + hierarchy + timing + cores + physical memory."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..cache.hierarchy import CacheHierarchy
+from ..cache.replacement import ReplacementPolicy
+from ..config import PlatformConfig, SKYLAKE, KABY_LAKE
+from ..cpu.core import Core
+from ..cpu.timing import TimingModel
+from ..mem.allocator import AddressSpace, PageAllocator
+from ..mem.layout import CacheSetMapping
+
+
+class Machine:
+    """A simulated multi-core machine.
+
+    The usual entry point of the library::
+
+        machine = Machine.skylake(seed=1)
+        attacker = machine.cores[0]
+        space = machine.address_space("attacker")
+
+    ``clock`` is the sequential-execution clock used when cores run without
+    the discrete-event scheduler (single-threaded experiments).
+    """
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        seed: int = 0,
+        llc_policy_factory: Optional[Callable[[int], ReplacementPolicy]] = None,
+        llc_mapping: Optional[CacheSetMapping] = None,
+    ):
+        self.config = config
+        self.rng = random.Random(seed)
+        self.hierarchy = CacheHierarchy(
+            config, llc_policy_factory=llc_policy_factory, llc_mapping=llc_mapping
+        )
+        self.timing = TimingModel(config.latency, config.noise, self.rng)
+        self.cores: List[Core] = [Core(self, c) for c in range(config.cores)]
+        self.allocator = PageAllocator(self.rng)
+        self.clock = 0
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def skylake(cls, seed: int = 0, **kwargs) -> "Machine":
+        """The paper's Core i7-6700 test machine."""
+        return cls(SKYLAKE, seed=seed, **kwargs)
+
+    @classmethod
+    def kaby_lake(cls, seed: int = 0, **kwargs) -> "Machine":
+        """The paper's Core i7-7700K test machine."""
+        return cls(KABY_LAKE, seed=seed, **kwargs)
+
+    # -- memory ------------------------------------------------------------
+
+    def address_space(self, name: str = "proc") -> AddressSpace:
+        """A fresh process address space on this machine's physical memory."""
+        return AddressSpace(self.allocator, name=name)
+
+    def llc_eviction_set(
+        self, space: AddressSpace, target: int, size: Optional[int] = None
+    ) -> List[int]:
+        """Ground-truth eviction set for ``target`` drawn from ``space``.
+
+        The paper's threat model assumes both parties can construct eviction
+        sets (Section IV-A), so channel experiments use this shortcut; the
+        honest search lives in :mod:`repro.attacks.evset`.
+        """
+        if size is None:
+            size = self.config.llc.ways + 1
+        return space.congruent_lines(self.hierarchy.llc_mapping, target, size)
+
+    def private_eviction_lines(
+        self, space: AddressSpace, target: int, size: Optional[int] = None
+    ) -> List[int]:
+        """Lines that conflict with ``target`` in L1/L2 but not in the LLC.
+
+        Used by the Section III experiments to evict a line from the private
+        caches while leaving its LLC state untouched (Figure 4, Step 1).
+        """
+        if size is None:
+            size = self.config.l1.ways + self.config.l2.ways + 1
+        l1_map = self.hierarchy.l1_mapping
+        l2_map = self.hierarchy.l2_mapping
+        llc_map = self.hierarchy.llc_mapping
+        found: List[int] = []
+        for line in space.candidate_lines(offset=target % 4096 // 64 * 64):
+            if line == target:
+                continue
+            if (
+                l1_map.congruent(line, target)
+                and l2_map.congruent(line, target)
+                and not llc_map.congruent(line, target)
+            ):
+                found.append(line)
+                if len(found) == size:
+                    return found
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def llc_ways(self) -> int:
+        return self.config.llc.ways
+
+    def miss_threshold(self) -> int:
+        """Noise-free hit/miss discrimination threshold (the paper's Th0)."""
+        return self.timing.default_miss_threshold()
+
+    def flush_lines(self, addrs) -> None:
+        for addr in addrs:
+            self.hierarchy.clflush(addr, self.clock)
+
+    def reset_stats(self) -> None:
+        self.hierarchy.reset_stats()
+        for core in self.cores:
+            core.reset_counters()
+
+    def stats_report(self) -> str:
+        """Human-readable access statistics for every cache level."""
+        lines = [f"{self.config.name} @ {self.clock} cycles"]
+        levels = [*self.hierarchy.l1s, *self.hierarchy.l2s, self.hierarchy.llc]
+        header = f"{'level':<8} {'accesses':>9} {'hits':>9} {'misses':>9} {'hit rate':>9} {'evictions':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for level in levels:
+            stats = level.stats
+            lines.append(
+                f"{level.name:<8} {stats.accesses:>9} {stats.hits:>9} "
+                f"{stats.misses:>9} {stats.hit_rate:>9.2%} {stats.evictions:>10}"
+            )
+        refs = sum(core.memory_references for core in self.cores)
+        flushes = sum(core.flushes for core in self.cores)
+        lines.append(f"cores: {refs} memory references, {flushes} flushes")
+        return "\n".join(lines)

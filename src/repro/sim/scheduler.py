@@ -1,0 +1,150 @@
+"""Discrete-event scheduler interleaving processes against shared caches.
+
+The scheduler always runs the process with the smallest local clock, executes
+its next yielded operation atomically at that timestamp, and advances the
+process's clock by the operation's latency.  Shared-LLC interactions between
+processes therefore occur in global time order, which is what makes the
+cross-core races of the paper (sender vs. receiver prefetches, victim vs.
+attacker accesses) observable in simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Optional
+
+from ..errors import SimulationError
+from .machine import Machine
+from .process import (
+    Clflush,
+    Load,
+    Op,
+    PrefetchNTA,
+    PrefetchT0,
+    Program,
+    ReadTSC,
+    SimProcess,
+    Sleep,
+    StreamClflush,
+    StreamLoad,
+    TimedLoad,
+    TimedPrefetchNTA,
+    WaitUntil,
+)
+
+
+class Scheduler:
+    """Runs :class:`SimProcess` programs on a shared :class:`Machine`."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.processes: List[SimProcess] = []
+        self._counter = itertools.count()
+
+    def spawn(
+        self, name: str, core_id: int, program: Program, start_time: int = 0
+    ) -> SimProcess:
+        """Register a process; cores may host at most one process at a time."""
+        if not 0 <= core_id < len(self.machine.cores):
+            raise SimulationError(f"core {core_id} out of range for {name!r}")
+        for proc in self.processes:
+            if proc.core_id == core_id and not proc.finished:
+                raise SimulationError(
+                    f"core {core_id} already busy with {proc.name!r}"
+                )
+        proc = SimProcess(name, core_id, program, start_time)
+        self.processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, proc: SimProcess, op: Op) -> Any:
+        """Execute ``op`` at ``proc.time``; advance the clock; return result."""
+        core = self.machine.cores[proc.core_id]
+        now = proc.time
+        if isinstance(op, Load):
+            result = core.load(op.addr, at=now)
+            proc.time += result.latency
+            return result
+        if isinstance(op, TimedLoad):
+            timed = core.timed_load(op.addr, at=now)
+            proc.time += timed.cycles
+            return timed
+        if isinstance(op, PrefetchNTA):
+            result = core.prefetchnta(op.addr, at=now)
+            # Non-blocking: the hint retires immediately; the fill is in
+            # flight until the line's busy_until.
+            proc.time += self.machine.config.latency.prefetch_issue
+            return result
+        if isinstance(op, TimedPrefetchNTA):
+            timed = core.timed_prefetchnta(op.addr, at=now)
+            proc.time += timed.cycles
+            return timed
+        if isinstance(op, PrefetchT0):
+            result = core.prefetcht0(op.addr, at=now)
+            proc.time += result.latency
+            return result
+        if isinstance(op, Clflush):
+            result = core.clflush(op.addr, at=now)
+            proc.time += result.latency
+            return result
+        if isinstance(op, StreamClflush):
+            result = core.clflush(op.addr, at=now)
+            mlp = max(1, self.machine.config.latency.stream_mlp)
+            proc.time += max(1, result.latency // mlp)
+            return result
+        if isinstance(op, WaitUntil):
+            proc.time = max(proc.time, op.time)
+            # Returning the arrival time gives programs a free lateness
+            # check (they learn whether the wait actually waited).
+            return proc.time
+        if isinstance(op, StreamLoad):
+            result = core.load(op.addr, at=now)
+            mlp = max(1, self.machine.config.latency.stream_mlp)
+            proc.time += max(1, result.latency // mlp)
+            return result
+        if isinstance(op, ReadTSC):
+            stamp = proc.time
+            proc.time += self.machine.config.latency.measure_overhead // 2
+            return stamp
+        if isinstance(op, Sleep):
+            if op.cycles < 0:
+                raise SimulationError(f"negative sleep from {proc.name!r}")
+            proc.time += op.cycles
+            return None
+        raise SimulationError(f"{proc.name!r} yielded unknown op {op!r}")
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until every process finishes (or the time horizon passes).
+
+        ``until`` bounds simulated time: a process whose clock passes the
+        horizon is suspended permanently (its generator is closed).
+        """
+        heap: List[tuple] = []
+        for proc in self.processes:
+            if not proc.finished:
+                heapq.heappush(heap, (proc.time, next(self._counter), proc, None))
+        while heap:
+            time, _, proc, send_value = heapq.heappop(heap)
+            if until is not None and time > until:
+                proc.program.close()
+                proc.finished = True
+                continue
+            try:
+                op = proc.program.send(send_value)
+            except StopIteration as stop:
+                proc.finished = True
+                proc.result = stop.value
+                continue
+            result = self._execute(proc, op)
+            heapq.heappush(heap, (proc.time, next(self._counter), proc, result))
+        # Keep the sequential clock monotone with the simulated world so a
+        # later non-scheduled experiment on the same machine starts "after".
+        latest = max((p.time for p in self.processes), default=0)
+        self.machine.clock = max(self.machine.clock, latest)
+
+    def run_all(self, until: Optional[int] = None) -> List[Any]:
+        """Run and return each process's program return value, in spawn order."""
+        self.run(until=until)
+        return [proc.result for proc in self.processes]

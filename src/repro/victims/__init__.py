@@ -1,0 +1,20 @@
+"""Victim and background programs run against the attacks."""
+
+from .noise import NoiseConfig, background_noise_program, make_noise_lines
+from .periodic import periodic_accessor_program
+from .rsa import SquareAndMultiplyRSA
+from .rsa_process import square_and_multiply_program
+from .aes import ToyAES, TTABLE_LINES
+from .keystroke import keystroke_program
+
+__all__ = [
+    "NoiseConfig",
+    "background_noise_program",
+    "make_noise_lines",
+    "periodic_accessor_program",
+    "SquareAndMultiplyRSA",
+    "square_and_multiply_program",
+    "ToyAES",
+    "TTABLE_LINES",
+    "keystroke_program",
+]

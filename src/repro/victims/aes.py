@@ -1,0 +1,73 @@
+"""A toy T-table AES victim.
+
+First-round T-table AES leaks the upper nibble of ``plaintext ^ key`` per
+byte through which 64-byte table line each lookup touches — the textbook
+target of Prime+Probe-style attacks.  This victim implements the memory
+behaviour of the first round only (four 1 KiB tables, one lookup per state
+byte); the arithmetic itself is irrelevant to the cache channel and is
+modelled as fixed work.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..mem.allocator import AddressSpace
+from ..sim.machine import Machine
+
+#: Each 1 KiB T-table spans 16 cache lines of 16 four-byte entries.
+TTABLE_LINES = 16
+#: Number of T-tables.
+N_TABLES = 4
+#: Cycles of arithmetic per round.
+ROUND_WORK_CYCLES = 160
+
+
+class ToyAES:
+    """Sequential-mode AES victim exposing its first-round access pattern."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        core_id: int,
+        shared_space: Optional[AddressSpace] = None,
+        key: Optional[Sequence[int]] = None,
+        seed: int = 0,
+    ):
+        self.machine = machine
+        self.core = machine.cores[core_id]
+        rng = random.Random(seed)
+        if shared_space is None:
+            shared_space = machine.address_space("libaes")
+        pages = shared_space.alloc_pages(N_TABLES)
+        #: table_lines[t][i] is line i of T-table t.
+        self.table_lines: List[List[int]] = [
+            [page + i * 64 for i in range(TTABLE_LINES)] for page in pages
+        ]
+        if key is None:
+            key = [rng.randrange(256) for _ in range(16)]
+        if len(key) != 16 or any(not 0 <= b <= 255 for b in key):
+            raise SimulationError("key must be 16 bytes")
+        self.key: List[int] = list(key)
+
+    def first_round_lines(self, plaintext: Sequence[int]) -> List[int]:
+        """Ground truth: the table lines the first round touches."""
+        self._check_block(plaintext)
+        lines = []
+        for i, byte in enumerate(plaintext):
+            index = (byte ^ self.key[i]) >> 4
+            lines.append(self.table_lines[i % N_TABLES][index])
+        return lines
+
+    def encrypt_block(self, plaintext: Sequence[int]) -> None:
+        """Perform the first round's memory accesses for one block."""
+        for line in self.first_round_lines(plaintext):
+            self.core.load(line)
+        self.machine.clock += ROUND_WORK_CYCLES
+
+    @staticmethod
+    def _check_block(block: Sequence[int]) -> None:
+        if len(block) != 16 or any(not 0 <= b <= 255 for b in block):
+            raise SimulationError("plaintext must be 16 bytes")

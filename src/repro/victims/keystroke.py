@@ -1,0 +1,48 @@
+"""A keystroke-handling victim for inter-keystroke timing attacks.
+
+Keystroke timing is the classic application of high-temporal-resolution
+monitors (the Prime+Scope line of work): each keypress runs a handler whose
+code/data line the attacker monitors, and the *intervals between* presses
+leak what is being typed.  The victim here "types" a string with
+human-scale, per-character gaps; the ground-truth press times are logged so
+an experiment can score how precisely a spy recovers them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..errors import SimulationError
+from ..sim.process import Load, ReadTSC, Sleep
+
+#: Cycles per millisecond at 3.4 GHz ~ 3.4M; scaled down so simulations stay
+#: cheap while keeping gaps >> the spy's ~1K-cycle re-prime.
+BASE_GAP_CYCLES = 30_000
+
+
+def keystroke_program(
+    handler_line: int,
+    text: str,
+    press_log: List[int],
+    seed: int = 0,
+    base_gap: int = BASE_GAP_CYCLES,
+):
+    """Type ``text``, touching the handler line once per character.
+
+    Gaps are drawn per character: a base interval plus character-dependent
+    jitter (digraph timing), the structure keystroke-timing attacks mine.
+    """
+    if not text:
+        raise SimulationError("nothing to type")
+    if base_gap <= 0:
+        raise SimulationError(f"base_gap must be positive, got {base_gap}")
+    rng = random.Random(seed)
+    for character in text:
+        gap = base_gap + (ord(character) % 17) * (base_gap // 40)
+        gap += rng.randrange(base_gap // 20)
+        yield Sleep(gap)
+        stamp = yield ReadTSC()
+        yield Load(handler_line)
+        press_log.append(stamp)
+    return press_log

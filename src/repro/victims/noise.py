@@ -1,0 +1,86 @@
+"""Background cache noise.
+
+Section IV-B3: a conflict-based channel is disturbed by "other processes
+accessing data mapped to the target LLC set".  This module models the
+aggregate of such third-party activity as a single process that issues loads
+at a configurable rate; a configurable fraction of those loads is congruent
+with the channel's target sets (most real traffic misses them entirely, so
+modelling only the hitting fraction keeps simulation cheap while producing
+the same error process).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..errors import ChannelError
+from ..sim.machine import Machine
+from ..sim.process import Load, Sleep
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Aggregate third-party traffic model.
+
+    ``gap_cycles``: mean cycles between two noise accesses.
+    ``target_bias``: probability that a noise access is congruent with one
+    of the channel's target LLC sets (the rest land elsewhere and are
+    harmless but still simulated for hierarchy realism).
+    """
+
+    gap_cycles: int = 2000
+    target_bias: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.gap_cycles <= 0:
+            raise ChannelError(f"gap_cycles must be positive, got {self.gap_cycles}")
+        if not 0.0 <= self.target_bias <= 1.0:
+            raise ChannelError(f"target_bias must be in [0,1], got {self.target_bias}")
+
+
+def make_noise_lines(
+    machine: Machine,
+    target_lines: Sequence[int],
+    congruent_per_target: int = 24,
+    background_lines: int = 64,
+    name: str = "noise",
+) -> tuple[List[int], List[int]]:
+    """Allocate the noise process's working set.
+
+    Returns ``(target_congruent, background)`` line lists: the former are
+    congruent with the given channel target lines, the latter land in
+    arbitrary sets.  The congruent pool must be large enough that reuse is
+    rare — real third-party traffic streams *distinct* lines through a set,
+    and a resident noise line's re-access is a harmless hit that evicts
+    nothing.
+    """
+    space = machine.address_space(name)
+    mapping = machine.hierarchy.llc_mapping
+    congruent: List[int] = []
+    for target in target_lines:
+        congruent.extend(space.congruent_lines(mapping, target, congruent_per_target))
+    background = space.lines_with_offset(0, count=background_lines)
+    return congruent, background
+
+
+def background_noise_program(
+    congruent_lines: Sequence[int],
+    background_lines: Sequence[int],
+    config: NoiseConfig,
+    rng: random.Random,
+):
+    """Endless noise loop; terminate it with the scheduler's time horizon."""
+    if not background_lines:
+        raise ChannelError("noise needs at least one background line")
+    congruent = list(congruent_lines)
+    background = list(background_lines)
+    while True:
+        if congruent and rng.random() < config.target_bias:
+            line = rng.choice(congruent)
+        else:
+            line = rng.choice(background)
+        yield Load(line)
+        # Exponential gaps model a Poisson access process.
+        yield Sleep(max(1, int(rng.expovariate(1.0 / config.gap_cycles))))

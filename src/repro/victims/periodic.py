@@ -1,0 +1,35 @@
+"""The Section V-A3 ground-truth victim: a periodic accessor (thread T1)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import SimulationError
+from ..sim.process import Load, ReadTSC, WaitUntil
+
+
+def periodic_accessor_program(
+    victim_line: int,
+    period: int,
+    until_time: int,
+    log: List[int],
+    start: int = 0,
+):
+    """Touch ``victim_line`` every ``period`` cycles, logging each access.
+
+    In the steady state the attacker's priming evicts the line from every
+    cache level, so each periodic access reaches the LLC and displaces the
+    eviction candidate — the event a scope loop is waiting for.
+    """
+    if period <= 0:
+        raise SimulationError(f"period must be positive, got {period}")
+    slot = 1
+    while True:
+        target = start + slot * period
+        if target > until_time:
+            return log
+        yield WaitUntil(target)
+        stamp = yield ReadTSC()
+        yield Load(victim_line)
+        log.append(stamp)
+        slot += 1

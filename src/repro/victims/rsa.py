@@ -1,0 +1,72 @@
+"""A square-and-multiply RSA victim.
+
+The classic cache-side-channel target: left-to-right binary exponentiation
+executes a *square* for every exponent bit and a *multiply* only for the 1
+bits, so the instruction/data cache footprint of the multiply routine leaks
+the private exponent.  The multiply routine line is allocated from a shared
+address space (shared-library threat model), which is exactly what the
+Reload+Refresh / Prefetch+Refresh attacks monitor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..mem.allocator import AddressSpace
+from ..sim.machine import Machine
+
+#: Cycles of arithmetic work per modular operation (square or multiply).
+MODOP_WORK_CYCLES = 420
+
+
+class SquareAndMultiplyRSA:
+    """Sequential-mode victim processing one exponent bit at a time."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        core_id: int,
+        shared_space: Optional[AddressSpace] = None,
+        key_bits: Optional[Sequence[int]] = None,
+        seed: int = 0,
+    ):
+        self.machine = machine
+        self.core = machine.cores[core_id]
+        rng = random.Random(seed)
+        if shared_space is None:
+            shared_space = machine.address_space("libcrypto")
+        page = shared_space.alloc_pages(1)[0]
+        #: Code line of the squaring routine (touched every bit).
+        self.square_line = page
+        #: Code line of the multiply routine (touched only for 1 bits) —
+        #: the line an attacker monitors.
+        self.multiply_line = page + 17 * 64
+        if key_bits is None:
+            key_bits = [rng.randint(0, 1) for _ in range(64)]
+        for bit in key_bits:
+            if bit not in (0, 1):
+                raise SimulationError(f"key bits must be 0/1, got {bit!r}")
+        self.key_bits: List[int] = list(key_bits)
+        self._position = 0
+
+    @property
+    def finished(self) -> bool:
+        return self._position >= len(self.key_bits)
+
+    def reset(self) -> None:
+        self._position = 0
+
+    def process_next_bit(self) -> int:
+        """Execute one exponent bit's worth of the loop; returns the bit."""
+        if self.finished:
+            raise SimulationError("exponent fully processed; call reset()")
+        bit = self.key_bits[self._position]
+        self._position += 1
+        self.core.load(self.square_line)
+        self.machine.clock += MODOP_WORK_CYCLES
+        if bit:
+            self.core.load(self.multiply_line)
+            self.machine.clock += MODOP_WORK_CYCLES
+        return bit

@@ -1,0 +1,45 @@
+"""The square-and-multiply victim as a free-running scheduler process.
+
+Unlike :class:`~repro.victims.rsa.SquareAndMultiplyRSA` (which the attacker
+steps in lock-step, useful for controlled measurements), this program runs
+the exponentiation loop on its own core in real time.  A concurrent spy
+must recover the key purely from *when* the multiply-routine line gets
+touched — the realistic setting for the Prime+Scope-style monitors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import SimulationError
+from ..sim.process import Load, ReadTSC, Sleep
+
+#: Cycles of arithmetic per modular operation.  Chosen so one exponent bit
+#: takes 3-6K cycles — the same order as real modular multiplication on the
+#: modelled parts, and comfortably above the spy's ~1K-cycle re-prime.
+MODOP_WORK_CYCLES = 2600
+
+
+def square_and_multiply_program(
+    square_line: int,
+    multiply_line: int,
+    key_bits: Sequence[int],
+    schedule: List[dict],
+):
+    """Process one exponent bit per loop iteration, logging ground truth.
+
+    ``schedule`` receives one record per bit: the bit value and the window
+    (start/end stamps) in which the multiply access — if any — happened.
+    """
+    for bit in key_bits:
+        if bit not in (0, 1):
+            raise SimulationError(f"key bits must be 0/1, got {bit!r}")
+        start = yield ReadTSC()
+        yield Load(square_line)
+        yield Sleep(MODOP_WORK_CYCLES)
+        if bit:
+            yield Load(multiply_line)
+            yield Sleep(MODOP_WORK_CYCLES)
+        end = yield ReadTSC()
+        schedule.append({"bit": bit, "start": start, "end": end})
+    return schedule

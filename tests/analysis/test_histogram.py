@@ -1,0 +1,54 @@
+"""Tests for text histograms and CDF plots."""
+
+import pytest
+
+from repro.analysis.histogram import ascii_cdf, ascii_histogram
+from repro.errors import ReproError
+
+
+class TestHistogram:
+    def test_buckets_and_counts(self):
+        text = ascii_histogram([5, 6, 7, 25, 45], bucket=20)
+        assert "(3)" in text  # bucket 0-19
+        assert text.count("\n") == 2  # three buckets
+
+    def test_single_value(self):
+        text = ascii_histogram([66] * 10, bucket=20)
+        assert "(10)" in text
+        assert "60-79" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_histogram([])
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_histogram([1], bucket=0)
+        with pytest.raises(ReproError):
+            ascii_histogram([1], width=0)
+
+
+class TestCdfPlot:
+    def test_two_populations_render_with_legend(self):
+        text = ascii_cdf(
+            [("fast", [60, 65, 70, 72]), ("slow", [200, 220, 230, 250])]
+        )
+        assert "* fast" in text and "o slow" in text
+        assert "1.0 |" in text and "0.0 |" in text
+        assert "cycles" in text
+
+    def test_separated_populations_occupy_different_columns(self):
+        text = ascii_cdf([("a", [10] * 5), ("b", [1000] * 5)], width=40)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        star_cols = {l.index("*") for l in plot_rows if "*" in l}
+        o_cols = {l.index("o") for l in plot_rows if "o" in l}
+        assert star_cols and o_cols
+        assert max(star_cols) < min(o_cols)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_cdf([])
+
+    def test_degenerate_range_handled(self):
+        text = ascii_cdf([("x", [100, 100, 100])])
+        assert "x" in text

@@ -1,0 +1,33 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.reporting import comparison_table, format_table
+from repro.errors import ReproError
+
+
+def test_basic_table_alignment():
+    text = format_table(("a", "bee"), [(1, 2), (333, 4)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bee" in lines[1]
+    assert len(lines) == 5
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ReproError):
+        format_table(("a", "b"), [(1,)])
+
+
+def test_empty_headers_rejected():
+    with pytest.raises(ReproError):
+        format_table((), [])
+
+
+def test_comparison_table():
+    text = comparison_table(
+        "Table II", "KB/s", [("NTP+NTP", 302, 304), ("Prime+Probe", 86, 85)]
+    )
+    assert "Table II" in text
+    assert "NTP+NTP" in text
+    assert "paper KB/s" in text

@@ -1,0 +1,63 @@
+"""Tests for experiment-result serialization."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.results_io import load_result, result_to_dict, save_result
+from repro.attacks.reload_refresh import RevertCosts
+from repro.cache.hierarchy import Level
+from repro.errors import ReproError
+
+
+@dataclasses.dataclass
+class Inner:
+    count: int
+    rate: float
+
+
+@dataclasses.dataclass
+class Outer:
+    name: str
+    inner: Inner
+    values: list
+    table: dict
+
+
+def test_nested_dataclass_roundtrip(tmp_path):
+    result = Outer(
+        name="x",
+        inner=Inner(count=3, rate=0.5),
+        values=[1, 2, (3, 4)],
+        table={"a": Inner(count=1, rate=1.0)},
+    )
+    path = save_result(result, tmp_path / "artifacts" / "outer.json")
+    loaded = load_result(path)
+    assert loaded["__dataclass__"] == "Outer"
+    assert loaded["inner"]["count"] == 3
+    assert loaded["values"][2] == [3, 4]
+    assert loaded["table"]["a"]["rate"] == 1.0
+
+
+def test_real_result_types_serialize():
+    data = result_to_dict(RevertCosts(flushes=2, dram_accesses=2, llc_accesses=14))
+    assert data["llc_accesses"] == 14
+
+
+def test_enum_values_serialize():
+    assert result_to_dict({"level": Level.DRAM})["level"] == "DRAM"
+
+
+def test_unserializable_rejected():
+    with pytest.raises(ReproError):
+        result_to_dict({"bad": object()})
+
+
+def test_non_dict_toplevel_rejected():
+    with pytest.raises(ReproError):
+        result_to_dict([1, 2, 3])
+
+
+def test_missing_artifact_rejected(tmp_path):
+    with pytest.raises(ReproError):
+        load_result(tmp_path / "nope.json")

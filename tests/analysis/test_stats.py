@@ -1,0 +1,59 @@
+"""Tests for statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import SampleSummary, cdf, percentile, summarize
+from repro.errors import ReproError
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_bounds(self):
+        assert percentile([10, 20], 0) == 10
+        assert percentile([10, 20], 100) == 20
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ReproError):
+            percentile([1], 101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            percentile([], 50)
+
+
+class TestCDF:
+    def test_shape(self):
+        xs, ys = cdf([3, 1, 2])
+        assert xs == [1, 2, 3]
+        assert ys == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            cdf([])
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
+    def test_cdf_is_monotone_and_ends_at_one(self, samples):
+        xs, ys = cdf(samples)
+        assert xs == sorted(xs)
+        assert all(a <= b for a, b in zip(ys, ys[1:]))
+        assert ys[-1] == pytest.approx(1.0)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1, 2, 3, 4, 100])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(22.0)
+        assert summary.p50 == 3
+        assert summary.minimum == 1
+        assert summary.maximum == 100
+
+    def test_str_renders(self):
+        assert "mean=" in str(summarize([1, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])

@@ -1,0 +1,66 @@
+"""Tests for shared channel plumbing."""
+
+import pytest
+
+from repro.attacks.common import ChannelResult, make_channel_setups
+from repro.errors import ChannelError
+
+
+class TestChannelResult:
+    def make(self, sent, received, interval=1400, bits_per_slot=1):
+        return ChannelResult(
+            sent_bits=sent,
+            received_bits=received,
+            interval=interval,
+            frequency_hz=3.4e9,
+            bits_per_slot=bits_per_slot,
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ChannelError):
+            self.make([1, 0], [1])
+
+    def test_rates(self):
+        result = self.make([1, 0, 1, 1], [1, 0, 1, 1])
+        assert result.cycles_per_bit == 1400
+        assert result.raw_rate_kb_per_s == pytest.approx(3.4e9 / 1400 / 8000)
+        assert result.capacity_kb_per_s == pytest.approx(result.raw_rate_kb_per_s)
+
+    def test_bits_per_slot_doubles_rate(self):
+        one = self.make([1, 0], [1, 0], interval=1000, bits_per_slot=1)
+        two = self.make([1, 0], [1, 0], interval=1000, bits_per_slot=2)
+        assert two.raw_rate_kb_per_s == pytest.approx(2 * one.raw_rate_kb_per_s)
+
+    def test_errors_reduce_capacity(self):
+        clean = self.make([1, 0, 1, 0], [1, 0, 1, 0])
+        noisy = self.make([1, 0, 1, 0], [1, 1, 1, 0])
+        assert noisy.bit_error_rate == 0.25
+        assert noisy.capacity_kb_per_s < clean.capacity_kb_per_s
+
+    def test_summary_mentions_metrics(self):
+        text = self.make([1], [1]).summary()
+        assert "BER" in text and "capacity" in text
+
+
+class TestMakeChannelSetups:
+    def test_setups_are_congruent_pairs(self, skylake_machine):
+        machine = skylake_machine
+        setups = make_channel_setups(machine, 2)
+        mapping = machine.hierarchy.llc_mapping
+        assert len(setups) == 2
+        for setup in setups:
+            assert mapping.congruent(setup.sender_line, setup.receiver_line)
+            assert len(setup.receiver_evset) == machine.llc_ways
+            for line in setup.receiver_evset:
+                assert mapping.congruent(line, setup.receiver_line)
+
+    def test_distinct_sets(self, skylake_machine):
+        setups = make_channel_setups(skylake_machine, 2)
+        mapping = skylake_machine.hierarchy.llc_mapping
+        assert not mapping.congruent(
+            setups[0].receiver_line, setups[1].receiver_line
+        )
+
+    def test_zero_sets_rejected(self, skylake_machine):
+        with pytest.raises(ChannelError):
+            make_channel_setups(skylake_machine, 0)

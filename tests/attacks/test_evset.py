@@ -1,0 +1,81 @@
+"""Tests for eviction-set construction (Algorithm 2 and the baseline)."""
+
+import pytest
+
+from repro.attacks.evset import (
+    build_eviction_set_baseline,
+    build_eviction_set_prefetch,
+    verify_eviction_set,
+)
+from repro.errors import AttackError
+from repro.sim.machine import Machine
+
+
+def setup_search(seed=60):
+    machine = Machine.skylake(seed=seed)
+    target = machine.address_space("victim").alloc_pages(1)[0]
+    space = machine.address_space("attacker")
+    candidates = space.candidate_lines(offset=target % 4096 // 64 * 64)
+    return machine, target, candidates
+
+
+class TestPrefetchConstruction:
+    def test_finds_fully_congruent_set(self):
+        machine, target, candidates = setup_search()
+        result = build_eviction_set_prefetch(
+            machine, machine.cores[0], target, candidates, size=8
+        )
+        assert len(result.lines) == 8
+        assert verify_eviction_set(machine, target, result.lines) == 1.0
+
+    def test_counts_references_and_cycles(self):
+        machine, target, candidates = setup_search(seed=61)
+        result = build_eviction_set_prefetch(
+            machine, machine.cores[0], target, candidates, size=4
+        )
+        assert result.memory_references > 2 * result.candidates_tested
+        assert result.cycles > 0
+        assert result.execution_time_ms(3.4e9) > 0
+
+    def test_candidate_exhaustion_raises(self):
+        machine, target, candidates = setup_search(seed=62)
+        with pytest.raises(AttackError):
+            build_eviction_set_prefetch(
+                machine, machine.cores[0], target, candidates,
+                size=4, max_candidates=10,
+            )
+
+
+class TestBaselineConstruction:
+    def test_finds_congruent_set(self):
+        machine, target, candidates = setup_search(seed=63)
+        result = build_eviction_set_baseline(
+            machine, machine.cores[0], target, candidates, size=4
+        )
+        assert len(result.lines) == 4
+        assert verify_eviction_set(machine, target, result.lines) >= 0.75
+
+    def test_costs_much_more_than_prefetch(self):
+        """Section VI-A: the prefetch method wins by a large factor."""
+        machine_a, target_a, candidates_a = setup_search(seed=64)
+        baseline = build_eviction_set_baseline(
+            machine_a, machine_a.cores[0], target_a, candidates_a, size=6
+        )
+        machine_b, target_b, candidates_b = setup_search(seed=64)
+        prefetch = build_eviction_set_prefetch(
+            machine_b, machine_b.cores[0], target_b, candidates_b, size=6
+        )
+        assert baseline.memory_references > 3 * prefetch.memory_references
+
+
+class TestVerify:
+    def test_empty_set_scores_zero(self, skylake_machine):
+        assert verify_eviction_set(skylake_machine, 0, []) == 0.0
+
+    def test_partial_score(self, skylake_machine):
+        machine = skylake_machine
+        space = machine.address_space("x")
+        target = space.alloc_pages(1)[0]
+        good = space.congruent_lines(machine.hierarchy.llc_mapping, target, 2)
+        bad = [target + 64]  # same page, different set
+        assert verify_eviction_set(machine, target, good + bad) == pytest.approx(2 / 3)

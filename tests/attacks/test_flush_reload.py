@@ -1,0 +1,79 @@
+"""Tests for the shared-memory monitoring baselines."""
+
+import pytest
+
+from repro.attacks.flush_reload import EvictReload, FlushFlush, FlushReload
+from repro.errors import AttackError
+from repro.sim.machine import Machine
+
+TRUTH = [True, False, True, True, False, False, True, False] * 4
+
+
+def accuracy(attack):
+    attack.prepare()
+    results = attack.run_trace(TRUTH)
+    return sum(r.detected == t for r, t in zip(results, TRUTH)) / len(TRUTH)
+
+
+class TestFlushReload:
+    def test_tracks_victim(self):
+        assert accuracy(FlushReload(Machine.skylake(seed=120))) >= 0.95
+
+    def test_measurement_bands(self):
+        attack = FlushReload(Machine.skylake(seed=121))
+        attack.prepare()
+        hit = attack.run_iteration(victim_accesses=True)
+        miss = attack.run_iteration(victim_accesses=False)
+        assert hit.measured_cycles < 150 < miss.measured_cycles
+
+    def test_same_core_rejected(self):
+        with pytest.raises(AttackError):
+            FlushReload(Machine.skylake(seed=122), attacker_core=1, victim_core=1)
+
+
+class TestFlushFlush:
+    def test_tracks_victim(self):
+        assert accuracy(FlushFlush(Machine.skylake(seed=123))) >= 0.9
+
+    def test_attacker_performs_no_loads(self):
+        """The stealth property: zero attacker memory accesses per iteration."""
+        machine = Machine.skylake(seed=124)
+        attack = FlushFlush(machine)
+        attack.prepare()
+        refs_before = attack.attacker.memory_references
+        attack.run_trace(TRUTH)
+        assert attack.attacker.memory_references == refs_before
+
+    def test_flush_timing_separates(self):
+        machine = Machine.skylake(seed=125)
+        attack = FlushFlush(machine)
+        attack.prepare()
+        active = attack.run_iteration(victim_accesses=True)
+        idle = attack.run_iteration(victim_accesses=False)
+        assert active.measured_cycles > idle.measured_cycles
+
+
+class TestEvictReload:
+    def test_tracks_victim(self):
+        assert accuracy(EvictReload(Machine.skylake(seed=126))) >= 0.9
+
+    def test_no_clflush_on_shared_line(self):
+        """The defining property: works without CLFLUSH on the target."""
+        machine = Machine.skylake(seed=127)
+        attack = EvictReload(machine)
+        attack.prepare()
+        flushes_before = attack.attacker.flushes
+        attack.run_trace(TRUTH[:8])
+        assert attack.attacker.flushes == flushes_before
+
+    def test_iteration_costs_more_than_flush_reload(self):
+        """The trade: set-conflict eviction needs w+ references per reset."""
+        machine_a = Machine.skylake(seed=128)
+        fr = FlushReload(machine_a)
+        fr.prepare()
+        fr_lat = sum(r.latency for r in fr.run_trace(TRUTH[:8])) / 8
+        machine_b = Machine.skylake(seed=128)
+        er = EvictReload(machine_b)
+        er.prepare()
+        er_lat = sum(r.latency for r in er.run_trace(TRUTH[:8])) / 8
+        assert er_lat > 3 * fr_lat

@@ -1,0 +1,109 @@
+"""Tests for the NTP+NTP covert channel."""
+
+import pytest
+
+from repro.attacks.ntp_ntp import NTPNTPChannel, run_ntp_ntp_channel
+from repro.errors import ChannelError
+from repro.sim.machine import Machine
+from repro.victims.noise import NoiseConfig
+
+PATTERN = [1, 0, 1, 1, 0, 0, 1, 0] * 4
+
+
+class TestProtocolStateMachine:
+    """The Figure 6 state walkthrough, executed on the real hierarchy."""
+
+    def test_figure6_state_sequence(self, quiet_skylake):
+        machine = quiet_skylake
+        channel = NTPNTPChannel(machine, n_sets=1, noise_core=None)
+        setup = channel.setups[0]
+        h = machine.hierarchy
+        sender, receiver = machine.cores[0], machine.cores[1]
+        # Receiver prepares: fill the set, prefetch dr.
+        for _ in range(2):
+            for line in setup.receiver_evset:
+                receiver.load(line)
+        machine.clock += 1000
+        receiver.prefetchnta(setup.receiver_line)
+        machine.clock += 1000
+        target_set = h.llc_set_of(setup.receiver_line)
+        assert target_set.eviction_candidate(machine.clock) == setup.receiver_line
+        # Sender sends "1": ds evicts dr and becomes the new candidate.
+        sender.prefetchnta(setup.sender_line)
+        machine.clock += 1000
+        assert not h.in_llc(setup.receiver_line)
+        assert target_set.eviction_candidate(machine.clock) == setup.sender_line
+        # Receiver measures: slow prefetch, and the set resets (dr candidate).
+        timed = receiver.timed_prefetchnta(setup.receiver_line)
+        machine.clock += 1000
+        assert timed.cycles > channel.threshold
+        assert not h.in_llc(setup.sender_line)
+        assert target_set.eviction_candidate(machine.clock) == setup.receiver_line
+        # Sender sends "0": receiver's prefetch is fast, state unchanged.
+        timed = receiver.timed_prefetchnta(setup.receiver_line)
+        machine.clock += 1000
+        assert timed.cycles <= channel.threshold
+        assert target_set.eviction_candidate(machine.clock) == setup.receiver_line
+
+
+class TestTransmission:
+    def test_clean_two_set_transmission(self):
+        machine = Machine.skylake(seed=21)
+        result = run_ntp_ntp_channel(machine, PATTERN, interval=1500)
+        assert result.received_bits == PATTERN
+        assert result.bit_error_rate == 0.0
+
+    def test_single_set_transmission_needs_spacing(self):
+        machine = Machine.skylake(seed=22)
+        result = run_ntp_ntp_channel(machine, PATTERN, interval=2600, n_sets=1)
+        assert result.bit_error_rate <= 0.05
+
+    def test_too_fast_interval_collapses(self):
+        machine = Machine.skylake(seed=23)
+        result = run_ntp_ntp_channel(machine, PATTERN * 2, interval=700)
+        assert result.bit_error_rate > 0.2
+
+    def test_capacity_matches_paper_band_at_threshold_rate(self):
+        """At the paper's best interval the capacity lands near 302 KB/s."""
+        machine = Machine.skylake(seed=24)
+        result = run_ntp_ntp_channel(machine, PATTERN * 4, interval=1400)
+        assert result.bit_error_rate < 0.02
+        assert 280 < result.capacity_kb_per_s < 330
+
+    def test_noise_causes_bounded_errors(self):
+        machine = Machine.skylake(seed=25)
+        result = run_ntp_ntp_channel(
+            machine,
+            PATTERN * 8,
+            interval=1500,
+            noise=NoiseConfig(gap_cycles=800, target_bias=0.05),
+        )
+        assert 0.0 < result.bit_error_rate < 0.25
+
+    def test_empty_message_rejected(self):
+        machine = Machine.skylake(seed=26)
+        channel = NTPNTPChannel(machine)
+        with pytest.raises(ChannelError):
+            channel.transmit([], interval=1400)
+
+    def test_bad_bit_rejected(self):
+        machine = Machine.skylake(seed=27)
+        channel = NTPNTPChannel(machine)
+        with pytest.raises(ChannelError):
+            channel.transmit([0, 2, 1], interval=1400)
+
+    def test_same_core_parties_rejected(self):
+        machine = Machine.skylake(seed=28)
+        with pytest.raises(ChannelError):
+            NTPNTPChannel(machine, sender_core=1, receiver_core=1)
+
+    def test_measurements_reported_per_bit(self):
+        machine = Machine.skylake(seed=29)
+        result = run_ntp_ntp_channel(machine, PATTERN, interval=1500)
+        assert len(result.measurements) == len(PATTERN)
+        # "1" bits are slow (DRAM), "0" bits fast.
+        for bit, cycles in zip(result.received_bits, result.measurements):
+            if bit:
+                assert cycles > 200
+            else:
+                assert cycles < 150

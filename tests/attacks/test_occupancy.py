@@ -1,0 +1,55 @@
+"""Tests for the cache-occupancy channel baseline."""
+
+import pytest
+
+from repro.attacks.occupancy import (
+    OccupancyChannel,
+    make_occupancy_demo_machine,
+)
+from repro.errors import ChannelError
+
+PATTERN = [1, 0, 1, 1, 0, 0, 1, 0] * 2
+
+
+class TestValidation:
+    def test_same_core_rejected(self):
+        with pytest.raises(ChannelError):
+            OccupancyChannel(
+                make_occupancy_demo_machine(), sender_core=1, receiver_core=1
+            )
+
+    def test_tiny_buffers_rejected(self):
+        with pytest.raises(ChannelError):
+            OccupancyChannel(make_occupancy_demo_machine(), receiver_lines=4)
+
+    def test_empty_message_rejected(self):
+        channel = OccupancyChannel(make_occupancy_demo_machine(seed=331))
+        with pytest.raises(ChannelError):
+            channel.transmit([], interval=200_000)
+
+
+class TestTransmission:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        machine = make_occupancy_demo_machine(seed=332)
+        channel = OccupancyChannel(
+            machine, receiver_lines=640, sender_lines=1024, seed=1
+        )
+        return channel.transmit(PATTERN, interval=220_000), channel
+
+    def test_clean_transmission(self, outcome):
+        result, _ = outcome
+        assert result.received_bits == PATTERN
+
+    def test_no_targeting_was_needed(self, outcome):
+        """The defining property: plain buffers, no congruence search, no
+        shared memory — and still a working channel."""
+        _, channel = outcome
+        mapping = channel.machine.hierarchy.llc_mapping
+        sets = {mapping.index(line).flat for line in channel.receiver_buffer}
+        assert len(sets) > 100  # covers (almost) the whole LLC, untargeted
+
+    def test_orders_of_magnitude_slower_than_ntp(self, outcome):
+        """The design-space contrast: thousands of references per bit."""
+        result, _ = outcome
+        assert result.raw_rate_kb_per_s < 10  # vs ~300 KB/s for NTP+NTP

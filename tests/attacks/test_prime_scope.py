@@ -1,0 +1,121 @@
+"""Tests for Prime+Scope and Prime+Prefetch+Scope."""
+
+import pytest
+
+from repro.attacks.prime_scope import PrimePrefetchScope, PrimeScope, ScopeOutcome
+from repro.sim.machine import Machine
+from repro.sim.scheduler import Scheduler
+
+
+def make_attack(attack_cls, seed=40):
+    machine = Machine.skylake(seed=seed)
+    victim_line = machine.address_space("victim").alloc_pages(1)[0]
+    return machine, victim_line, attack_cls(machine, 0, victim_line)
+
+
+def run_preps(machine, attack, rounds):
+    scheduler = Scheduler(machine)
+    proc = scheduler.spawn(
+        "attacker", 0, attack.timed_preparation_program(rounds), start_time=machine.clock
+    )
+    scheduler.run()
+    return proc.result
+
+
+class TestPostconditions:
+    @pytest.mark.parametrize("attack_cls", [PrimeScope, PrimePrefetchScope])
+    def test_prep_establishes_scope_line(self, attack_cls):
+        machine, victim_line, attack = make_attack(attack_cls)
+        run_preps(machine, attack, 3)
+        machine.clock += 500  # let the final prefetch's fill complete
+        h = machine.hierarchy
+        target_set = h.llc_set_of(victim_line)
+        assert h.in_l1(0, attack.scope_line), "ls must be private-cache resident"
+        assert (
+            target_set.eviction_candidate(machine.clock) == attack.scope_line
+        ), "ls must be the eviction candidate"
+
+    @pytest.mark.parametrize("attack_cls", [PrimeScope, PrimePrefetchScope])
+    def test_victim_access_evicts_scope_line(self, attack_cls):
+        machine, victim_line, attack = make_attack(attack_cls)
+        run_preps(machine, attack, 3)
+        machine.clock += 500  # let the final prefetch's fill complete
+        machine.cores[1].load(victim_line)
+        assert not machine.hierarchy.in_llc(attack.scope_line)
+        assert not machine.hierarchy.in_l1(0, attack.scope_line)
+
+    @pytest.mark.parametrize("attack_cls", [PrimeScope, PrimePrefetchScope])
+    def test_prep_evicts_resident_victim_line(self, attack_cls):
+        machine, victim_line, attack = make_attack(attack_cls)
+        run_preps(machine, attack, 2)
+        machine.cores[1].load(victim_line)  # victim line resident
+        machine.clock += 1000
+        run_preps(machine, attack, 1)
+        assert not machine.hierarchy.in_llc(victim_line)
+
+
+class TestCosts:
+    def test_reference_counts_match_paper_scale(self):
+        """Paper: 192 references (P+S) vs 33 (P+PS) on the 16-way LLC."""
+        assert PrimePrefetchScope.PREP_REFERENCES == 33
+        assert PrimeScope.PREP_REFERENCES >= 4 * PrimePrefetchScope.PREP_REFERENCES
+
+    def test_pps_prep_is_much_faster(self):
+        machine, _, ps = make_attack(PrimeScope, seed=41)
+        ps_lat = run_preps(machine, ps, 20)
+        machine2, _, pps = make_attack(PrimePrefetchScope, seed=41)
+        pps_lat = run_preps(machine2, pps, 20)
+        ps_mean = sum(ps_lat) / len(ps_lat)
+        pps_mean = sum(pps_lat) / len(pps_lat)
+        assert pps_mean < ps_mean / 1.5
+
+    def test_prep_latency_in_paper_band(self):
+        """Skylake: ~1906 cycles (P+S) and ~1043 (P+PS)."""
+        machine, _, ps = make_attack(PrimeScope, seed=42)
+        ps_lat = run_preps(machine, ps, 20)
+        machine2, _, pps = make_attack(PrimePrefetchScope, seed=42)
+        pps_lat = run_preps(machine2, pps, 20)
+        assert 1500 < sum(ps_lat) / len(ps_lat) < 2600
+        assert 600 < sum(pps_lat) / len(pps_lat) < 1400
+
+
+class TestMonitoring:
+    def test_monitor_detects_sparse_events(self):
+        machine, victim_line, attack = make_attack(PrimePrefetchScope, seed=43)
+        # Sparse events: widen the quiet budget so the monitor spends most
+        # of its time armed rather than re-priming.
+        attack.max_quiet_checks = 64
+        outcome = ScopeOutcome()
+        start = machine.clock
+        until = start + 60_000
+        event_times = [start + 20_000 + i * 6_000 for i in range(5)]
+
+        def victim():
+            from repro.sim.process import Load, WaitUntil
+
+            for at in event_times:
+                yield WaitUntil(at)
+                yield Load(victim_line)
+
+        scheduler = Scheduler(machine)
+        scheduler.spawn(
+            "attacker", 0, attack.monitor_program(until, outcome), start_time=start
+        )
+        scheduler.spawn("victim", 1, victim(), start_time=start)
+        scheduler.run(until=until + 10_000)
+        assert len(outcome.detections) >= 3
+        # Each detection must land shortly after some real event.
+        for stamp in outcome.detections:
+            assert any(0 <= stamp - at <= 1500 for at in event_times), stamp
+
+    def test_monitor_is_quiet_without_victim(self):
+        machine, victim_line, attack = make_attack(PrimePrefetchScope, seed=44)
+        outcome = ScopeOutcome()
+        until = machine.clock + 40_000
+        scheduler = Scheduler(machine)
+        scheduler.spawn(
+            "attacker", 0, attack.monitor_program(until, outcome), start_time=machine.clock
+        )
+        scheduler.run(until=until + 10_000)
+        assert len(outcome.detections) <= 1  # noise spikes at most
+        assert outcome.scope_checks > 100

@@ -1,0 +1,69 @@
+"""Tests for the multi-set redundant NTP+NTP channel (Section IV-B3)."""
+
+import pytest
+
+from repro.attacks.ntp_ntp import NTPNTPChannel
+from repro.attacks.redundant_ntp import RedundantNTPChannel
+from repro.errors import ChannelError
+from repro.sim.machine import Machine
+from repro.victims.noise import NoiseConfig
+
+PATTERN = [1, 0, 1, 1, 0, 0, 1, 0] * 8
+
+
+class TestValidation:
+    def test_even_redundancy_rejected(self):
+        with pytest.raises(ChannelError):
+            RedundantNTPChannel(Machine.skylake(seed=161), redundancy=2)
+
+    def test_same_core_rejected(self):
+        with pytest.raises(ChannelError):
+            RedundantNTPChannel(
+                Machine.skylake(seed=162), sender_core=1, receiver_core=1
+            )
+
+    def test_empty_message_rejected(self):
+        channel = RedundantNTPChannel(Machine.skylake(seed=163))
+        with pytest.raises(ChannelError):
+            channel.transmit([], interval=2400)
+
+    def test_bad_bit_rejected(self):
+        channel = RedundantNTPChannel(Machine.skylake(seed=164))
+        with pytest.raises(ChannelError):
+            channel.transmit([0, 3], interval=2400)
+
+
+class TestTransmission:
+    def test_clean_transmission(self):
+        channel = RedundantNTPChannel(Machine.skylake(seed=165), redundancy=3)
+        result = channel.transmit(PATTERN, interval=2400)
+        assert result.received_bits == PATTERN
+
+    def test_redundancy_one_equals_plain_protocol(self):
+        channel = RedundantNTPChannel(Machine.skylake(seed=166), redundancy=1)
+        result = channel.transmit(PATTERN, interval=1500)
+        assert result.bit_error_rate <= 0.05
+
+    def test_groups_cover_distinct_sets(self):
+        channel = RedundantNTPChannel(Machine.skylake(seed=167), redundancy=3)
+        mapping = channel.machine.hierarchy.llc_mapping
+        lines = [s.receiver_line for group in channel.groups for s in group]
+        for i, a in enumerate(lines):
+            for b in lines[i + 1 :]:
+                assert not mapping.congruent(a, b)
+
+    def test_majority_vote_beats_plain_under_heavy_noise(self):
+        """The Section IV-B3 claim: redundancy buys reliability."""
+        heavy = NoiseConfig(gap_cycles=700, target_bias=0.04)
+        bers_plain = []
+        bers_red = []
+        for seed in (168, 169, 170):
+            plain = NTPNTPChannel(Machine.skylake(seed=seed), seed=1).transmit(
+                PATTERN * 2, 1500, noise=heavy
+            )
+            bers_plain.append(plain.bit_error_rate)
+            red = RedundantNTPChannel(
+                Machine.skylake(seed=seed), redundancy=3, seed=1
+            ).transmit(PATTERN * 2, 2400, noise=heavy)
+            bers_red.append(red.bit_error_rate)
+        assert sum(bers_red) < sum(bers_plain)

@@ -1,0 +1,120 @@
+"""Tests for Reload+Refresh and Prefetch+Refresh."""
+
+import pytest
+
+from repro.attacks.reload_refresh import (
+    PrefetchRefresh,
+    ReloadRefresh,
+    RevertCosts,
+)
+from repro.errors import AttackError
+from repro.sim.machine import Machine
+
+
+def make(attack_cls, seed=50, **kwargs):
+    machine = Machine.skylake(seed=seed)
+    attack = attack_cls(machine, **kwargs)
+    attack.prepare()
+    return machine, attack
+
+
+class TestDetection:
+    @pytest.mark.parametrize(
+        "attack_cls,kwargs",
+        [
+            (ReloadRefresh, {}),
+            (PrefetchRefresh, {"variant": 1}),
+            (PrefetchRefresh, {"variant": 2}),
+        ],
+    )
+    def test_tracks_victim_pattern(self, attack_cls, kwargs):
+        _, attack = make(attack_cls, **kwargs)
+        truth = [True, False, True, True, False, False, True, False] * 4
+        results = attack.run_trace(truth)
+        accuracy = sum(r.detected == t for r, t in zip(results, truth)) / len(truth)
+        assert accuracy >= 0.95
+
+    def test_victim_side_accesses_stay_cached(self):
+        """The stealth property: the victim's line is served from cache
+        during the monitored window (unlike Flush+Reload)."""
+        machine, attack = make(ReloadRefresh)
+        attack.run_iteration(victim_accesses=True)
+        # The victim's access inside the iteration hit the LLC (not DRAM):
+        # its line had been reloaded by the attacker's revert step.
+        result = machine.hierarchy.load(1, attack.dt, machine.clock)
+        assert result.latency <= machine.config.latency.llc_hit
+
+
+class TestRevertCosts:
+    def test_table3_reload_refresh(self):
+        _, attack = make(ReloadRefresh)
+        results = attack.run_trace([True, False] * 8)
+        worst = max(
+            (r.revert_costs for r in results),
+            key=lambda c: (c.flushes, c.dram_accesses, c.llc_accesses),
+        )
+        assert worst.flushes == 2
+        assert worst.dram_accesses == 2
+        assert worst.llc_accesses >= 14  # w-2 refresh walks
+
+    def test_table3_prefetch_refresh_v1(self):
+        _, attack = make(PrefetchRefresh, variant=1)
+        results = attack.run_trace([True, False] * 8)
+        for r in results:
+            assert r.revert_costs.flushes == 2
+            assert r.revert_costs.dram_accesses <= 2
+            # No LLC age-refresh walk at all: that is the paper's point.
+            assert r.revert_costs.llc_accesses <= 2
+
+    def test_table3_prefetch_refresh_v2(self):
+        _, attack = make(PrefetchRefresh, variant=2)
+        results = attack.run_trace([True, False] * 8)
+        for r in results:
+            assert r.revert_costs.flushes == 1
+            assert r.revert_costs.dram_accesses == 1
+            assert r.revert_costs.llc_accesses == 0
+
+    def test_revert_costs_add(self):
+        total = RevertCosts(1, 2, 3) + RevertCosts(4, 5, 6)
+        assert total == RevertCosts(5, 7, 9)
+
+
+class TestLatencies:
+    def test_figure12_ordering(self):
+        """v2 < v1 < Reload+Refresh on per-iteration attacker latency."""
+        truth = [True, False] * 16
+        means = {}
+        for key, (cls, kwargs) in {
+            "rr": (ReloadRefresh, {}),
+            "v1": (PrefetchRefresh, {"variant": 1}),
+            "v2": (PrefetchRefresh, {"variant": 2}),
+        }.items():
+            _, attack = make(cls, seed=51, **kwargs)
+            results = attack.run_trace(truth)
+            means[key] = sum(r.latency for r in results) / len(results)
+        assert means["v2"] < means["v1"] < means["rr"]
+
+    def test_latency_bands_match_paper_scale(self):
+        """Paper Skylake means: 1601 / 1165 / 873 cycles."""
+        truth = [True, False] * 16
+        _, attack = make(ReloadRefresh, seed=52)
+        rr = sum(r.latency for r in attack.run_trace(truth)) / len(truth)
+        assert 1200 < rr < 2100
+
+
+class TestValidation:
+    def test_bad_variant_rejected(self):
+        machine = Machine.skylake(seed=53)
+        with pytest.raises(AttackError):
+            PrefetchRefresh(machine, variant=3)
+
+    def test_same_core_rejected(self):
+        machine = Machine.skylake(seed=54)
+        with pytest.raises(AttackError):
+            ReloadRefresh(machine, attacker_core=0, victim_core=0)
+
+    def test_shared_line_parameter(self):
+        machine = Machine.skylake(seed=55)
+        shared = machine.address_space("lib").alloc_pages(1)[0]
+        attack = ReloadRefresh(machine, shared_line=shared)
+        assert attack.dt == shared

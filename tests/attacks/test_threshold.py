@@ -1,0 +1,61 @@
+"""Tests for timing-threshold calibration."""
+
+import pytest
+
+from repro.attacks.threshold import (
+    calibrate_load_threshold,
+    calibrate_prefetch_threshold,
+    threshold_from_samples,
+)
+from repro.errors import AttackError
+
+
+class TestThresholdFromSamples:
+    def test_midpoint_between_populations(self):
+        th = threshold_from_samples([60, 65, 70], [220, 230, 240])
+        assert 70 < th < 220
+
+    def test_overlapping_populations_rejected(self):
+        with pytest.raises(AttackError):
+            threshold_from_samples([100, 200], [150, 160])
+
+    def test_empty_populations_rejected(self):
+        with pytest.raises(AttackError):
+            threshold_from_samples([], [200])
+
+    def test_robust_to_fast_outliers(self):
+        fast = [60] * 99 + [10_000]  # one interrupt spike
+        slow = [220] * 100
+        th = threshold_from_samples(fast, slow)
+        assert 60 < th < 220
+
+
+class TestCalibration:
+    def test_prefetch_calibration_separates(self, skylake_machine):
+        cal = calibrate_prefetch_threshold(
+            skylake_machine, skylake_machine.cores[0], samples=60
+        )
+        assert max(cal.fast_samples) >= 66  # L1-band measurements
+        assert min(cal.slow_samples) >= 200
+        assert 100 < cal.threshold < 220
+
+    def test_load_calibration_separates(self, skylake_machine):
+        cal = calibrate_load_threshold(
+            skylake_machine, skylake_machine.cores[0], samples=60
+        )
+        assert 100 < cal.threshold < 220
+
+    def test_too_few_samples_rejected(self, skylake_machine):
+        with pytest.raises(AttackError):
+            calibrate_prefetch_threshold(
+                skylake_machine, skylake_machine.cores[0], samples=3
+            )
+
+    def test_threshold_classifies_fresh_measurements(self, skylake_machine):
+        machine = skylake_machine
+        core = machine.cores[0]
+        cal = calibrate_prefetch_threshold(machine, core, samples=60)
+        line = machine.address_space("check").alloc_pages(1)[0]
+        core.clflush(line)
+        assert core.timed_prefetchnta(line).cycles > cal.threshold
+        assert core.timed_prefetchnta(line).cycles <= cal.threshold

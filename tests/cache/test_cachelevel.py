@@ -1,0 +1,82 @@
+"""Tests for CacheLevel mechanics and statistics."""
+
+from repro.cache.cachelevel import CacheLevel, LevelStats
+from repro.cache.qlru import QuadAgeLRU
+from repro.config import CacheGeometry
+from repro.mem.layout import CacheSetMapping, SetIndex
+
+
+def make_level(sets=16, ways=4, slices=1):
+    geometry = CacheGeometry(sets=sets, ways=ways, slices=slices)
+    return CacheLevel("TEST", geometry, CacheSetMapping(geometry), QuadAgeLRU)
+
+
+class TestStats:
+    def test_hit_rate_zero_when_untouched(self):
+        stats = LevelStats()
+        assert stats.accesses == 0
+        assert stats.hit_rate == 0.0
+
+    def test_counters_accumulate(self):
+        level = make_level()
+        assert level.lookup(0x1000) is None       # miss
+        level.fill(0x1000, 0)
+        assert level.lookup(0x1000) is not None   # hit
+        assert level.stats.hits == 1
+        assert level.stats.misses == 1
+        assert level.stats.fills == 1
+        assert level.stats.hit_rate == 0.5
+
+    def test_eviction_and_invalidation_counters(self):
+        level = make_level(sets=1, ways=2)
+        level.fill(0x0, 0)
+        level.fill(0x40 * 16, 0)   # wait: same single set needs congruent
+        level.fill(0x40 * 32, 0)   # third line forces an eviction
+        assert level.stats.evictions == 1
+        assert level.invalidate(0x40 * 32)
+        assert level.stats.invalidations == 1
+        assert not level.invalidate(0xDEAD000)
+
+    def test_reset(self):
+        level = make_level()
+        level.fill(0x1000, 0)
+        level.stats.reset()
+        assert level.stats.fills == 0
+
+
+class TestSets:
+    def test_lazy_set_creation(self):
+        level = make_level()
+        assert level.live_sets == 0
+        level.fill(0x1000, 0)
+        assert level.live_sets == 1
+        level.fill(0x1040, 0)  # adjacent line -> another set
+        assert level.live_sets == 2
+
+    def test_set_at_matches_set_for(self):
+        level = make_level()
+        index = level.mapping.index(0x2000)
+        assert level.set_at(index) is level.set_for(0x2000)
+        assert level.set_at(SetIndex(slice=0, set=index.set)) is level.set_for(0x2000)
+
+    def test_flush_all_drops_everything(self):
+        level = make_level()
+        level.fill(0x1000, 0)
+        level.flush_all()
+        assert level.live_sets == 0
+        assert not level.contains(0x1000)
+
+    def test_contains_does_not_touch_stats(self):
+        level = make_level()
+        level.fill(0x1000, 0)
+        before = level.stats.accesses
+        assert level.contains(0x1000)
+        assert not level.contains(0x9999000)
+        assert level.stats.accesses == before
+
+    def test_touch_marks_hit_without_stat(self):
+        level = make_level()
+        level.fill(0x1000, 0)
+        level.touch(0x1000)
+        line = level.set_for(0x1000).line_for(0x1000)
+        assert line.age == 1  # demand hit decremented

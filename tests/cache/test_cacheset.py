@@ -1,0 +1,71 @@
+"""Tests for CacheSet mechanics independent of any particular policy."""
+
+import pytest
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.qlru import QuadAgeLRU
+from repro.errors import CacheStateError
+
+
+def make_set(ways=4):
+    return CacheSet(QuadAgeLRU(ways))
+
+
+def test_find_and_contains():
+    s = make_set()
+    s.fill(0x1000, 0)
+    assert s.find(0x1000) == 0
+    assert s.contains(0x1000)
+    assert not s.contains(0x2000)
+    assert s.find(0x2000) == -1
+
+
+def test_line_for():
+    s = make_set()
+    s.fill(0x1000, 0)
+    assert s.line_for(0x1000).tag == 0x1000
+    assert s.line_for(0x2000) is None
+
+
+def test_double_fill_rejected():
+    s = make_set()
+    s.fill(0x1000, 0)
+    with pytest.raises(CacheStateError):
+        s.fill(0x1000, 0)
+
+
+def test_touch_invalid_way_rejected():
+    s = make_set()
+    with pytest.raises(CacheStateError):
+        s.touch(0)
+
+
+def test_invalidate_returns_presence():
+    s = make_set()
+    s.fill(0x1000, 0)
+    assert s.invalidate(0x1000)
+    assert not s.invalidate(0x1000)
+    assert s.occupancy == 0
+
+
+def test_occupancy_and_is_full():
+    s = make_set(2)
+    assert s.occupancy == 0 and not s.is_full
+    s.fill(0x1000, 0)
+    s.fill(0x2000, 0)
+    assert s.occupancy == 2 and s.is_full
+
+
+def test_snapshot_shows_tag_age_pairs():
+    s = make_set(2)
+    s.fill(0x1000, 0)
+    s.fill(0x2000, 0, is_prefetch=True)
+    assert s.snapshot() == [(0x1000, 2), (0x2000, 3)]
+
+
+def test_busy_until_recorded_on_fill():
+    s = make_set(2)
+    s.fill(0x1000, now=100, busy_until=265)
+    assert s.ways[0].busy_until == 265
+    assert s.ways[0].is_busy(200)
+    assert not s.ways[0].is_busy(265)

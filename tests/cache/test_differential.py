@@ -1,0 +1,122 @@
+"""Differential testing: Quad-age LRU vs an independent reference model.
+
+The reference model below is written directly from the paper's Section II-B
+prose, with none of the production code's structure (no CacheLine objects,
+no policy classes).  Hypothesis drives both implementations with the same
+random operation streams and requires identical evictions and identical
+final (tag, age) states.
+"""
+
+from typing import List, Optional, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.qlru import QuadAgeLRU
+
+WAYS = 8
+
+
+class ReferenceQLRU:
+    """Straight-from-the-paper Quad-age LRU on (tag, age) tuples."""
+
+    def __init__(self, ways: int, load_age: int = 2, prefetch_age: int = 3):
+        self.ways: List[Optional[Tuple[int, int]]] = [None] * ways
+        self.load_age = load_age
+        self.prefetch_age = prefetch_age
+
+    def find(self, tag: int) -> int:
+        for i, slot in enumerate(self.ways):
+            if slot is not None and slot[0] == tag:
+                return i
+        return -1
+
+    def access(self, tag: int, is_prefetch: bool) -> Optional[int]:
+        """Hit-or-fill; returns the evicted tag if any."""
+        index = self.find(tag)
+        if index >= 0:
+            held_tag, age = self.ways[index]
+            if not is_prefetch and age > 0:
+                age -= 1  # demand hits rejuvenate; prefetch hits do not
+            self.ways[index] = (held_tag, age)
+            return None
+        insert_age = self.prefetch_age if is_prefetch else self.load_age
+        for i, slot in enumerate(self.ways):
+            if slot is None:
+                self.ways[i] = (tag, insert_age)
+                return None
+        while True:
+            for i, slot in enumerate(self.ways):
+                if slot[1] == 3:
+                    evicted = slot[0]
+                    self.ways[i] = (tag, insert_age)
+                    return evicted
+            self.ways = [(t, min(3, a + 1)) for (t, a) in self.ways]
+
+    def invalidate(self, tag: int) -> None:
+        index = self.find(tag)
+        if index >= 0:
+            self.ways[index] = None
+
+    def state(self) -> List[Optional[Tuple[int, int]]]:
+        return list(self.ways)
+
+
+def drive_production(cache_set: CacheSet, kind: str, tag: int) -> Optional[int]:
+    addr = tag << 6
+    if kind == "flush":
+        cache_set.invalidate(addr)
+        return None
+    is_prefetch = kind == "prefetch"
+    index = cache_set.find(addr)
+    if index >= 0:
+        cache_set.touch(index, is_prefetch=is_prefetch)
+        return None
+    evicted, inserted = cache_set.fill(addr, 0, is_prefetch=is_prefetch)
+    assert inserted
+    return None if evicted is None else evicted >> 6
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "prefetch", "flush"]),
+        st.integers(min_value=0, max_value=24),
+    ),
+    max_size=250,
+)
+
+
+@settings(max_examples=300)
+@given(ops=operations)
+def test_production_matches_reference(ops):
+    production = CacheSet(QuadAgeLRU(WAYS))
+    reference = ReferenceQLRU(WAYS)
+    for kind, tag in ops:
+        if kind == "flush":
+            production.invalidate(tag << 6)
+            reference.invalidate(tag)
+            continue
+        expected = reference.access(tag, is_prefetch=(kind == "prefetch"))
+        actual = drive_production(production, kind, tag)
+        assert actual == expected, (kind, tag, ops)
+    final_production = [
+        None if cell is None else (cell[0] >> 6, cell[1])
+        for cell in production.snapshot()
+    ]
+    assert final_production == reference.state()
+
+
+@settings(max_examples=150)
+@given(ops=operations)
+def test_modified_policy_matches_reference(ops):
+    """The Section VI-D countermeasure, cross-checked the same way."""
+    production = CacheSet(QuadAgeLRU(WAYS, load_insert_age=1, prefetch_insert_age=2))
+    reference = ReferenceQLRU(WAYS, load_age=1, prefetch_age=2)
+    for kind, tag in ops:
+        if kind == "flush":
+            production.invalidate(tag << 6)
+            reference.invalidate(tag)
+            continue
+        expected = reference.access(tag, is_prefetch=(kind == "prefetch"))
+        actual = drive_production(production, kind, tag)
+        assert actual == expected

@@ -1,0 +1,222 @@
+"""Tests for the multi-level hierarchy: inclusion, PREFETCHNTA properties,
+back-invalidation, in-flight protection."""
+
+import pytest
+
+from repro.cache.hierarchy import Level
+from repro.errors import ConfigurationError
+
+
+def target_line(machine, name="t"):
+    space = machine.address_space(name)
+    return space.alloc_pages(1)[0], space
+
+
+def llc_conflicts(machine, space, target, count=None):
+    return machine.llc_eviction_set(space, target, size=count)
+
+
+class TestLoadPath:
+    def test_cold_load_comes_from_dram(self, tiny_machine):
+        addr, _ = target_line(tiny_machine)
+        assert tiny_machine.cores[0].load(addr).level is Level.DRAM
+
+    def test_warm_load_hits_l1(self, tiny_machine):
+        addr, _ = target_line(tiny_machine)
+        core = tiny_machine.cores[0]
+        core.load(addr)
+        assert core.load(addr).level is Level.L1
+
+    def test_load_fills_all_levels(self, tiny_machine):
+        addr, _ = target_line(tiny_machine)
+        tiny_machine.cores[0].load(addr)
+        h = tiny_machine.hierarchy
+        assert h.in_l1(0, addr) and h.in_l2(0, addr) and h.in_llc(addr)
+
+    def test_cross_core_load_hits_llc(self, tiny_machine):
+        addr, _ = target_line(tiny_machine)
+        tiny_machine.cores[0].load(addr)
+        assert tiny_machine.cores[1].load(addr).level is Level.LLC
+
+    def test_llc_hit_decrements_age(self, tiny_machine):
+        addr, _ = target_line(tiny_machine)
+        h = tiny_machine.hierarchy
+        tiny_machine.cores[0].load(addr)
+        line = h.llc_set_of(addr).line_for(addr)
+        assert line.age == 2
+        tiny_machine.cores[1].load(addr)  # LLC hit from the other core
+        assert line.age == 1
+
+    def test_latencies_ordered(self, quiet_skylake):
+        addr, space = target_line(quiet_skylake)
+        core = quiet_skylake.cores[0]
+        dram = core.load(addr).latency
+        l1 = core.load(addr).latency
+        other = quiet_skylake.cores[1]
+        llc = other.load(addr).latency
+        assert l1 < llc < dram
+
+
+class TestPrefetchNTA:
+    def test_property1_miss_installs_eviction_candidate(self, tiny_machine):
+        """Property #1: NTA fill enters the LLC with age 3."""
+        addr, _ = target_line(tiny_machine)
+        tiny_machine.cores[0].prefetchnta(addr)
+        line = tiny_machine.hierarchy.llc_set_of(addr).line_for(addr)
+        assert line.age == 3
+        assert line.prefetched
+
+    def test_property2_llc_hit_keeps_age(self, tiny_machine):
+        """Property #2: an NTA hit in the LLC does not touch the age."""
+        addr, _ = target_line(tiny_machine)
+        h = tiny_machine.hierarchy
+        tiny_machine.cores[0].load(addr)          # LLC age 2, in core0 L1
+        line = h.llc_set_of(addr).line_for(addr)
+        assert line.age == 2
+        tiny_machine.cores[1].prefetchnta(addr)   # LLC hit from core1
+        assert line.age == 2
+
+    def test_property3_latency_reveals_level(self, quiet_skylake):
+        addr, space = target_line(quiet_skylake)
+        core = quiet_skylake.cores[0]
+        miss = core.timed_prefetchnta(addr)
+        assert miss.level is Level.DRAM
+        l1_hit = core.timed_prefetchnta(addr)
+        assert l1_hit.level is Level.L1
+        assert l1_hit.cycles < 100 < 150 < miss.cycles
+
+    def test_prefetch_fills_l1_and_llc_but_not_l2(self, tiny_machine):
+        addr, _ = target_line(tiny_machine)
+        tiny_machine.cores[0].prefetchnta(addr)
+        h = tiny_machine.hierarchy
+        assert h.in_l1(0, addr)
+        assert not h.in_l2(0, addr)
+        assert h.in_llc(addr)
+
+    def test_prefetch_satisfied_by_l2_does_not_reach_llc(self, quiet_skylake):
+        """If the line is in L2, the NTA stops there and the LLC age stays."""
+        machine = quiet_skylake
+        addr, space = target_line(machine)
+        h = machine.hierarchy
+        core = machine.cores[0]
+        core.load(addr)
+        # Evict from L1 only: lines congruent in L1 but not L2/LLC (L1 set
+        # bits are covered by the page offset, so same-offset lines from
+        # pages that differ in the L2 index bits do the job).
+        l1_conflicts = [
+            line
+            for line in space.lines_with_offset(addr % 4096 // 64 * 64, count=400)
+            if line != addr and not h.l2_mapping.congruent(line, addr)
+            and not h.llc_mapping.congruent(line, addr)
+        ][: h.config.l1.ways + 1]
+        machine.clock += 10_000
+        for c in l1_conflicts:
+            core.load(c)
+        assert not h.in_l1(0, addr)
+        assert h.in_l2(0, addr)
+        age_before = h.llc_set_of(addr).line_for(addr).age
+        result = core.prefetchnta(addr)
+        assert result.level is Level.L2
+        assert h.llc_set_of(addr).line_for(addr).age == age_before
+
+    def test_prefetch_conflict_evicts_prior_prefetch(self, tiny_machine):
+        """Two NTA lines in one set compete for the single candidate way —
+        the core mechanism of NTP+NTP."""
+        addr, space = target_line(tiny_machine)
+        other = llc_conflicts(tiny_machine, space, addr, count=1)[0]
+        h = tiny_machine.hierarchy
+        sender, receiver = tiny_machine.cores[0], tiny_machine.cores[1]
+        # Fill the set so there are no empty ways.
+        warm = llc_conflicts(tiny_machine, space, addr, count=h.config.llc.ways)
+        for line in warm:
+            sender.load(line)
+        tiny_machine.clock += 10_000  # let fills complete
+        receiver.prefetchnta(addr)
+        tiny_machine.clock += 10_000
+        sender.prefetchnta(other)
+        assert not h.in_llc(addr), "sender's prefetch must evict receiver's line"
+        tiny_machine.clock += 10_000
+        result = receiver.prefetchnta(addr)
+        assert result.level is Level.DRAM
+        assert not h.in_llc(other), "receiver's prefetch resets the channel"
+
+
+class TestInclusion:
+    def test_llc_eviction_back_invalidates_private_copies(self, tiny_machine):
+        addr, space = target_line(tiny_machine)
+        h = tiny_machine.hierarchy
+        core0, core1 = tiny_machine.cores[:2]
+        core0.load(addr)
+        core1.load(addr)
+        assert h.in_l1(0, addr) and h.in_l1(1, addr)
+        evset = llc_conflicts(tiny_machine, space, addr)
+        tiny_machine.clock += 10_000
+        # Quad-age LRU needs a couple of priming passes to age a demand-
+        # filled line out (the paper uses two; we use three for margin).
+        for _ in range(3):
+            for line in evset:
+                core1.load(line)
+        assert not h.in_llc(addr)
+        assert not h.in_l1(0, addr) and not h.in_l2(0, addr)
+        assert not h.in_l1(1, addr) and not h.in_l2(1, addr)
+
+    def test_clflush_purges_everywhere(self, tiny_machine):
+        addr, _ = target_line(tiny_machine)
+        h = tiny_machine.hierarchy
+        tiny_machine.cores[0].load(addr)
+        tiny_machine.cores[1].load(addr)
+        tiny_machine.cores[0].clflush(addr)
+        assert h.cached_level(0, addr) is None
+        assert h.cached_level(1, addr) is None
+
+
+class TestInFlight:
+    def test_in_flight_line_survives_conflicting_prefetch(self, tiny_machine):
+        """The single-set NTP+NTP failure mode: dr cannot evict an in-flight
+        ds (Section IV-B2)."""
+        addr, space = target_line(tiny_machine)
+        other = llc_conflicts(tiny_machine, space, addr, count=1)[0]
+        h = tiny_machine.hierarchy
+        warm = llc_conflicts(tiny_machine, space, addr, count=h.config.llc.ways)
+        for line in warm:
+            tiny_machine.cores[0].load(line)
+        tiny_machine.clock += 10_000
+        now = tiny_machine.clock
+        h.prefetchnta(0, addr, now)          # ds fill in flight until now+dram
+        h.prefetchnta(1, other, now + 5)     # dr arrives 5 cycles later
+        assert h.in_llc(addr), "in-flight line must not be evicted"
+        assert h.in_llc(other), "the conflicting fill lands on another way"
+
+    def test_after_fill_completes_line_is_evictable(self, tiny_machine):
+        addr, space = target_line(tiny_machine)
+        other = llc_conflicts(tiny_machine, space, addr, count=1)[0]
+        h = tiny_machine.hierarchy
+        warm = llc_conflicts(tiny_machine, space, addr, count=h.config.llc.ways)
+        for line in warm:
+            tiny_machine.cores[0].load(line)
+        tiny_machine.clock += 10_000
+        now = tiny_machine.clock
+        h.prefetchnta(0, addr, now)
+        h.prefetchnta(1, other, now + 10_000)
+        assert not h.in_llc(addr)
+
+
+class TestMisc:
+    def test_bad_core_id_rejected(self, tiny_machine):
+        with pytest.raises(ConfigurationError):
+            tiny_machine.hierarchy.load(99, 0, 0)
+
+    def test_cached_level_reports_highest(self, tiny_machine):
+        addr, _ = target_line(tiny_machine)
+        h = tiny_machine.hierarchy
+        assert h.cached_level(0, addr) is None
+        tiny_machine.cores[0].load(addr)
+        assert h.cached_level(0, addr) is Level.L1
+        assert h.cached_level(1, addr) is Level.LLC
+
+    def test_reset_stats(self, tiny_machine):
+        addr, _ = target_line(tiny_machine)
+        tiny_machine.cores[0].load(addr)
+        assert tiny_machine.hierarchy.llc.stats.accesses > 0
+        tiny_machine.hierarchy.reset_stats()
+        assert tiny_machine.hierarchy.llc.stats.accesses == 0

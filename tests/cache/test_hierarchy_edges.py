@@ -1,0 +1,83 @@
+"""Edge-case tests for the hierarchy: in-flight saturation, flush timing."""
+
+from repro.cache.hierarchy import Level
+
+
+class TestInFlightSaturation:
+    def test_prefetch_fill_dropped_when_every_way_in_flight(self, quiet_skylake):
+        """16 simultaneous fills make the set unevictable; the 17th NTA fill
+        is dropped entirely — including its L1 copy, preserving inclusion."""
+        machine = quiet_skylake
+        space = machine.address_space("p")
+        target = space.alloc_pages(1)[0]
+        evset = machine.llc_eviction_set(space, target, size=16)
+        h = machine.hierarchy
+        now = machine.clock + 1000
+        for line in evset:
+            h.prefetchnta(0, line, now)  # all 16 fills in flight
+        result = h.prefetchnta(1, target, now + 1)
+        assert result.level is Level.DRAM
+        assert not h.in_llc(target), "fill must be dropped"
+        assert not h.in_l1(1, target), "inclusion must hold even on drops"
+
+    def test_after_fills_complete_the_set_drains(self, quiet_skylake):
+        machine = quiet_skylake
+        space = machine.address_space("p")
+        target = space.alloc_pages(1)[0]
+        evset = machine.llc_eviction_set(space, target, size=16)
+        h = machine.hierarchy
+        now = machine.clock + 1000
+        for line in evset:
+            h.prefetchnta(0, line, now)
+        later = now + machine.config.latency.dram + 10
+        result = h.prefetchnta(1, target, later)
+        assert result.level is Level.DRAM
+        assert h.in_llc(target)
+
+
+class TestFlushTiming:
+    def test_cached_flush_is_slower(self, quiet_skylake):
+        """The Flush+Flush signal: flushing a cached line costs extra."""
+        machine = quiet_skylake
+        addr = machine.address_space("p").alloc_pages(1)[0]
+        core = machine.cores[0]
+        uncached = core.timed_clflush(addr).cycles
+        core.load(addr)
+        cached = core.timed_clflush(addr).cycles
+        lat = machine.config.latency
+        assert cached - uncached == lat.clflush_cached_extra
+
+    def test_flush_of_llc_only_copy_counts_as_cached(self, quiet_skylake):
+        machine = quiet_skylake
+        addr = machine.address_space("p").alloc_pages(1)[0]
+        machine.cores[0].load(addr)
+        # Another core flushes: the line is cached (in LLC + core0's L1).
+        timed = machine.cores[1].timed_clflush(addr)
+        lat = machine.config.latency
+        assert timed.cycles == (
+            lat.measure_overhead + lat.clflush + lat.clflush_cached_extra
+        )
+
+
+class TestPMUCounters:
+    def test_llc_reference_and_miss_accounting(self, quiet_skylake):
+        machine = quiet_skylake
+        space = machine.address_space("p")
+        a, b = space.lines_with_offset(0, count=2)
+        core = machine.cores[0]
+        core.load(a)                       # DRAM: reference + miss
+        core.load(a)                       # L1 hit: neither
+        machine.cores[1].load(a)           # LLC hit: reference only
+        core.load(b)                       # DRAM again
+        assert core.llc_references == 2
+        assert core.llc_misses == 2
+        assert machine.cores[1].llc_references == 1
+        assert machine.cores[1].llc_misses == 0
+
+    def test_reset_clears_pmu_counters(self, quiet_skylake):
+        machine = quiet_skylake
+        addr = machine.address_space("p").alloc_pages(1)[0]
+        machine.cores[0].load(addr)
+        machine.cores[0].reset_counters()
+        assert machine.cores[0].llc_references == 0
+        assert machine.cores[0].llc_misses == 0

@@ -1,0 +1,118 @@
+"""Whole-hierarchy invariants under random multi-core traffic.
+
+Hypothesis generates interleaved operation streams from all cores; after
+every single operation the hierarchy must satisfy:
+
+* inclusion — every line in any private cache is also in the LLC;
+* uniqueness — no level's set holds the same tag twice;
+* bounded occupancy — no set exceeds its associativity;
+* age sanity — every Quad-age LRU age lies in 0..3.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy
+from tests.conftest import tiny_config
+
+
+def make_hierarchy() -> CacheHierarchy:
+    return CacheHierarchy(tiny_config())
+
+
+#: 24 distinct lines spread over a handful of sets in the tiny geometry.
+LINES = [((i * 5) % 24) * 64 + (i % 3) * (32 * 64) for i in range(24)]
+
+operation = st.tuples(
+    st.sampled_from(["load", "prefetchnta", "prefetcht0", "clflush"]),
+    st.integers(min_value=0, max_value=1),      # core
+    st.integers(min_value=0, max_value=23),     # line index
+)
+
+
+def check_invariants(hierarchy: CacheHierarchy) -> None:
+    llc_tags = set()
+    for key, cache_set in hierarchy.llc._sets.items():
+        tags = [t for t in cache_set.tags() if t is not None]
+        assert len(tags) == len(set(tags)), "duplicate tag in an LLC set"
+        assert len(tags) <= hierarchy.config.llc.ways
+        for line in cache_set.ways:
+            if line is not None:
+                assert 0 <= line.age <= 3
+        llc_tags.update(tags)
+    for level in [*hierarchy.l1s, *hierarchy.l2s]:
+        for cache_set in level._sets.values():
+            tags = [t for t in cache_set.tags() if t is not None]
+            assert len(tags) == len(set(tags)), f"duplicate tag in {level.name}"
+            assert len(tags) <= level.geometry.ways
+            for tag in tags:
+                assert tag in llc_tags, (
+                    f"inclusion violated: {tag:#x} in {level.name} but not LLC"
+                )
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=st.lists(operation, max_size=120))
+def test_hierarchy_invariants_under_random_traffic(ops):
+    hierarchy = make_hierarchy()
+    now = 0
+    for kind, core, line_index in ops:
+        addr = LINES[line_index]
+        now += 400  # space ops out so fills complete (no in-flight pile-up)
+        if kind == "load":
+            hierarchy.load(core, addr, now)
+        elif kind == "prefetchnta":
+            hierarchy.prefetchnta(core, addr, now)
+        elif kind == "prefetcht0":
+            hierarchy.prefetcht0(core, addr, now)
+        else:
+            hierarchy.clflush(addr, now)
+        check_invariants(hierarchy)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(operation, min_size=1, max_size=60))
+def test_clflush_always_purges_globally(ops):
+    hierarchy = make_hierarchy()
+    now = 0
+    for kind, core, line_index in ops:
+        addr = LINES[line_index]
+        now += 400
+        if kind == "load":
+            hierarchy.load(core, addr, now)
+        elif kind == "prefetchnta":
+            hierarchy.prefetchnta(core, addr, now)
+        elif kind == "prefetcht0":
+            hierarchy.prefetcht0(core, addr, now)
+        else:
+            hierarchy.clflush(addr, now)
+    # Flush everything we may have touched; nothing may survive anywhere.
+    for addr in LINES:
+        hierarchy.clflush(addr, now)
+    for addr in LINES:
+        assert not hierarchy.in_llc(addr)
+        for core in range(hierarchy.config.cores):
+            assert hierarchy.cached_level(core, addr) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(operation, max_size=80))
+def test_in_flight_lines_survive_conflicts(ops):
+    """A line whose fill is in flight is never evicted: issue every op at
+    the same timestamp so all fills overlap, then verify that every line
+    reported as filled is still resident."""
+    hierarchy = make_hierarchy()
+    now = 1000
+    filled = []
+    for kind, core, line_index in ops:
+        addr = LINES[line_index]
+        if kind == "clflush":
+            hierarchy.clflush(addr, now)
+            filled = [a for a in filled if a != addr]
+        else:
+            result = getattr(hierarchy, kind if kind != "prefetcht0" else "load")(
+                core, addr, now
+            )
+            if result.was_llc_miss and hierarchy.in_llc(addr):
+                filled.append(addr)
+    for addr in filled:
+        assert hierarchy.in_llc(addr), "an in-flight fill was evicted"

@@ -1,0 +1,146 @@
+"""Tests for the baseline replacement policies (LRU, PLRU variants, SRRIP)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.lru import TrueLRU
+from repro.cache.plru import BitPLRU, TreePLRU
+from repro.cache.srrip import SRRIP
+from repro.errors import ConfigurationError
+
+
+def drive(cache_set, tags, now=0):
+    """Access a tag sequence (hit-or-fill); return eviction order."""
+    evictions = []
+    for tag in tags:
+        addr = tag << 6
+        idx = cache_set.find(addr)
+        if idx >= 0:
+            cache_set.touch(idx)
+        else:
+            evicted, inserted = cache_set.fill(addr, now)
+            assert inserted
+            if evicted is not None:
+                evictions.append(evicted >> 6)
+    return evictions
+
+
+class TestTrueLRU:
+    def test_evicts_least_recently_used(self):
+        s = CacheSet(TrueLRU(4))
+        drive(s, [0, 1, 2, 3])
+        drive(s, [0])          # 1 is now LRU
+        assert drive(s, [4]) == [1]
+
+    def test_hit_promotes(self):
+        s = CacheSet(TrueLRU(2))
+        drive(s, [0, 1, 0])
+        assert drive(s, [2]) == [1]
+
+    def test_skips_busy_lines(self):
+        s = CacheSet(TrueLRU(2))
+        drive(s, [0, 1])
+        s.ways[0].busy_until = 100  # way holding tag 0 is LRU but busy
+        gone, inserted = s.fill(2 << 6, now=0)
+        assert inserted and gone == (1 << 6)
+
+    def test_invalidate_cleans_stack(self):
+        s = CacheSet(TrueLRU(2))
+        drive(s, [0, 1])
+        s.invalidate(0)
+        drive(s, [2])
+        assert drive(s, [3]) == [1]
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            TreePLRU(6)
+
+    def test_fills_then_evicts_untouched_side(self):
+        s = CacheSet(TreePLRU(4))
+        drive(s, [0, 1, 2, 3])
+        # 3 was touched last: victim must come from the other subtree.
+        assert drive(s, [4]) in ([0], [1])
+
+    def test_repeated_single_line_never_self_evicts(self):
+        s = CacheSet(TreePLRU(4))
+        drive(s, [0, 1, 2, 3])
+        drive(s, [0, 0, 0])
+        assert drive(s, [4]) != [0]
+
+    def test_full_associativity_round_robin_like(self):
+        """Accessing ways cyclically keeps hits at 100% for n_ways lines."""
+        s = CacheSet(TreePLRU(8))
+        drive(s, list(range(8)))
+        evictions = drive(s, [0, 1, 2, 3, 4, 5, 6, 7] * 3)
+        assert evictions == []
+
+
+class TestBitPLRU:
+    def test_victim_is_first_clear_mru_bit(self):
+        s = CacheSet(BitPLRU(4))
+        drive(s, [0, 1, 2, 3])  # filling 3 resets others' MRU bits
+        assert drive(s, [4]) == [0]
+
+    def test_mru_saturation_resets(self):
+        s = CacheSet(BitPLRU(2))
+        drive(s, [0, 1])  # inserting 1 saturates -> only 1 marked
+        assert drive(s, [2]) == [0]
+
+
+class TestSRRIP:
+    def test_insert_rrpv(self):
+        s = CacheSet(SRRIP(4))
+        s.fill(1 << 6, 0)
+        assert s.ways[0].age == 2
+
+    def test_prefetch_inserts_distant(self):
+        s = CacheSet(SRRIP(4))
+        s.fill(1 << 6, 0, is_prefetch=True)
+        assert s.ways[0].age == 3
+
+    def test_hit_priority_promotes_to_zero(self):
+        s = CacheSet(SRRIP(4))
+        s.fill(1 << 6, 0)
+        s.touch(0)
+        assert s.ways[0].age == 0
+
+    def test_frequency_priority_decrements(self):
+        s = CacheSet(SRRIP(4, hit_promotion="fp"))
+        s.fill(1 << 6, 0)
+        s.touch(0)
+        assert s.ways[0].age == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SRRIP(4, insert_rrpv=9)
+        with pytest.raises(ConfigurationError):
+            SRRIP(4, hit_promotion="bogus")
+
+    def test_eviction_prefers_max_rrpv(self):
+        s = CacheSet(SRRIP(4))
+        drive(s, [0, 1, 2, 3])
+        s.touch(1)  # rrpv 0
+        s.ways[3].age = 3
+        assert drive(s, [4]) == [3]
+
+
+@settings(max_examples=60)
+@given(
+    policy_name=st.sampled_from(["lru", "tree", "bit", "srrip"]),
+    tags=st.lists(st.integers(min_value=0, max_value=20), max_size=100),
+)
+def test_policies_never_overfill_and_always_find_victims(policy_name, tags):
+    factory = {
+        "lru": TrueLRU,
+        "tree": TreePLRU,
+        "bit": BitPLRU,
+        "srrip": SRRIP,
+    }[policy_name]
+    s = CacheSet(factory(4))
+    drive(s, tags)
+    assert s.occupancy <= 4
+    present = [t for t in s.tags() if t is not None]
+    assert len(present) == len(set(present)), "duplicate tags cached"

@@ -1,0 +1,84 @@
+"""Tests for the non-NTA software prefetches (paper Section II-A).
+
+Only PREFETCHNTA has the Leaky Way properties; T0/T1/T2 fill with demand
+semantics, which these tests pin down.
+"""
+
+from repro.cache.hierarchy import Level
+
+
+def line_of(machine, addr):
+    return machine.hierarchy.llc_set_of(addr).line_for(addr)
+
+
+class TestPrefetchT0:
+    def test_fills_all_levels_with_demand_age(self, quiet_skylake):
+        machine = quiet_skylake
+        addr = machine.address_space("p").alloc_pages(1)[0]
+        machine.cores[0].prefetcht0(addr)
+        h = machine.hierarchy
+        assert h.in_l1(0, addr) and h.in_l2(0, addr) and h.in_llc(addr)
+        assert line_of(machine, addr).age == 2
+        assert not line_of(machine, addr).prefetched
+
+    def test_resident_cost_is_issue_only(self, quiet_skylake):
+        machine = quiet_skylake
+        addr = machine.address_space("p").alloc_pages(1)[0]
+        machine.cores[0].prefetcht0(addr)
+        result = machine.cores[0].prefetcht0(addr)
+        assert result.level is Level.L1
+        assert result.latency == machine.config.latency.prefetch_issue
+
+
+class TestPrefetchT1:
+    def test_fills_l2_and_llc_but_not_l1(self, quiet_skylake):
+        machine = quiet_skylake
+        addr = machine.address_space("p").alloc_pages(1)[0]
+        result = machine.cores[0].prefetcht1(addr)
+        assert result.level is Level.DRAM
+        h = machine.hierarchy
+        assert not h.in_l1(0, addr)
+        assert h.in_l2(0, addr)
+        assert h.in_llc(addr)
+
+    def test_inserts_with_demand_age(self, quiet_skylake):
+        machine = quiet_skylake
+        addr = machine.address_space("p").alloc_pages(1)[0]
+        machine.cores[0].prefetcht1(addr)
+        assert line_of(machine, addr).age == 2
+        assert not line_of(machine, addr).prefetched
+
+    def test_llc_hit_refreshes_age_unlike_nta(self, quiet_skylake):
+        """The decisive difference: T1 hits rejuvenate, NTA hits do not."""
+        machine = quiet_skylake
+        space = machine.address_space("p")
+        addr = space.alloc_pages(1)[0]
+        machine.cores[0].load(addr)
+        llc_line = line_of(machine, addr)
+        assert llc_line.age == 2
+        machine.cores[1].prefetcht1(addr)  # LLC hit from another core
+        assert llc_line.age == 1
+        machine.cores[1].prefetchnta(addr + 64)  # control: different line
+        machine.cores[2].prefetchnta(addr)  # NTA hit: frozen
+        assert llc_line.age == 1
+
+    def test_t2_is_t1(self, quiet_skylake):
+        machine = quiet_skylake
+        addr = machine.address_space("p").alloc_pages(1)[0]
+        machine.cores[0].prefetcht2(addr)
+        assert machine.hierarchy.in_l2(0, addr)
+        assert not machine.hierarchy.in_l1(0, addr)
+
+    def test_no_ntp_channel_with_t1(self, quiet_skylake):
+        """A T1-based 'NTP+NTP' cannot work: the fill is not the candidate."""
+        machine = quiet_skylake
+        space = machine.address_space("p")
+        target = space.alloc_pages(1)[0]
+        evset = machine.llc_eviction_set(space, target, size=16)
+        for line in evset:
+            machine.cores[0].load(line)
+        machine.clock += 10_000
+        machine.cores[1].prefetcht1(target)  # receiver "prepares" with T1
+        machine.clock += 10_000
+        target_set = machine.hierarchy.llc_set_of(target)
+        assert target_set.eviction_candidate(machine.clock) != target

@@ -1,0 +1,249 @@
+"""Tests for the Quad-age LRU policy (paper Section II-B and Figure 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.qlru import MAX_AGE, QuadAgeLRU
+from repro.errors import ConfigurationError
+
+
+def make_set(ways=16, **policy_kwargs):
+    return CacheSet(QuadAgeLRU(ways, **policy_kwargs))
+
+
+def fill_lines(cache_set, tags, is_prefetch=False, now=0):
+    evicted = []
+    for tag in tags:
+        gone, inserted = cache_set.fill(tag << 6, now, is_prefetch=is_prefetch)
+        assert inserted
+        if gone is not None:
+            evicted.append(gone >> 6)
+    return evicted
+
+
+class TestInsertion:
+    def test_load_inserts_with_age_2(self):
+        s = make_set()
+        fill_lines(s, [1])
+        assert s.ways[0].age == 2
+
+    def test_prefetch_inserts_with_age_3(self):
+        """Property #1: PREFETCHNTA installs the eviction candidate."""
+        s = make_set()
+        s.fill(1 << 6, 0, is_prefetch=True)
+        assert s.ways[0].age == 3
+        assert s.ways[0].prefetched
+
+    def test_fills_prefer_leftmost_empty_way(self):
+        s = make_set(4)
+        fill_lines(s, [10, 11])
+        assert s.tags()[:2] == [10 << 6, 11 << 6]
+        s.invalidate(10 << 6)
+        fill_lines(s, [12])
+        assert s.tags()[0] == 12 << 6
+
+    def test_configurable_insert_ages(self):
+        """The Section VI-D countermeasure: loads at 1, prefetches at 2."""
+        s = make_set(4, load_insert_age=1, prefetch_insert_age=2)
+        s.fill(1 << 6, 0, is_prefetch=False)
+        s.fill(2 << 6, 0, is_prefetch=True)
+        assert s.ways[0].age == 1
+        assert s.ways[1].age == 2
+
+    def test_invalid_insert_age_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuadAgeLRU(16, load_insert_age=4)
+        with pytest.raises(ConfigurationError):
+            QuadAgeLRU(16, prefetch_insert_age=-1)
+
+
+class TestUpdate:
+    def test_load_hit_decrements_age(self):
+        s = make_set()
+        fill_lines(s, [1])
+        s.touch(0)
+        assert s.ways[0].age == 1
+        s.touch(0)
+        assert s.ways[0].age == 0
+        s.touch(0)  # floor at 0
+        assert s.ways[0].age == 0
+
+    def test_prefetch_hit_does_not_update_age(self):
+        """Property #2: an NTA hit leaves the replacement state untouched."""
+        s = make_set()
+        fill_lines(s, [1])
+        s.touch(0, is_prefetch=True)
+        assert s.ways[0].age == 2
+
+    def test_prefetch_hit_updates_when_configured(self):
+        s = make_set(prefetch_hit_updates=True)
+        fill_lines(s, [1])
+        s.touch(0, is_prefetch=True)
+        assert s.ways[0].age == 1
+
+    def test_demand_hit_clears_prefetched_marker(self):
+        s = make_set()
+        s.fill(1 << 6, 0, is_prefetch=True)
+        assert s.ways[0].prefetched
+        s.touch(0)
+        assert not s.ways[0].prefetched
+
+
+class TestReplacement:
+    def test_evicts_first_age3_way(self):
+        s = make_set(4)
+        fill_lines(s, [0, 1, 2, 3])
+        s.ways[2].age = 3
+        evicted = fill_lines(s, [4])
+        assert evicted == [2]
+
+    def test_ages_everyone_when_no_age3(self):
+        s = make_set(4)
+        fill_lines(s, [0, 1, 2, 3])  # all age 2
+        evicted = fill_lines(s, [4])
+        # One aging round makes everyone 3; leftmost evicted.
+        assert evicted == [0]
+        # Survivors kept their incremented age.
+        assert [line.age for line in s.ways] == [2, 3, 3, 3]
+
+    def test_scan_is_left_to_right(self):
+        s = make_set(4)
+        fill_lines(s, [0, 1, 2, 3])
+        s.ways[1].age = 3
+        s.ways[3].age = 3
+        evicted = fill_lines(s, [4])
+        assert evicted == [1]
+
+    def test_busy_lines_are_skipped(self):
+        """An in-flight line cannot be evicted regardless of its age."""
+        s = make_set(4)
+        fill_lines(s, [0, 1, 2, 3])
+        s.ways[0].age = 3
+        s.ways[0].busy_until = 1000
+        gone, inserted = s.fill(4 << 6, now=10)
+        assert inserted
+        assert gone != 0
+        assert s.contains(0)
+
+    def test_all_busy_drops_fill(self):
+        s = make_set(2)
+        fill_lines(s, [0, 1])
+        for line in s.ways:
+            line.busy_until = 1000
+        gone, inserted = s.fill(4 << 6, now=10)
+        assert not inserted
+        assert gone is None
+        assert s.tags() == [0, 1 << 6]
+
+
+class TestPaperWalkthroughs:
+    def test_figure3_step1_preparation(self):
+        """Fig. 3 Step 1: fill with lw, l1..lw-1, then load l0 to evict lw.
+
+        Result: l0 sits in way 0 with age 2, every other line has age 3 —
+        the exact initial state the insertion-policy experiment needs.
+        """
+        w = 16
+        s = make_set(w)
+        fill_lines(s, [100])               # "lw"
+        fill_lines(s, list(range(1, w)))   # l1 .. l15
+        evicted = fill_lines(s, [0])       # l0 evicts lw
+        assert evicted == [100]
+        assert s.tags() == [t << 6 for t in range(w)]
+        assert s.ages() == [2] + [3] * (w - 1)
+
+    def test_figure3_step3_inorder_eviction(self):
+        """Fig. 3 Step 3: after flushing+prefetching la, loading l'1..l'w-1
+        evicts l1..lw-1 in order — the prefetched la behaves exactly like an
+        age-3 line."""
+        w = 16
+        for a in range(1, w):
+            s = make_set(w)
+            fill_lines(s, [100])
+            fill_lines(s, list(range(1, w)))
+            fill_lines(s, [0])
+            # Step 2: flush la, prefetch it back into the hole.
+            s.invalidate(a << 6)
+            s.fill(a << 6, 0, is_prefetch=True)
+            assert s.ways[a].age == 3
+            # Step 3: load fresh conflicting lines, record eviction order.
+            evicted = fill_lines(s, list(range(200, 200 + w - 1)))
+            assert evicted == list(range(1, w)), f"a={a}"
+
+    def test_figure1_style_walkthrough(self):
+        """A Figure-1-style narrated sequence obeying the Section II-B rules.
+
+        (The published figure's exact ages don't survive PDF text
+        extraction; this encodes the narration: a hit decrements the age,
+        a conflicting load with no age-3 way ages the whole set and evicts
+        the leftmost oldest line.)
+        """
+        s = make_set(6)
+        fill_lines(s, [0, 1, 2, 3, 4, 5])
+        for way, age in enumerate([2, 2, 0, 2, 1, 1]):
+            s.ways[way].age = age
+        # Load l1: hits, age 2 -> 1.
+        s.touch(1)
+        assert s.ages() == [2, 1, 0, 2, 1, 1]
+        # Load l6: misses; one aging round, l0 becomes the first age-3 way.
+        evicted = fill_lines(s, [6])
+        assert evicted == [0]
+        assert s.tags()[0] == 6 << 6
+        assert s.ages() == [2, 2, 1, 3, 2, 2]
+        # Load l7: misses; l3 is already age 3 and is evicted directly.
+        evicted = fill_lines(s, [7])
+        assert evicted == [3]
+
+
+class TestVictimPeek:
+    def test_peek_matches_select_without_mutation(self):
+        s = make_set(4)
+        fill_lines(s, [0, 1, 2, 3])
+        ages_before = s.ages()
+        candidate = s.eviction_candidate()
+        assert s.ages() == ages_before, "peek must not mutate"
+        evicted = fill_lines(s, [9])
+        assert evicted == [candidate >> 6]
+
+    def test_peek_on_partial_set_returns_none(self):
+        s = make_set(4)
+        fill_lines(s, [0, 1])
+        assert s.eviction_candidate() is None
+
+
+@settings(max_examples=200)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["load", "prefetch", "flush"]),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=120,
+    )
+)
+def test_qlru_invariants_under_random_ops(ops):
+    """Ages stay in 0..3; the set never exceeds its associativity; a full
+    set with a non-busy age-3 way always evicts the leftmost such way."""
+    s = make_set(8)
+    for kind, tag in ops:
+        addr = tag << 6
+        if kind == "flush":
+            s.invalidate(addr)
+            continue
+        is_prefetch = kind == "prefetch"
+        idx = s.find(addr)
+        if idx >= 0:
+            s.touch(idx, is_prefetch=is_prefetch)
+        else:
+            expect = None
+            if s.is_full:
+                ages = [line.age for line in s.ways]
+                if MAX_AGE in ages:
+                    expect = s.ways[ages.index(MAX_AGE)].tag
+            evicted, inserted = s.fill(addr, 0, is_prefetch=is_prefetch)
+            assert inserted
+            if expect is not None:
+                assert evicted == expect
+        assert s.occupancy <= 8
+        assert all(line is None or 0 <= line.age <= 3 for line in s.ways)

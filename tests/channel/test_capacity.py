@@ -1,0 +1,84 @@
+"""Tests for the channel-capacity arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.capacity import (
+    binary_entropy,
+    bit_error_rate,
+    capacity_kb_per_s,
+    channel_capacity,
+    raw_rate_kb_per_s,
+)
+from repro.errors import ChannelError
+
+
+class TestBinaryEntropy:
+    def test_extremes_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_half_is_one(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ChannelError):
+            binary_entropy(-0.1)
+        with pytest.raises(ChannelError):
+            binary_entropy(1.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded_and_symmetric(self, p):
+        h = binary_entropy(p)
+        assert 0.0 <= h <= 1.0
+        assert h == pytest.approx(binary_entropy(1.0 - p), abs=1e-9)
+
+    @given(st.floats(min_value=0.001, max_value=0.499))
+    def test_monotone_below_half(self, p):
+        assert binary_entropy(p) < binary_entropy(p + 0.001)
+
+
+class TestCapacity:
+    def test_error_free_capacity_equals_raw_rate(self):
+        assert channel_capacity(1000.0, 0.0) == 1000.0
+
+    def test_useless_channel_at_half_error(self):
+        assert channel_capacity(1000.0, 0.5) == pytest.approx(0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ChannelError):
+            channel_capacity(-1.0, 0.1)
+
+    def test_paper_table2_arithmetic(self):
+        """302 KB/s at 3.4 GHz implies ~1407 cycles/bit error-free."""
+        rate = raw_rate_kb_per_s(cycles_per_bit=1407, frequency_hz=3.4e9)
+        assert rate == pytest.approx(302, rel=0.01)
+
+    def test_capacity_decreases_with_error(self):
+        clean = capacity_kb_per_s(1400, 3.4e9, 0.0)
+        noisy = capacity_kb_per_s(1400, 3.4e9, 0.05)
+        assert noisy < clean
+
+    def test_bad_cycles_rejected(self):
+        with pytest.raises(ChannelError):
+            raw_rate_kb_per_s(0, 3.4e9)
+
+
+class TestBitErrorRate:
+    def test_no_errors(self):
+        assert bit_error_rate([1, 0, 1], [1, 0, 1]) == 0.0
+
+    def test_all_errors(self):
+        assert bit_error_rate([1, 1], [0, 0]) == 1.0
+
+    def test_partial(self):
+        assert bit_error_rate([1, 0, 1, 0], [1, 1, 1, 0]) == 0.25
+
+    def test_empty_is_zero(self):
+        assert bit_error_rate([], []) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ChannelError):
+            bit_error_rate([1], [1, 0])

@@ -1,0 +1,108 @@
+"""Tests for bit encodings and framing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.encoding import RepetitionEncoder, bits_to_bytes, bytes_to_bits
+from repro.channel.framing import Frame, FrameCodec, PREAMBLE_BITS, crc8
+from repro.errors import ChannelError
+
+
+class TestBitPacking:
+    def test_msb_first(self):
+        assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bits_to_bytes([0, 0, 0, 0, 0, 0, 0, 1]) == b"\x01"
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(ChannelError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ChannelError):
+            bits_to_bytes([2] * 8)
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestRepetitionEncoder:
+    def test_even_repetitions_rejected(self):
+        with pytest.raises(ChannelError):
+            RepetitionEncoder(2)
+
+    def test_encode_repeats(self):
+        assert RepetitionEncoder(3).encode([1, 0]) == [1, 1, 1, 0, 0, 0]
+
+    def test_decode_majority(self):
+        assert RepetitionEncoder(3).decode([1, 0, 1, 0, 0, 1]) == [1, 0]
+
+    def test_decode_length_mismatch_rejected(self):
+        with pytest.raises(ChannelError):
+            RepetitionEncoder(3).decode([1, 0])
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ChannelError):
+            RepetitionEncoder(3).encode([7])
+
+    def test_overhead(self):
+        assert RepetitionEncoder(5).overhead() == 5.0
+
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), max_size=40),
+        k=st.sampled_from([1, 3, 5]),
+    )
+    def test_roundtrip_clean_channel(self, bits, k):
+        encoder = RepetitionEncoder(k)
+        assert encoder.decode(encoder.encode(bits)) == bits
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=20))
+    def test_corrects_single_error_per_block(self, bits):
+        encoder = RepetitionEncoder(3)
+        encoded = encoder.encode(bits)
+        encoded[0] ^= 1  # flip one bit in the first block
+        assert encoder.decode(encoded) == bits
+
+
+class TestFraming:
+    def test_crc8_known_vector(self):
+        # CRC-8/ATM of "123456789" is 0xF4.
+        assert crc8(b"123456789") == 0xF4
+
+    def test_roundtrip(self):
+        codec = FrameCodec()
+        bits = codec.encode(b"hello")
+        frame = codec.decode(bits)
+        assert frame == Frame(payload=b"hello", crc_ok=True)
+
+    def test_decode_with_leading_noise(self):
+        codec = FrameCodec()
+        bits = [0, 1, 1, 0, 0] + codec.encode(b"x")
+        frame = codec.decode(bits)
+        assert frame.payload == b"x" and frame.crc_ok
+
+    def test_corruption_detected(self):
+        codec = FrameCodec()
+        bits = codec.encode(b"data!")
+        bits[len(PREAMBLE_BITS) + 10] ^= 1  # corrupt the payload region
+        frame = codec.decode(bits)
+        assert frame is not None
+        assert not frame.crc_ok
+
+    def test_missing_preamble_returns_none(self):
+        assert FrameCodec().decode([0] * 64) is None
+
+    def test_truncated_frame_returns_none(self):
+        codec = FrameCodec()
+        bits = codec.encode(b"hello")
+        assert codec.decode(bits[:-12]) is None
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ChannelError):
+            FrameCodec().encode(bytes(300))
+
+    @given(st.binary(min_size=0, max_size=32))
+    def test_roundtrip_any_payload(self, payload):
+        codec = FrameCodec()
+        frame = codec.decode(codec.encode(payload))
+        assert frame.payload == payload and frame.crc_ok

@@ -1,0 +1,54 @@
+"""Tests for the Hamming(7,4) encoder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.hamming import HammingEncoder
+from repro.errors import ChannelError
+
+nibbles = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=4, max_size=40
+).filter(lambda bits: len(bits) % 4 == 0)
+
+
+class TestHamming:
+    def test_known_codeword(self):
+        # Data 1011 -> codeword 0110011 (standard Hamming(7,4) example).
+        assert HammingEncoder().encode([1, 0, 1, 1]) == [0, 1, 1, 0, 0, 1, 1]
+
+    def test_overhead(self):
+        assert HammingEncoder().overhead() == pytest.approx(1.75)
+
+    def test_bad_lengths_rejected(self):
+        enc = HammingEncoder()
+        with pytest.raises(ChannelError):
+            enc.encode([1, 0, 1])
+        with pytest.raises(ChannelError):
+            enc.decode([1] * 6)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ChannelError):
+            HammingEncoder().encode([2, 0, 0, 0])
+
+    @given(nibbles)
+    def test_roundtrip(self, bits):
+        enc = HammingEncoder()
+        assert enc.decode(enc.encode(bits)) == bits
+
+    @given(nibbles, st.data())
+    def test_corrects_any_single_error_per_block(self, bits, data):
+        enc = HammingEncoder()
+        encoded = enc.encode(bits)
+        # Flip one bit in every 7-bit block.
+        for block in range(len(encoded) // 7):
+            flip = data.draw(st.integers(min_value=0, max_value=6))
+            encoded[block * 7 + flip] ^= 1
+        assert enc.decode(encoded) == bits
+
+    def test_double_error_not_corrected(self):
+        """Hamming(7,4) is single-error-correcting only (documented limit)."""
+        enc = HammingEncoder()
+        encoded = enc.encode([1, 0, 1, 1])
+        encoded[0] ^= 1
+        encoded[1] ^= 1
+        assert enc.decode(encoded) != [1, 0, 1, 1]

@@ -1,0 +1,60 @@
+"""Tests for slot-based synchronisation."""
+
+import random
+
+import pytest
+
+from repro.channel.sync import SlotClock
+from repro.errors import ChannelError
+
+
+def test_slot_start_arithmetic():
+    clock = SlotClock(t0=1000, interval=500)
+    assert clock.slot_start(0) == 1000
+    assert clock.slot_start(3) == 2500
+
+
+def test_negative_slot_rejected():
+    clock = SlotClock(t0=0, interval=100)
+    with pytest.raises(ChannelError):
+        clock.slot_start(-1)
+
+
+def test_bad_interval_rejected():
+    with pytest.raises(ChannelError):
+        SlotClock(t0=0, interval=0)
+    with pytest.raises(ChannelError):
+        SlotClock(t0=0, interval=100, jitter_sigma=-1)
+
+
+def test_edge_without_jitter_is_nominal():
+    clock = SlotClock(t0=0, interval=1000)
+    assert clock.edge(2) == 2000
+    assert clock.edge(2, phase=0.5) == 2500
+
+
+def test_bad_phase_rejected():
+    clock = SlotClock(t0=0, interval=1000)
+    with pytest.raises(ChannelError):
+        clock.edge(0, phase=1.0)
+
+
+def test_jitter_is_bounded_below_by_previous_slot():
+    clock = SlotClock(t0=0, interval=100, jitter_sigma=1e6, rng=random.Random(1))
+    for index in range(1, 50):
+        assert clock.edge(index) >= clock.slot_start(index - 1)
+
+
+def test_jitter_spreads_edges():
+    clock = SlotClock(t0=0, interval=10_000, jitter_sigma=50, rng=random.Random(2))
+    edges = [clock.edge(5) for _ in range(100)]
+    assert len(set(edges)) > 10
+    assert all(abs(e - 50_000) < 5_000 for e in edges)
+
+
+def test_slot_of_inverts_slot_start():
+    clock = SlotClock(t0=1000, interval=500)
+    assert clock.slot_of(1000) == 0
+    assert clock.slot_of(1499) == 0
+    assert clock.slot_of(1500) == 1
+    assert clock.slot_of(0) == 0  # before t0 clamps to slot 0

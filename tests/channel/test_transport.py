@@ -1,0 +1,72 @@
+"""Tests for the composed reliable transport."""
+
+import pytest
+
+from repro.attacks.ntp_ntp import NTPNTPChannel
+from repro.channel.transport import ReliableTransport
+from repro.errors import ChannelError
+from repro.sim.machine import Machine
+from repro.victims.noise import NoiseConfig
+
+
+class _LossyChannel:
+    """Deterministic stand-in channel that flips a burst of bits."""
+
+    def __init__(self, burst_start=40, burst_length=10):
+        self.burst = (burst_start, burst_length)
+
+    def transmit(self, bits, interval, noise=None):
+        from repro.attacks.common import ChannelResult
+
+        received = list(bits)
+        start, length = self.burst
+        for i in range(start, min(len(received), start + length)):
+            received[i] ^= 1
+        return ChannelResult(
+            sent_bits=list(bits),
+            received_bits=received,
+            interval=interval,
+            frequency_hz=3.4e9,
+        )
+
+
+class TestPipeline:
+    def test_encode_decode_roundtrip(self):
+        transport = ReliableTransport(channel=None)
+        bits = transport.encode(b"leaky way")
+        assert transport.decode(bits) == b"leaky way"
+
+    def test_bad_rows_rejected(self):
+        with pytest.raises(ChannelError):
+            ReliableTransport(channel=None, interleave_rows=0)
+
+    def test_burst_errors_corrected(self):
+        """A 10-bit burst is fatal un-interleaved, harmless through the
+        transport (the whole point of the composition)."""
+        transport = ReliableTransport(_LossyChannel(burst_start=40, burst_length=10))
+        delivery = transport.send(b"burst-resistant payload", interval=1500)
+        assert delivery.ok
+        assert delivery.payload == b"burst-resistant payload"
+
+    def test_wrong_length_decodes_to_none(self):
+        transport = ReliableTransport(channel=None)
+        assert transport.decode([0, 1, 0]) is None
+
+    def test_garbage_decodes_to_none(self):
+        transport = ReliableTransport(channel=None)
+        block = transport.interleave_rows * transport.fec.BLOCK_CODE
+        assert transport.decode([0] * (block * 3)) is None
+
+
+class TestEndToEnd:
+    def test_over_real_channel_with_noise(self):
+        machine = Machine.skylake(seed=270)
+        channel = NTPNTPChannel(machine, seed=3, maintenance_period=96)
+        transport = ReliableTransport(channel)
+        delivery = transport.send(
+            b"MICRO 2022", interval=1500, noise=NoiseConfig()
+        )
+        assert delivery.ok
+        assert delivery.channel_ber < 0.05
+        assert delivery.overhead > 1.75  # FEC + framing + padding cost
+        assert delivery.raw_rate_kb_per_s > 200

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import CacheGeometry, LatencyProfile, Machine, NoiseProfile, PlatformConfig
+
+
+def tiny_config(**overrides) -> PlatformConfig:
+    """A small, unsliced machine for fast, exhaustive cache tests."""
+    defaults = dict(
+        name="tiny",
+        microarchitecture="Test",
+        cores=2,
+        frequency_hz=1e9,
+        l1=CacheGeometry(sets=8, ways=2),
+        l2=CacheGeometry(sets=16, ways=4),
+        llc=CacheGeometry(sets=32, ways=8, slices=1),
+        latency=LatencyProfile(),
+        noise=NoiseProfile(jitter_sigma=0.0, jitter_scale=0.0, spike_probability=0.0),
+    )
+    defaults.update(overrides)
+    return PlatformConfig(**defaults)
+
+
+@pytest.fixture
+def tiny_machine() -> Machine:
+    return Machine(tiny_config(), seed=1234)
+
+
+@pytest.fixture
+def skylake_machine() -> Machine:
+    return Machine.skylake(seed=42)
+
+
+def quiet_skylake_config():
+    return Machine.skylake().config.with_overrides(
+        noise=NoiseProfile(jitter_sigma=0.0, jitter_scale=0.0, spike_probability=0.0)
+    )
+
+
+@pytest.fixture
+def quiet_skylake() -> Machine:
+    """Skylake geometry with measurement noise disabled (deterministic)."""
+    return Machine(quiet_skylake_config(), seed=42)
+
+
+@pytest.fixture
+def quiet_skylake_factory():
+    """Fresh quiet machines on demand (for hypothesis-driven tests)."""
+    config = quiet_skylake_config()
+    return lambda: Machine(config, seed=42)

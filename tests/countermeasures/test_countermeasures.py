@@ -1,0 +1,146 @@
+"""Tests for the Section VI-D countermeasures."""
+
+import random
+
+import pytest
+
+from repro.attacks.ntp_ntp import run_ntp_ntp_channel
+from repro.config import SKYLAKE, CacheGeometry
+from repro.countermeasures.insertion_policy import (
+    MODIFIED_LOAD_AGE,
+    MODIFIED_PREFETCH_AGE,
+    machine_with_modified_insertion,
+    modified_insertion_factory,
+    pollution_bound,
+)
+from repro.countermeasures.partitioning import ColoredPageAllocator, domain_color_of
+from repro.countermeasures.randomization import (
+    RandomizedSetMapping,
+    machine_with_randomized_llc,
+)
+from repro.errors import ConfigurationError
+
+
+class TestModifiedInsertion:
+    def test_factory_ages(self):
+        policy = modified_insertion_factory(16)
+        assert policy.load_insert_age == MODIFIED_LOAD_AGE == 1
+        assert policy.prefetch_insert_age == MODIFIED_PREFETCH_AGE == 2
+
+    def test_prefetch_still_evicted_sooner_than_load(self):
+        """The countermeasure preserves PREFETCHNTA's pollution intent."""
+        machine = machine_with_modified_insertion(SKYLAKE, seed=70)
+        space = machine.address_space("x")
+        target = space.alloc_pages(1)[0]
+        evset = machine.llc_eviction_set(space, target, size=16)
+        core = machine.cores[0]
+        for line in evset[:14]:
+            core.load(line)
+        core.prefetchnta(evset[14])      # age 2
+        core.load(evset[15])             # age 1
+        machine.clock += 1000
+        # Conflict: the prefetched line must age out before the loaded one.
+        target_set = machine.hierarchy.llc_set_of(target)
+        candidate = target_set.eviction_candidate(machine.clock)
+        assert candidate == evset[14]
+
+    def test_prefetched_line_is_not_guaranteed_candidate(self):
+        """Unlike the stock policy, age 2 is not an instant candidacy."""
+        machine = machine_with_modified_insertion(SKYLAKE, seed=71)
+        space = machine.address_space("x")
+        target = space.alloc_pages(1)[0]
+        evset = machine.llc_eviction_set(space, target, size=16)
+        core = machine.cores[0]
+        for line in evset[:15]:
+            core.load(line)
+        machine.clock += 1000
+        target_set = machine.hierarchy.llc_set_of(target)
+        # Make an older line: age one resident to 3 by hand (stands in for
+        # history the attacker cannot control).
+        target_set.ways[3].age = 3
+        core.prefetchnta(evset[15])
+        machine.clock += 1000
+        assert target_set.eviction_candidate(machine.clock) != evset[15]
+
+    def test_ntp_ntp_breaks_on_protected_machine(self):
+        machine = machine_with_modified_insertion(SKYLAKE, seed=72)
+        bits = [1, 0, 1, 1, 0, 0, 1, 0] * 8
+        result = run_ntp_ntp_channel(machine, bits, interval=1400)
+        assert result.bit_error_rate > 0.2, "channel must become unreliable"
+
+    def test_pollution_bound(self):
+        assert pollution_bound(3, 16) == pytest.approx(1 / 16)
+        assert pollution_bound(2, 16) is None
+
+
+class TestPartitioning:
+    def test_colors_partition_frames(self):
+        alloc = ColoredPageAllocator(random.Random(0), color_bits=2)
+        frames_a = alloc.alloc_frames_for(0, 20)
+        frames_b = alloc.alloc_frames_for(1, 20)
+        assert all(domain_color_of(f, 2) == 0 for f in frames_a)
+        assert all(domain_color_of(f, 2) == 1 for f in frames_b)
+
+    def test_cross_domain_lines_never_congruent(self):
+        """Different colours imply different LLC sets: no conflicts."""
+        from repro.mem.layout import CacheSetMapping
+
+        alloc = ColoredPageAllocator(random.Random(1), color_bits=2)
+        mapping = CacheSetMapping(CacheGeometry(sets=2048, ways=16, slices=4))
+        lines_a = [f + 0x40 for f in alloc.alloc_frames_for(0, 50)]
+        lines_b = [f + 0x40 for f in alloc.alloc_frames_for(1, 50)]
+        for a in lines_a:
+            for b in lines_b:
+                assert not mapping.congruent(a, b)
+
+    def test_bad_color_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ColoredPageAllocator(random.Random(0), color_bits=0)
+
+
+class TestRandomization:
+    def test_mapping_is_keyed(self):
+        geometry = CacheGeometry(sets=2048, ways=16, slices=4)
+        m1 = RandomizedSetMapping(geometry, key=1)
+        m2 = RandomizedSetMapping(geometry, key=2)
+        addr = 0x1234000
+        assert m1.index(addr) == m1.index(addr)  # deterministic per key
+        different = sum(
+            1 for i in range(200) if m1.index(i << 6) != m2.index(i << 6)
+        )
+        assert different > 150  # re-keying moves almost every line
+
+    def test_same_line_same_set(self):
+        geometry = CacheGeometry(sets=2048, ways=16, slices=4)
+        mapping = RandomizedSetMapping(geometry, key=5)
+        assert mapping.index(0x1000) == mapping.index(0x103F)
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedSetMapping(CacheGeometry(sets=64, ways=8), key=-1)
+
+    def test_eviction_set_expires_on_rekey(self):
+        """An eviction set built under one key is useless under another."""
+        machine1 = machine_with_randomized_llc(SKYLAKE, key=11, seed=73)
+        space = machine1.address_space("attacker")
+        target = space.alloc_pages(1)[0]
+        evset = machine1.llc_eviction_set(space, target, size=16)
+        machine2 = machine_with_randomized_llc(SKYLAKE, key=12, seed=73)
+        still_congruent = sum(
+            1
+            for line in evset
+            if machine2.hierarchy.llc_mapping.congruent(line, target)
+        )
+        assert still_congruent <= 2
+
+    def test_page_offset_heuristic_defeated(self):
+        """Same-offset lines are no likelier to collide than random ones —
+        the structure eviction-set search exploits is gone."""
+        machine = machine_with_randomized_llc(SKYLAKE, key=13, seed=74)
+        mapping = machine.hierarchy.llc_mapping
+        space = machine.address_space("attacker")
+        target = space.alloc_pages(1)[0]
+        same_offset = space.lines_with_offset(0, count=600)
+        hits = sum(1 for line in same_offset if mapping.congruent(line, target))
+        # 600 candidates over 8192 sets: expect < a handful of collisions.
+        assert hits < 5

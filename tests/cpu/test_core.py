@@ -1,0 +1,77 @@
+"""Tests for the Core instruction interface."""
+
+from repro.cache.hierarchy import Level
+
+
+def test_sequential_ops_advance_machine_clock(quiet_skylake):
+    machine = quiet_skylake
+    space = machine.address_space("p")
+    addr = space.alloc_pages(1)[0]
+    core = machine.cores[0]
+    t0 = machine.clock
+    result = core.load(addr)
+    assert machine.clock == t0 + result.latency
+
+
+def test_explicit_time_does_not_advance_clock(quiet_skylake):
+    machine = quiet_skylake
+    addr = machine.address_space("p").alloc_pages(1)[0]
+    core = machine.cores[0]
+    t0 = machine.clock
+    core.load(addr, at=500)
+    assert machine.clock == t0
+
+
+def test_memory_reference_counter(quiet_skylake):
+    machine = quiet_skylake
+    space = machine.address_space("p")
+    a, b = space.lines_with_offset(0, count=2)
+    core = machine.cores[0]
+    core.load(a)
+    core.prefetchnta(b)
+    core.timed_load(a)
+    core.timed_prefetchnta(b)
+    assert core.memory_references == 4
+    core.clflush(a)
+    assert core.flushes == 1
+    core.reset_counters()
+    assert core.memory_references == 0 and core.flushes == 0
+
+
+def test_timed_ops_include_overhead(quiet_skylake):
+    machine = quiet_skylake
+    addr = machine.address_space("p").alloc_pages(1)[0]
+    core = machine.cores[0]
+    raw = core.load(addr)
+    assert raw.level is Level.DRAM
+    timed = core.timed_load(addr)
+    assert timed.level is Level.L1
+    expected = machine.config.latency.measure_overhead + machine.config.latency.l1_hit
+    assert timed.cycles == expected
+
+
+def test_load_all_pointer_chase(quiet_skylake):
+    machine = quiet_skylake
+    space = machine.address_space("p")
+    lines = space.lines_with_offset(0, count=4)
+    core = machine.cores[0]
+    total = core.load_all(lines)
+    assert total == 4 * machine.config.latency.dram
+    total = core.load_all(lines)
+    assert total == 4 * machine.config.latency.l1_hit
+
+
+def test_flush_all(quiet_skylake):
+    machine = quiet_skylake
+    space = machine.address_space("p")
+    lines = space.lines_with_offset(0, count=3)
+    core = machine.cores[0]
+    core.load_all(lines)
+    core.flush_all(lines)
+    assert all(machine.hierarchy.cached_level(0, line) is None for line in lines)
+
+
+def test_lfence_is_noop(quiet_skylake):
+    t0 = quiet_skylake.clock
+    quiet_skylake.cores[0].lfence()
+    assert quiet_skylake.clock == t0

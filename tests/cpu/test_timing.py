@@ -1,0 +1,69 @@
+"""Tests for the timing/noise model."""
+
+import random
+
+from repro.cache.hierarchy import Level, MemOpResult
+from repro.config import LatencyProfile, NoiseProfile
+from repro.cpu.timing import TimingModel
+
+
+def make_model(noise=None, seed=0):
+    return TimingModel(
+        LatencyProfile(),
+        noise or NoiseProfile(),
+        random.Random(seed),
+    )
+
+
+def test_noise_free_measurement_is_overhead_plus_latency():
+    model = make_model(NoiseProfile(jitter_sigma=0.0, jitter_scale=0.0, spike_probability=0.0))
+    assert model.measured(36) == 62 + 36
+
+
+def test_noise_is_nonnegative():
+    model = make_model()
+    assert all(model.noise_cycles() >= 0 for _ in range(2000))
+
+
+def test_noise_has_right_tail_but_tight_mode():
+    model = make_model()
+    samples = sorted(model.noise_cycles() for _ in range(5000))
+    median = samples[len(samples) // 2]
+    p99 = samples[int(len(samples) * 0.99)]
+    assert median <= 3
+    assert p99 > median
+
+
+def test_spikes_occur_at_configured_rate():
+    model = make_model(
+        NoiseProfile(jitter_sigma=0.0, jitter_scale=0.0, spike_probability=0.5, spike_cycles=1000)
+    )
+    spikes = sum(1 for _ in range(2000) if model.noise_cycles() >= 1000)
+    assert 800 < spikes < 1200
+
+
+def test_measure_wraps_result():
+    model = make_model(NoiseProfile(jitter_sigma=0.0, jitter_scale=0.0, spike_probability=0.0))
+    timed = model.measure(MemOpResult(Level.LLC, 36))
+    assert timed.level is Level.LLC
+    assert timed.cycles == 98
+
+
+def test_default_threshold_separates_hit_and_miss():
+    model = make_model()
+    th = model.default_miss_threshold()
+    hit = model.latency.measure_overhead + model.latency.llc_hit
+    miss = model.latency.measure_overhead + model.latency.dram
+    assert hit < th < miss
+
+
+def test_calibrated_targets_match_paper_bands():
+    """Figure 5's bands: ~70 (L1), 90-100 (LLC), >200 (DRAM)."""
+    model = make_model(NoiseProfile(jitter_sigma=0.0, jitter_scale=0.0, spike_probability=0.0))
+    lat = model.latency
+    l1 = model.measured(lat.prefetch_issue)
+    llc = model.measured(lat.llc_hit)
+    dram = model.measured(lat.dram)
+    assert 55 <= l1 <= 80
+    assert 90 <= llc <= 105
+    assert dram > 200

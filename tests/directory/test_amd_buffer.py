@@ -1,0 +1,68 @@
+"""Tests for the AMD NT-buffer hypothesis model."""
+
+import pytest
+
+from repro.directory.amd_buffer import (
+    AMDPrefetchBuffer,
+    BUFFER_HIT,
+    MEMORY_FILL,
+    run_amd_buffer_exchange,
+)
+from repro.errors import ChannelError, ConfigurationError
+
+PATTERN = [1, 0, 1, 1, 0, 0, 1, 0] * 4
+
+
+class TestBuffer:
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AMDPrefetchBuffer(0)
+
+    def test_fill_then_hit(self):
+        buffer = AMDPrefetchBuffer(4)
+        assert buffer.prefetchnta(0x1000) == MEMORY_FILL
+        assert buffer.prefetchnta(0x1000) == BUFFER_HIT
+        assert 0x1000 in buffer
+
+    def test_lru_eviction(self):
+        buffer = AMDPrefetchBuffer(2)
+        buffer.prefetchnta(0x1000)
+        buffer.prefetchnta(0x2000)
+        buffer.prefetchnta(0x1000)  # refresh 0x1000
+        buffer.prefetchnta(0x3000)  # evicts the LRU: 0x2000
+        assert 0x1000 in buffer and 0x3000 in buffer
+        assert 0x2000 not in buffer
+        assert buffer.occupancy == 2
+
+    def test_same_line_different_offsets(self):
+        buffer = AMDPrefetchBuffer(4)
+        buffer.prefetchnta(0x1000)
+        assert buffer.prefetchnta(0x103F) == BUFFER_HIT
+
+
+class TestChannel:
+    def test_exchange_works_with_enough_conflicts(self):
+        result = run_amd_buffer_exchange(PATTERN, capacity=8)
+        assert result.works
+        assert result.received_bits == PATTERN
+
+    def test_no_set_targeting_needed(self):
+        """The hypothetical's punchline: arbitrary lines conflict — the
+        sender needs no eviction sets, just `capacity` distinct lines."""
+        result = run_amd_buffer_exchange(PATTERN, capacity=8, sender_lines=8)
+        assert result.works
+        assert result.conflict_cost == 8
+
+    def test_too_few_conflicts_fail(self):
+        """Under-filling the buffer leaves the receiver's entry resident."""
+        result = run_amd_buffer_exchange(PATTERN, capacity=8, sender_lines=4)
+        assert not result.works
+        # Every "1" is misread as "0"; "0"s are still right.
+        for sent, got in zip(result.sent_bits, result.received_bits):
+            assert got == 0 if sent == 1 else got == 0
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            run_amd_buffer_exchange([])
+        with pytest.raises(ChannelError):
+            run_amd_buffer_exchange([2])

@@ -1,0 +1,106 @@
+"""Tests for the non-inclusive directory hierarchy (Section VI-B)."""
+
+import pytest
+
+from repro.cache.hierarchy import Level
+from repro.directory.hierarchy import DirectoryConfig, DirectoryHierarchy
+from repro.directory.ntp import run_directory_ntp_exchange
+from repro.errors import ChannelError, ConfigurationError
+
+LINE = 0x1234000
+
+
+@pytest.fixture
+def hierarchy():
+    return DirectoryHierarchy(DirectoryConfig())
+
+
+class TestBasics:
+    def test_load_allocates_directory_entry(self, hierarchy):
+        result = hierarchy.load(0, LINE)
+        assert result.level is Level.DRAM
+        assert hierarchy.in_l1(0, LINE)
+        assert hierarchy.in_directory(LINE)
+        assert not hierarchy.in_llc(LINE), "non-inclusive: fills bypass the LLC"
+
+    def test_prefetch_fills_l1_and_directory_only(self, hierarchy):
+        hierarchy.prefetchnta(0, LINE)
+        assert hierarchy.in_l1(0, LINE)
+        assert hierarchy.in_directory(LINE)
+        assert not hierarchy.in_llc(LINE)
+
+    def test_l1_victim_spills_into_llc(self, hierarchy):
+        hierarchy.load(0, LINE)
+        # 8 conflicting L1 lines evict LINE from L1.
+        for i in range(1, 10):
+            hierarchy.load(0, LINE + i * (64 * 64))
+        assert not hierarchy.in_l1(0, LINE)
+        assert hierarchy.in_llc(LINE), "evicted private line becomes LLC victim"
+        assert not hierarchy.in_directory(LINE)
+
+    def test_llc_hit_promotes_back_to_private(self, hierarchy):
+        hierarchy.load(0, LINE)
+        for i in range(1, 10):
+            hierarchy.load(0, LINE + i * (64 * 64))
+        result = hierarchy.load(0, LINE)
+        assert result.level is Level.LLC
+        assert hierarchy.in_l1(0, LINE)
+        assert not hierarchy.in_llc(LINE)
+
+    def test_directory_eviction_back_invalidates(self, hierarchy):
+        """Directory entries live only while lines are private-resident, so
+        overflowing a 12-way directory set takes congruent lines pinned in
+        more than one core's L1 (8 ways each)."""
+        hierarchy.load(0, LINE)
+        mapping = hierarchy.directory_mapping
+        conflicts = []
+        probe = LINE
+        while len(conflicts) < hierarchy.config.directory.ways * 3:
+            probe += 1 << 12
+            if mapping.congruent(probe, LINE):
+                conflicts.append(probe)
+        for i, line in enumerate(conflicts):
+            hierarchy.load(1 + i % 3, line)
+        assert not hierarchy.in_directory(LINE)
+        assert not hierarchy.in_l1(0, LINE), "directory eviction purges L1"
+
+    def test_cross_core_sharing_served_via_directory(self, hierarchy):
+        hierarchy.load(0, LINE)
+        result = hierarchy.load(1, LINE)
+        assert result.level is Level.LLC  # cache-to-cache transfer latency
+        assert hierarchy.in_l1(1, LINE)
+
+    def test_clflush_purges_everything(self, hierarchy):
+        hierarchy.load(0, LINE)
+        hierarchy.clflush(LINE)
+        assert not hierarchy.in_l1(0, LINE)
+        assert not hierarchy.in_directory(LINE)
+        assert not hierarchy.in_llc(LINE)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DirectoryConfig(cores=0)
+
+
+class TestDirectoryNTP:
+    PATTERN = [1, 0, 1, 1, 0, 0, 1, 0] * 4
+
+    def test_channel_works_under_vulnerable_hypothesis(self):
+        """Prefetch-allocated entries at age 3: the channel transfers bits."""
+        result = run_directory_ntp_exchange(self.PATTERN)
+        assert result.works
+        assert result.received_bits == self.PATTERN
+
+    def test_channel_fails_under_safe_insertion(self):
+        """Prefetch-allocated entries at age 2: no targeted displacement."""
+        config = DirectoryConfig(directory_prefetch_insert_age=2)
+        result = run_directory_ntp_exchange(self.PATTERN, config=config)
+        assert not result.works
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ChannelError):
+            run_directory_ntp_exchange([])
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ChannelError):
+            run_directory_ntp_exchange([0, 5])

@@ -1,0 +1,80 @@
+"""Edge-case tests for the non-inclusive directory hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import Level
+from repro.directory.hierarchy import DirectoryConfig, DirectoryHierarchy
+
+LINE = 0x7777000
+
+
+@pytest.fixture
+def hierarchy():
+    return DirectoryHierarchy(DirectoryConfig())
+
+
+def test_prefetch_hits_own_l1_cheaply(hierarchy):
+    hierarchy.prefetchnta(0, LINE)
+    result = hierarchy.prefetchnta(0, LINE)
+    assert result.level is Level.L1
+    assert result.latency == hierarchy.config.latency.prefetch_issue
+
+
+def test_prefetch_of_llc_resident_line_promotes(hierarchy):
+    """An NT prefetch of a victim-cache line pulls it back into the private
+    domain: L1 + directory entry, LLC copy dropped."""
+    hierarchy.load(0, LINE)
+    for i in range(1, 10):  # spill LINE from L1 into the LLC
+        hierarchy.load(0, LINE + i * (64 * 64))
+    assert hierarchy.in_llc(LINE)
+    result = hierarchy.prefetchnta(0, LINE)
+    assert result.level is Level.LLC
+    assert hierarchy.in_l1(0, LINE)
+    assert hierarchy.in_directory(LINE)
+    assert not hierarchy.in_llc(LINE)
+
+
+def test_prefetch_of_remote_private_line(hierarchy):
+    """Prefetching a line resident in another core's cache is served via
+    the directory at cache-to-cache latency."""
+    hierarchy.load(1, LINE)
+    result = hierarchy.prefetchnta(0, LINE)
+    assert result.level is Level.LLC  # directory-assisted transfer cost
+    assert hierarchy.in_l1(0, LINE)
+
+
+def test_llc_eviction_is_silent(hierarchy):
+    """Victim-cache evictions drop lines without touching private copies
+    (non-inclusive: no back-invalidation from the LLC)."""
+    config = hierarchy.config
+    # Fill one LLC set beyond capacity with spilled lines.
+    stride = config.llc.sets * 64
+    spilled = []
+    for i in range(config.llc.ways + 4):
+        base = LINE + i * stride
+        hierarchy.load(0, base)
+        for j in range(1, 10):  # force the spill of `base` from L1
+            hierarchy.load(0, base + j * (64 * 64) + 64)
+        if hierarchy.in_llc(base):
+            spilled.append(base)
+    target_set = hierarchy.llc.set_for(LINE)
+    assert target_set.occupancy <= config.llc.ways
+
+
+def test_reprefetch_after_directory_eviction(hierarchy):
+    """After a directory conflict evicts a line's entry (and its private
+    copies), re-prefetching it works from scratch."""
+    hierarchy.prefetchnta(0, LINE)
+    mapping = hierarchy.directory_mapping
+    conflicts = []
+    probe = LINE
+    while len(conflicts) < hierarchy.config.directory.ways * 3:
+        probe += 1 << 12
+        if mapping.congruent(probe, LINE):
+            conflicts.append(probe)
+    for i, line in enumerate(conflicts):
+        hierarchy.load(1 + i % 3, line)
+    assert not hierarchy.in_l1(0, LINE)
+    result = hierarchy.prefetchnta(0, LINE)
+    assert result.level is Level.DRAM
+    assert hierarchy.in_l1(0, LINE)

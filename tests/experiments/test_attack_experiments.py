@@ -1,0 +1,103 @@
+"""Integration tests for the Section IV-VI experiment harnesses.
+
+Reduced-scale runs asserting the *shape* of each paper result; the
+benchmarks regenerate them at paper scale.
+"""
+
+import pytest
+
+from repro.attacks.prime_scope import PrimePrefetchScope, PrimeScope
+from repro.config import SKYLAKE
+from repro.experiments.capacity_sweep import run_capacity_sweep
+from repro.experiments.detection import run_detection_experiment
+from repro.experiments.evset_speed import run_evset_speed_experiment
+from repro.experiments.iteration_latency import run_iteration_latency_experiment
+from repro.experiments.prep_latency import run_prep_latency_experiment
+from repro.sim.machine import Machine
+
+
+class TestCapacitySweep:
+    def test_ntp_sweep_has_peak_and_collapse(self):
+        result = run_capacity_sweep(
+            lambda: Machine.skylake(seed=90),
+            "ntp+ntp",
+            intervals=(2100, 1400, 1000),
+            n_bits=96,
+        )
+        assert result.channel == "ntp+ntp"
+        capacities = [p.capacity_kb_per_s for p in result.points]
+        assert result.peak.capacity_kb_per_s == max(capacities)
+        # The 1000-cycle point is past the cliff.
+        assert result.points[-1].bit_error_rate > 0.1
+        assert result.points[-1].capacity_kb_per_s < result.peak.capacity_kb_per_s
+
+    def test_rows_render(self):
+        result = run_capacity_sweep(
+            lambda: Machine.skylake(seed=91),
+            "ntp+ntp",
+            intervals=(1500,),
+            n_bits=48,
+        )
+        rows = result.rows()
+        assert len(rows) == 1 and len(rows[0]) == 4
+
+    def test_unknown_channel_rejected(self):
+        from repro.errors import ChannelError
+
+        with pytest.raises(ChannelError):
+            run_capacity_sweep(lambda: Machine.skylake(), "flush+reload")
+
+
+class TestPrepLatency:
+    def test_pps_prep_is_faster(self):
+        result = run_prep_latency_experiment(Machine.skylake(seed=92), rounds=40)
+        assert result.speedup > 1.5
+        ps_cdf, pps_cdf = result.cdfs()
+        assert ps_cdf[0][-1] > pps_cdf[0][-1]  # slowest P+S above slowest PPS
+
+
+class TestDetection:
+    def test_pps_false_negatives_match_paper(self):
+        result = run_detection_experiment(
+            Machine.skylake(seed=93), PrimePrefetchScope, duration=400_000
+        )
+        assert result.false_negative_rate < 0.05  # paper: < 2%
+
+    def test_ps_false_negatives_match_paper(self):
+        result = run_detection_experiment(
+            Machine.skylake(seed=93), PrimeScope, duration=400_000
+        )
+        assert 0.35 < result.false_negative_rate < 0.65  # paper: ~50%
+
+
+class TestIterationLatency:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_iteration_latency_experiment(
+            lambda: Machine.skylake(seed=94), iterations=60
+        )
+
+    def test_figure12_ordering(self, result):
+        assert result.mean_ordering_holds()
+
+    def test_table3_costs(self, result):
+        rr = result.revert_costs["reload+refresh"]
+        v1 = result.revert_costs["prefetch+refresh_v1"]
+        v2 = result.revert_costs["prefetch+refresh_v2"]
+        assert (rr.flushes, rr.dram_accesses, rr.llc_accesses) == (2, 2, 14)
+        assert (v1.flushes, v1.llc_accesses) == (2, 0)
+        assert (v2.flushes, v2.dram_accesses, v2.llc_accesses) == (1, 1, 0)
+
+    def test_all_attacks_accurate(self, result):
+        assert all(acc >= 0.95 for acc in result.accuracy.values())
+
+
+class TestEvsetSpeed:
+    def test_prefetch_method_wins_big(self):
+        result = run_evset_speed_experiment(
+            lambda: Machine.skylake(seed=95), size=8
+        )
+        assert result.reference_ratio > 3.0
+        assert result.time_speedup > 3.0
+        assert result.prefetch_accuracy >= 0.9
+        assert result.baseline_accuracy >= 0.7

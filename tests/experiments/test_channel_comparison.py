@@ -1,0 +1,46 @@
+"""Tests for the channel design-space comparison."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.experiments.channel_comparison import run_channel_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_channel_comparison(n_bits=64)
+
+
+def test_all_channels_profiled(comparison):
+    names = {p.name for p in comparison.profiles}
+    assert names == {
+        "NTP+NTP",
+        "NTP+NTP 3-set redundant",
+        "Prime+Probe",
+        "Prefetch+Prefetch",
+        "occupancy (demo-scale LLC)",
+    }
+
+
+def test_footprint_ordering(comparison):
+    """refs/bit: shared-prefetch <= NTP < redundant < Prime+Probe < occupancy."""
+    by_name = {p.name: p.refs_per_bit for p in comparison.profiles}
+    assert by_name["Prefetch+Prefetch"] <= by_name["NTP+NTP"] <= 3
+    assert by_name["NTP+NTP"] < by_name["NTP+NTP 3-set redundant"]
+    assert by_name["NTP+NTP 3-set redundant"] < by_name["Prime+Probe"]
+    assert by_name["Prime+Probe"] < by_name["occupancy (demo-scale LLC)"]
+
+
+def test_all_reliable_at_operating_points(comparison):
+    for profile in comparison.profiles:
+        assert profile.bit_error_rate < 0.05, profile.name
+
+
+def test_unknown_profile_rejected(comparison):
+    with pytest.raises(ChannelError):
+        comparison.profile("flush+teleport")
+
+
+def test_rows_render(comparison):
+    rows = comparison.rows()
+    assert len(rows) == 5 and len(rows[0]) == 6

@@ -1,0 +1,49 @@
+"""Tests for the detection-vs-period sweep."""
+
+import pytest
+
+from repro.errors import AttackError
+from repro.experiments.detection_sweep import (
+    DetectionSweepResult,
+    DetectionPoint,
+    run_detection_sweep,
+)
+from repro.sim.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_detection_sweep(
+        lambda: Machine.skylake(seed=241), periods=(1500, 4500), duration=300_000
+    )
+
+
+def test_both_attacks_swept(sweep):
+    assert set(sweep.curves) == {"PrimeScope", "PrimePrefetchScope"}
+
+
+def test_pps_handles_the_paper_period(sweep):
+    assert sweep.curve("PrimePrefetchScope")[0].false_negative_rate < 0.05
+
+
+def test_both_converge_at_sparse_victims(sweep):
+    for name in sweep.curves:
+        assert sweep.curve(name)[-1].false_negative_rate < 0.15, name
+
+
+def test_rows_and_header(sweep):
+    assert len(sweep.rows()) == 2
+    assert sweep.header()[0] == "victim period"
+
+
+def test_usable_period_error_when_never_reached():
+    result = DetectionSweepResult(
+        curves={"x": [DetectionPoint(period=1000, false_negative_rate=0.9)]}
+    )
+    with pytest.raises(AttackError):
+        result.usable_period("x")
+
+
+def test_empty_periods_rejected():
+    with pytest.raises(AttackError):
+        run_detection_sweep(lambda: Machine.skylake(seed=242), periods=())

@@ -1,0 +1,44 @@
+"""Tests for the concurrent end-to-end key-extraction experiment."""
+
+import random
+
+import pytest
+
+from repro.errors import AttackError
+from repro.experiments.end_to_end_spy import SpyResult, run_end_to_end_spy
+from repro.sim.machine import Machine
+
+
+def make_key(seed, bits=32):
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(bits)]
+
+
+class TestEndToEndSpy:
+    def test_single_trace_beats_guessing(self):
+        key = make_key(1)
+        result = run_end_to_end_spy(Machine.skylake(seed=180), key)
+        assert result.accuracy > 0.7
+
+    def test_multi_trace_recovers_most_bits(self):
+        key = make_key(2)
+        result = run_end_to_end_spy(Machine.skylake(seed=181), key, traces=4)
+        assert result.accuracy >= 0.9
+        assert result.traces == 4
+
+    def test_all_zero_key_yields_no_spurious_ones(self):
+        """With no multiplies there should be (almost) no detections."""
+        result = run_end_to_end_spy(Machine.skylake(seed=182), [0] * 32, traces=2)
+        assert sum(result.recovered_bits) <= 1
+
+    def test_all_one_key(self):
+        result = run_end_to_end_spy(Machine.skylake(seed=183), [1] * 32, traces=4)
+        assert result.accuracy >= 0.85
+
+    def test_bad_traces_rejected(self):
+        with pytest.raises(AttackError):
+            run_end_to_end_spy(Machine.skylake(seed=184), [1, 0], traces=0)
+
+    def test_empty_result_accuracy_rejected(self):
+        with pytest.raises(AttackError):
+            SpyResult().accuracy

@@ -1,0 +1,49 @@
+"""Tests for the inter-keystroke timing experiment."""
+
+import pytest
+
+from repro.errors import AttackError, SimulationError
+from repro.experiments.keystrokes import KeystrokeResult, run_keystroke_experiment
+from repro.sim.machine import Machine
+from repro.victims.keystroke import keystroke_program
+
+
+class TestVictim:
+    def test_empty_text_rejected(self):
+        with pytest.raises(SimulationError):
+            next(keystroke_program(0, "", []))
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(SimulationError):
+            next(keystroke_program(0, "a", [], base_gap=0))
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_keystroke_experiment(Machine.skylake(seed=281))
+
+    def test_most_presses_captured(self, result):
+        assert result.capture_rate >= 0.6
+
+    def test_intervals_recovered_to_check_resolution(self, result):
+        """The Section V-A1 claim applied: timing recovered to within
+        roughly one ~70-cycle scope-check window."""
+        assert result.median_interval_error < 150
+
+    def test_detections_follow_presses(self, result):
+        """Almost every detection trails a real press closely (allow a
+        stray or two from monitor warm-up / late recovery sweeps)."""
+        close = sum(
+            1
+            for stamp in result.detections
+            if any(0 <= stamp - press <= 2_000 for press in result.presses)
+        )
+        assert close >= 0.8 * len(result.detections)
+
+    def test_empty_result_guards(self):
+        empty = KeystrokeResult()
+        with pytest.raises(AttackError):
+            empty.capture_rate
+        with pytest.raises(AttackError):
+            empty.median_interval_error

@@ -1,0 +1,43 @@
+"""Tests for the noise-robustness sweep."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.experiments.noise_sweep import run_noise_sweep
+from repro.sim.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_noise_sweep(
+        lambda: Machine.skylake(seed=211), biases=(0.0, 0.03), n_bits=96
+    )
+
+
+def test_all_variants_present(sweep):
+    assert set(sweep.curves) == {
+        "ntp+ntp",
+        "ntp+ntp (maintained)",
+        "ntp 3-set redundant",
+        "prime+probe",
+    }
+
+
+def test_quiet_baseline_is_clean(sweep):
+    for name in sweep.curves:
+        assert sweep.curve(name)[0].bit_error_rate < 0.03, name
+
+
+def test_noise_hurts_prime_probe_most(sweep):
+    assert sweep.final_ber("prime+probe") >= sweep.final_ber("ntp+ntp")
+
+
+def test_rows_shape(sweep):
+    rows = sweep.rows()
+    assert len(rows) == 2
+    assert len(rows[0]) == 5  # bias + 4 variants
+
+
+def test_empty_biases_rejected():
+    with pytest.raises(ChannelError):
+        run_noise_sweep(lambda: Machine.skylake(seed=212), biases=())

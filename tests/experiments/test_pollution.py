@@ -1,0 +1,37 @@
+"""Tests for the LLC-pollution experiment (Section VI-D trade-off)."""
+
+from repro.config import SKYLAKE
+from repro.countermeasures.insertion_policy import machine_with_modified_insertion
+from repro.experiments.pollution import run_pollution_experiment
+from repro.sim.machine import Machine
+
+
+def test_stock_policy_keeps_one_way_bound():
+    result = run_pollution_experiment(Machine.skylake(seed=141), prefetch_streams=24)
+    assert result.pollution_bound_holds
+    assert result.peak_fraction <= 1 / 16
+
+
+def test_modified_policy_loses_the_bound():
+    machine = machine_with_modified_insertion(SKYLAKE, seed=141)
+    result = run_pollution_experiment(machine, prefetch_streams=24)
+    assert not result.pollution_bound_holds
+    assert result.peak_prefetched_ways >= 3
+
+
+def test_samples_recorded_per_prefetch():
+    result = run_pollution_experiment(Machine.skylake(seed=142), prefetch_streams=10)
+    assert len(result.samples) == 10
+    assert all(0 <= s <= 16 for s in result.samples)
+
+
+def test_demand_hit_clears_pollution_marker():
+    """A demand hit proves temporal locality: the line stops counting as
+    prefetched pollution (mirrors the hardware's NTA-hint clearing)."""
+    machine = Machine.skylake(seed=143)
+    line = machine.address_space("x").alloc_pages(1)[0]
+    machine.cores[0].prefetchnta(line)
+    llc_line = machine.hierarchy.llc_set_of(line).line_for(line)
+    assert llc_line.prefetched
+    machine.cores[1].load(line)  # demand LLC hit from another core
+    assert not llc_line.prefetched

@@ -1,0 +1,41 @@
+"""Tests for the temporal-resolution experiment."""
+
+import pytest
+
+from repro.attacks.prime_scope import PrimePrefetchScope
+from repro.errors import AttackError
+from repro.experiments.resolution import (
+    ResolutionResult,
+    measure_prime_probe_granularity,
+    measure_scope_granularity,
+    run_resolution_experiment,
+)
+from repro.sim.machine import Machine
+
+
+def test_scope_granularity_is_fine(quiet_skylake):
+    granularity = measure_scope_granularity(
+        quiet_skylake, PrimePrefetchScope, window=80_000
+    )
+    assert 50 < granularity < 250
+
+
+def test_prime_probe_granularity_is_coarse():
+    machine = Machine.skylake(seed=153)
+    granularity = measure_prime_probe_granularity(machine)
+    assert granularity > 2000
+
+
+def test_resolution_experiment_detects_and_localizes():
+    result = run_resolution_experiment(
+        Machine.skylake(seed=154), PrimePrefetchScope, events=40
+    )
+    assert result.detected >= 15
+    assert result.summary().p50 < 600
+    assert result.check_granularity > 0
+
+
+def test_empty_summary_rejected():
+    result = ResolutionResult(attack="x")
+    with pytest.raises(AttackError):
+        result.summary()

@@ -1,0 +1,25 @@
+"""Tests for the calibration-sensitivity experiment."""
+
+import pytest
+
+from repro.config import SKYLAKE
+from repro.errors import ReproError
+from repro.experiments.sensitivity import run_sensitivity_experiment
+
+
+def test_advantage_holds_at_nominal_point():
+    result = run_sensitivity_experiment(SKYLAKE, scales=(1.0,), n_bits=96)
+    point = result.points[0]
+    assert point.advantage > 2.5
+    assert 250 < point.ntp_capacity < 350
+
+
+def test_higher_sync_budget_lowers_capacity():
+    result = run_sensitivity_experiment(SKYLAKE, scales=(0.9, 1.1), n_bits=96)
+    fast, slow = result.points
+    assert fast.ntp_capacity > slow.ntp_capacity
+
+
+def test_empty_scales_rejected():
+    with pytest.raises(ReproError):
+        run_sensitivity_experiment(SKYLAKE, scales=())

@@ -1,0 +1,63 @@
+"""Tests for physical-address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.mem.address import (
+    LINE_OFFSET_BITS,
+    LINES_PER_PAGE,
+    PAGE_OFFSET_BITS,
+    line_address,
+    line_offset,
+    page_number,
+    page_offset,
+    validate_address,
+)
+
+
+def test_line_offset_bits_match_64_byte_lines():
+    assert LINE_OFFSET_BITS == 6
+    assert PAGE_OFFSET_BITS == 12
+    assert LINES_PER_PAGE == 64
+
+
+def test_line_address_clears_low_bits():
+    assert line_address(0x1234) == 0x1200
+    assert line_address(0x1200) == 0x1200
+    assert line_address(0) == 0
+
+
+def test_line_offset():
+    assert line_offset(0x1234) == 0x34
+    assert line_offset(0x1240) == 0
+
+
+def test_page_helpers():
+    assert page_number(0x5432) == 5
+    assert page_offset(0x5432) == 0x432
+
+
+def test_negative_address_rejected():
+    with pytest.raises(AddressError):
+        validate_address(-1)
+
+
+def test_non_int_address_rejected():
+    with pytest.raises(AddressError):
+        validate_address(1.5)
+    with pytest.raises(AddressError):
+        validate_address(True)
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1))
+def test_line_address_is_idempotent_and_aligned(addr):
+    aligned = line_address(addr)
+    assert aligned % 64 == 0
+    assert line_address(aligned) == aligned
+    assert aligned <= addr < aligned + 64
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1))
+def test_page_decomposition_roundtrips(addr):
+    assert page_number(addr) * 4096 + page_offset(addr) == addr

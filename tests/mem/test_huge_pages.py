@@ -1,0 +1,91 @@
+"""Tests for huge-page allocation and the eviction-set shortcut it enables."""
+
+import random
+
+import pytest
+
+from repro.attacks.evset import (
+    build_eviction_set_prefetch,
+    hugepage_candidates,
+    verify_eviction_set,
+)
+from repro.errors import AddressError
+from repro.mem.allocator import (
+    FRAMES_PER_HUGE_PAGE,
+    HUGE_PAGE_SIZE,
+    AddressSpace,
+    PageAllocator,
+)
+from repro.sim.machine import Machine
+
+
+class TestHugeAllocation:
+    def test_alignment_and_size(self):
+        alloc = PageAllocator(random.Random(0))
+        base = alloc.alloc_huge_frame()
+        assert base % HUGE_PAGE_SIZE == 0
+        assert FRAMES_PER_HUGE_PAGE == 512
+
+    def test_huge_pages_do_not_overlap_small_pages(self):
+        alloc = PageAllocator(random.Random(1), frames=1 << 16)
+        small = set(alloc.alloc_frames(200))
+        huge = alloc.alloc_huge_frame()
+        huge_frames = {huge + i * 4096 for i in range(FRAMES_PER_HUGE_PAGE)}
+        assert not huge_frames & small
+        # ...and later small allocations avoid the huge page's frames.
+        more_small = set(alloc.alloc_frames(200))
+        assert not huge_frames & more_small
+
+    def test_fragmented_memory_raises(self):
+        alloc = PageAllocator(random.Random(1), frames=8192)
+        alloc.alloc_frames(100)  # ~one random frame per huge region
+        with pytest.raises(AddressError):
+            alloc.alloc_huge_frame()
+
+    def test_huge_pages_are_distinct(self):
+        alloc = PageAllocator(random.Random(2), frames=16 * FRAMES_PER_HUGE_PAGE)
+        bases = {alloc.alloc_huge_frame() for _ in range(4)}
+        assert len(bases) == 4
+
+    def test_too_small_memory_rejected(self):
+        alloc = PageAllocator(random.Random(3), frames=64)
+        with pytest.raises(AddressError):
+            alloc.alloc_huge_frame()
+
+    def test_address_space_tracks_huge_pages(self):
+        alloc = PageAllocator(random.Random(4))
+        space = AddressSpace(alloc, "p")
+        bases = space.alloc_huge_pages(2)
+        assert space.huge_pages == bases
+
+
+class TestHugePageEvictionSets:
+    def test_candidates_share_set_index(self):
+        machine = Machine.skylake(seed=201)
+        target = machine.address_space("victim").alloc_pages(1)[0]
+        space = machine.address_space("attacker")
+        stream = hugepage_candidates(machine, space, target)
+        sets_per_slice = machine.config.llc.sets
+        target_index = (target >> 6) % sets_per_slice
+        for _ in range(64):
+            candidate = next(stream)
+            assert (candidate >> 6) % sets_per_slice == target_index
+
+    def test_construction_is_much_cheaper(self):
+        machine = Machine.skylake(seed=202)
+        target = machine.address_space("victim").alloc_pages(1)[0]
+        space = machine.address_space("attacker")
+        small = build_eviction_set_prefetch(
+            machine, machine.cores[0], target,
+            space.candidate_lines(offset=target % 4096 // 64 * 64), size=8,
+        )
+        machine2 = Machine.skylake(seed=202)
+        target2 = machine2.address_space("victim").alloc_pages(1)[0]
+        space2 = machine2.address_space("attacker")
+        huge = build_eviction_set_prefetch(
+            machine2, machine2.cores[0], target2,
+            hugepage_candidates(machine2, space2, target2), size=8,
+        )
+        assert verify_eviction_set(machine2, target2, huge.lines) == 1.0
+        # Only the 4-way slice hash is left to the search: ~32x fewer tests.
+        assert small.candidates_tested > 8 * huge.candidates_tested

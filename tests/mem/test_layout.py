@@ -1,0 +1,106 @@
+"""Tests for set-index and slice-hash computation."""
+
+import collections
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CacheGeometry
+from repro.errors import AddressError
+from repro.mem.layout import CacheSetMapping, SliceHash
+
+
+def test_slice_hash_rejects_non_power_of_two():
+    with pytest.raises(AddressError):
+        SliceHash(3)
+
+
+def test_slice_hash_mask_count_must_match():
+    with pytest.raises(AddressError):
+        SliceHash(4, masks=(0b1,))
+
+
+def test_single_slice_hash_always_zero():
+    h = SliceHash(1, masks=())
+    assert h.slice_of(0) == 0
+    assert h.slice_of(123456789) == 0
+
+
+def test_slice_hash_is_deterministic():
+    h = SliceHash(4)
+    line = 0xDEADBEEF
+    assert h.slice_of(line) == h.slice_of(line)
+
+
+def test_slice_hash_xor_linearity():
+    """XOR-fold hashes are linear: h(a ^ b) == h(a) ^ h(b)."""
+    h = SliceHash(4)
+    a, b = 0x123456, 0xABCDEF
+    assert h.slice_of(a ^ b) == h.slice_of(a) ^ h.slice_of(b)
+
+
+def test_slice_hash_balance():
+    """Sequential lines should spread roughly evenly over slices."""
+    h = SliceHash(4)
+    counts = collections.Counter(h.slice_of(line) for line in range(4096))
+    assert set(counts) == {0, 1, 2, 3}
+    assert max(counts.values()) < 2 * min(counts.values())
+
+
+def test_mapping_unsliced_set_index_uses_low_line_bits():
+    mapping = CacheSetMapping(CacheGeometry(sets=64, ways=8))
+    assert mapping.index(0).flat == (0, 0)
+    # Address 64 bytes later -> next set.
+    assert mapping.index(64).set == 1
+    # Wrap after 64 sets of 64-byte lines.
+    assert mapping.index(64 * 64).set == 0
+
+
+def test_mapping_same_line_same_set():
+    mapping = CacheSetMapping(CacheGeometry(sets=64, ways=8))
+    assert mapping.index(0x1000).flat == mapping.index(0x103F).flat
+
+
+def test_mapping_sliced_congruence_requires_same_slice():
+    geometry = CacheGeometry(sets=2048, ways=16, slices=4)
+    mapping = CacheSetMapping(geometry)
+    base = 0x100000
+    # Find two addresses with identical set bits but different slices.
+    stride = 2048 * 64  # same set index, varying upper bits
+    slices = {mapping.index(base + i * stride).slice for i in range(32)}
+    assert len(slices) > 1, "slice hash should vary across the upper bits"
+    a = base
+    b = next(
+        base + i * stride
+        for i in range(1, 32)
+        if mapping.index(base + i * stride).slice != mapping.index(base).slice
+    )
+    assert mapping.index(a).set == mapping.index(b).set
+    assert not mapping.congruent(a, b)
+
+
+def test_mapping_set_bits():
+    mapping = CacheSetMapping(CacheGeometry(sets=2048, ways=16, slices=4))
+    assert mapping.set_bits() == 11
+
+
+def test_mapping_slice_hash_geometry_mismatch_rejected():
+    geometry = CacheGeometry(sets=2048, ways=16, slices=4)
+    with pytest.raises(AddressError):
+        CacheSetMapping(geometry, slice_hash=SliceHash(2))
+
+
+@given(st.integers(min_value=0, max_value=2**46))
+def test_congruence_is_reflexive(addr):
+    mapping = CacheSetMapping(CacheGeometry(sets=2048, ways=16, slices=4))
+    assert mapping.congruent(addr, addr)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**46),
+    st.integers(min_value=0, max_value=63),
+)
+def test_same_line_always_congruent(addr, offset):
+    mapping = CacheSetMapping(CacheGeometry(sets=2048, ways=16, slices=4))
+    base = (addr >> 6) << 6
+    assert mapping.congruent(base, base + offset)

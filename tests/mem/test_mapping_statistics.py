@@ -1,0 +1,65 @@
+"""Statistical properties of the set mappings the attacks search against."""
+
+import collections
+
+from repro.config import CacheGeometry
+from repro.countermeasures.randomization import RandomizedSetMapping
+from repro.mem.layout import CacheSetMapping, SliceHash
+
+
+class TestSliceHashStatistics:
+    def test_masks_are_linearly_independent(self):
+        """Dependent masks would collapse slices; verify rank 2 over GF(2)."""
+        m0, m1 = SliceHash(4).masks
+        assert m0 != 0 and m1 != 0 and m0 != m1
+        # XOR of the two masks must not be zero (pairwise independence).
+        assert m0 ^ m1 != 0
+
+    def test_congruence_probability_matches_theory(self):
+        """Same-page-offset candidates collide with probability
+        ~1/(2^extra-index-bits x slices) = 1/128 on the modelled LLC."""
+        geometry = CacheGeometry(sets=2048, ways=16, slices=4)
+        mapping = CacheSetMapping(geometry)
+        target = 0x123456000
+        hits = sum(
+            1
+            for i in range(1, 20_000)
+            if mapping.congruent(target, target + i * 4096)
+        )
+        rate = hits / 20_000
+        assert 1 / 128 * 0.6 < rate < 1 / 128 * 1.6
+
+    def test_slices_balanced_over_random_pages(self):
+        hash4 = SliceHash(4)
+        counts = collections.Counter(
+            hash4.slice_of((0x9E3779B9 * i) & ((1 << 34) - 1)) for i in range(8000)
+        )
+        assert min(counts.values()) > 0.8 * max(counts.values())
+
+
+class TestRandomizedMappingStatistics:
+    def test_sets_roughly_uniform(self):
+        geometry = CacheGeometry(sets=64, ways=8, slices=1)
+        mapping = RandomizedSetMapping(geometry, key=9)
+        counts = collections.Counter(
+            mapping.index(i << 6).set for i in range(6400)
+        )
+        assert len(counts) == 64
+        # Expect ~100 per set; allow generous Poisson slack.
+        assert min(counts.values()) > 50
+        assert max(counts.values()) < 160
+
+    def test_no_page_offset_structure(self):
+        """Within one page, lines scatter over sets (no contiguous runs) —
+        the property that defeats offset-based candidate generation."""
+        geometry = CacheGeometry(sets=2048, ways=16, slices=4)
+        mapping = RandomizedSetMapping(geometry, key=10)
+        indices = [mapping.index(0x5000000 + i * 64).flat for i in range(64)]
+        assert len(set(indices)) > 60  # essentially all distinct
+
+    def test_keys_decorrelate(self):
+        geometry = CacheGeometry(sets=2048, ways=16, slices=4)
+        a = RandomizedSetMapping(geometry, key=1)
+        b = RandomizedSetMapping(geometry, key=2)
+        same = sum(1 for i in range(2000) if a.index(i << 6) == b.index(i << 6))
+        assert same < 10  # ~2000/8192 expected by chance

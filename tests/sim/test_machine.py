@@ -1,0 +1,85 @@
+"""Tests for Machine assembly and helpers."""
+
+from repro.cache.qlru import QuadAgeLRU
+from repro.sim.machine import Machine
+
+
+class TestConstruction:
+    def test_presets(self):
+        assert Machine.skylake().config.microarchitecture == "Skylake"
+        assert Machine.kaby_lake().config.microarchitecture == "Kaby Lake"
+
+    def test_seed_determinism(self):
+        a = Machine.skylake(seed=5).address_space("x").alloc_pages(10)
+        b = Machine.skylake(seed=5).address_space("x").alloc_pages(10)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = Machine.skylake(seed=5).address_space("x").alloc_pages(10)
+        b = Machine.skylake(seed=6).address_space("x").alloc_pages(10)
+        assert a != b
+
+    def test_custom_llc_policy_factory(self):
+        machine = Machine.skylake(
+            seed=1, llc_policy_factory=lambda w: QuadAgeLRU(w, load_insert_age=1)
+        )
+        line = machine.address_space("x").alloc_pages(1)[0]
+        machine.cores[0].load(line)
+        assert machine.hierarchy.llc_set_of(line).line_for(line).age == 1
+
+
+class TestHelpers:
+    def test_llc_eviction_set_is_congruent(self):
+        machine = Machine.skylake(seed=7)
+        space = machine.address_space("x")
+        target = space.alloc_pages(1)[0]
+        evset = machine.llc_eviction_set(space, target)
+        assert len(evset) == 17  # w + 1 by default
+        mapping = machine.hierarchy.llc_mapping
+        assert all(mapping.congruent(line, target) for line in evset)
+
+    def test_private_eviction_lines_avoid_llc_set(self):
+        machine = Machine.skylake(seed=8)
+        space = machine.address_space("x")
+        target = space.alloc_pages(1)[0]
+        lines = machine.private_eviction_lines(space, target)
+        h = machine.hierarchy
+        assert len(lines) == 13  # l1 ways + l2 ways + 1
+        for line in lines:
+            assert h.l1_mapping.congruent(line, target)
+            assert h.l2_mapping.congruent(line, target)
+            assert not h.llc_mapping.congruent(line, target)
+
+    def test_miss_threshold_separates_bands(self):
+        machine = Machine.skylake(seed=9)
+        lat = machine.config.latency
+        threshold = machine.miss_threshold()
+        assert lat.measure_overhead + lat.llc_hit < threshold
+        assert threshold < lat.measure_overhead + lat.dram
+
+    def test_flush_lines(self):
+        machine = Machine.skylake(seed=10)
+        space = machine.address_space("x")
+        lines = space.lines_with_offset(0, count=3)
+        for line in lines:
+            machine.cores[0].load(line)
+        machine.flush_lines(lines)
+        assert all(not machine.hierarchy.in_llc(line) for line in lines)
+
+    def test_stats_report_contents(self):
+        machine = Machine.skylake(seed=11)
+        line = machine.address_space("x").alloc_pages(1)[0]
+        machine.cores[0].load(line)
+        machine.cores[0].load(line)
+        report = machine.stats_report()
+        assert "LLC" in report
+        assert "hit rate" in report
+        assert "2 memory references" in report
+
+    def test_reset_stats_clears_counters(self):
+        machine = Machine.skylake(seed=12)
+        line = machine.address_space("x").alloc_pages(1)[0]
+        machine.cores[0].load(line)
+        machine.reset_stats()
+        assert machine.cores[0].memory_references == 0
+        assert machine.hierarchy.llc.stats.accesses == 0

@@ -1,0 +1,163 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.cache.hierarchy import Level
+from repro.errors import SimulationError
+from repro.sim.process import (
+    Clflush,
+    Load,
+    PrefetchNTA,
+    Sleep,
+    TimedLoad,
+    TimedPrefetchNTA,
+    WaitUntil,
+)
+from repro.sim.scheduler import Scheduler
+
+
+def test_single_process_runs_to_completion(quiet_skylake):
+    machine = quiet_skylake
+    addr = machine.address_space("p").alloc_pages(1)[0]
+
+    def program():
+        first = yield Load(addr)
+        second = yield Load(addr)
+        return (first.level, second.level)
+
+    sched = Scheduler(machine)
+    proc = sched.spawn("p", 0, program())
+    sched.run()
+    assert proc.finished
+    assert proc.result == (Level.DRAM, Level.L1)
+    assert proc.time == machine.config.latency.dram + machine.config.latency.l1_hit
+
+
+def test_wait_until_and_sleep(quiet_skylake):
+    def program():
+        yield Sleep(100)
+        yield WaitUntil(5000)
+        yield WaitUntil(10)  # in the past: no-op
+        return "done"
+
+    sched = Scheduler(quiet_skylake)
+    proc = sched.spawn("p", 0, program())
+    sched.run()
+    assert proc.time == 5000
+    assert proc.result == "done"
+
+
+def test_negative_sleep_rejected(quiet_skylake):
+    def program():
+        yield Sleep(-5)
+
+    sched = Scheduler(quiet_skylake)
+    sched.spawn("p", 0, program())
+    with pytest.raises(SimulationError):
+        sched.run()
+
+
+def test_unknown_op_rejected(quiet_skylake):
+    def program():
+        yield "not an op"
+
+    sched = Scheduler(quiet_skylake)
+    sched.spawn("p", 0, program())
+    with pytest.raises(SimulationError):
+        sched.run()
+
+
+def test_core_exclusivity(quiet_skylake):
+    def program():
+        yield Sleep(10)
+
+    sched = Scheduler(quiet_skylake)
+    sched.spawn("a", 0, program())
+    with pytest.raises(SimulationError):
+        sched.spawn("b", 0, program())
+    sched.spawn("c", 1, program())  # other core is fine
+
+
+def test_bad_core_rejected(quiet_skylake):
+    def program():
+        yield Sleep(1)
+
+    sched = Scheduler(quiet_skylake)
+    with pytest.raises(SimulationError):
+        sched.spawn("p", 99, program())
+
+
+def test_processes_interleave_in_time_order(quiet_skylake):
+    """Two processes' shared-cache interactions happen in timestamp order."""
+    machine = quiet_skylake
+    addr = machine.address_space("p").alloc_pages(1)[0]
+
+    def early():
+        yield WaitUntil(1000)
+        yield Load(addr)  # DRAM fill at t=1000
+
+    def late():
+        yield WaitUntil(20_000)
+        result = yield Load(addr)
+        return result.level
+
+    sched = Scheduler(machine)
+    sched.spawn("early", 0, early())
+    late_proc = sched.spawn("late", 1, late())
+    sched.run()
+    assert late_proc.result is Level.LLC  # sees the early process's fill
+
+
+def test_time_horizon_suspends_processes(quiet_skylake):
+    def forever():
+        while True:
+            yield Sleep(1000)
+
+    sched = Scheduler(quiet_skylake)
+    proc = sched.spawn("loop", 0, forever())
+    sched.run(until=50_000)
+    assert proc.finished
+    assert proc.result is None
+    assert proc.time <= 51_000
+
+
+def test_run_all_returns_results_in_spawn_order(quiet_skylake):
+    def mk(value):
+        def program():
+            yield Sleep(value)
+            return value
+
+        return program()
+
+    sched = Scheduler(quiet_skylake)
+    sched.spawn("a", 0, mk(30))
+    sched.spawn("b", 1, mk(10))
+    assert sched.run_all() == [30, 10]
+
+
+def test_machine_clock_catches_up_after_run(quiet_skylake):
+    def program():
+        yield Sleep(123_456)
+
+    sched = Scheduler(quiet_skylake)
+    sched.spawn("p", 0, program())
+    sched.run()
+    assert quiet_skylake.clock >= 123_456
+
+
+def test_all_op_kinds_execute(quiet_skylake):
+    machine = quiet_skylake
+    addr = machine.address_space("p").alloc_pages(1)[0]
+
+    def program():
+        yield PrefetchNTA(addr)
+        timed = yield TimedPrefetchNTA(addr)
+        assert timed.level is Level.L1
+        yield Clflush(addr)
+        timed = yield TimedLoad(addr)
+        return timed.level
+
+    sched = Scheduler(machine)
+    proc = sched.spawn("p", 0, program())
+    sched.run()
+    assert proc.result is Level.DRAM

@@ -1,0 +1,120 @@
+"""Tests for streamed ops and scheduler timing properties."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.process import (
+    Load,
+    ReadTSC,
+    Sleep,
+    StreamClflush,
+    StreamLoad,
+    WaitUntil,
+)
+from repro.sim.scheduler import Scheduler
+
+
+class TestStreamOps:
+    def test_stream_load_is_cheaper_but_equivalent(self, quiet_skylake):
+        machine = quiet_skylake
+        space = machine.address_space("p")
+        a, b = space.lines_with_offset(0, count=2)
+
+        def plain():
+            result = yield Load(a)
+            return result
+
+        def streamed():
+            result = yield StreamLoad(b)
+            return result
+
+        scheduler = Scheduler(machine)
+        p1 = scheduler.spawn("plain", 0, plain(), 0)
+        p2 = scheduler.spawn("streamed", 1, streamed(), 0)
+        scheduler.run()
+        assert p1.result.level == p2.result.level
+        mlp = machine.config.latency.stream_mlp
+        assert p2.time == p1.time // mlp
+        assert machine.hierarchy.in_llc(b), "cache effect identical"
+
+    def test_stream_clflush_flushes_at_reduced_cost(self, quiet_skylake):
+        machine = quiet_skylake
+        addr = machine.address_space("p").alloc_pages(1)[0]
+        machine.cores[0].load(addr)
+
+        def program():
+            yield StreamClflush(addr)
+
+        scheduler = Scheduler(machine)
+        proc = scheduler.spawn("p", 0, program(), 0)
+        scheduler.run()
+        assert not machine.hierarchy.in_llc(addr)
+        lat = machine.config.latency
+        expected = max(1, (lat.clflush + lat.clflush_cached_extra) // lat.stream_mlp)
+        assert proc.time == expected
+
+    def test_readtsc_costs_half_overhead(self, quiet_skylake):
+        machine = quiet_skylake
+
+        def program():
+            first = yield ReadTSC()
+            second = yield ReadTSC()
+            return second - first
+
+        scheduler = Scheduler(machine)
+        proc = scheduler.spawn("p", 0, program(), 0)
+        scheduler.run()
+        assert proc.result == machine.config.latency.measure_overhead // 2
+
+    def test_wait_until_returns_arrival(self, quiet_skylake):
+        def program():
+            on_time = yield WaitUntil(5_000)
+            late = yield WaitUntil(1_000)
+            return on_time, late
+
+        scheduler = Scheduler(quiet_skylake)
+        proc = scheduler.spawn("p", 0, program(), 0)
+        scheduler.run()
+        on_time, late = proc.result
+        assert on_time == 5_000
+        assert late == 5_000  # deadline already passed: no wait
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    # The factory fixture hands out a fresh machine per call, so state does
+    # not leak between generated examples.
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    programs=st.lists(
+        st.lists(
+            st.one_of(
+                st.builds(Sleep, st.integers(min_value=0, max_value=500)),
+                st.builds(WaitUntil, st.integers(min_value=0, max_value=10_000)),
+            ),
+            max_size=15,
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_time_is_monotone_per_process(quiet_skylake_factory, programs):
+    machine = quiet_skylake_factory()
+    scheduler = Scheduler(machine)
+    observed = {i: [] for i in range(len(programs))}
+
+    def make(index, ops):
+        def program():
+            for op in ops:
+                yield op
+                stamp = yield ReadTSC()
+                observed[index].append(stamp)
+
+        return program()
+
+    for index, ops in enumerate(programs):
+        scheduler.spawn(f"p{index}", index, make(index, ops), 0)
+    scheduler.run()
+    for stamps in observed.values():
+        assert stamps == sorted(stamps)

@@ -1,0 +1,119 @@
+"""Tests for the tracing/visualisation infrastructure."""
+
+import pytest
+
+from repro.analysis.setviz import SetWatcher
+from repro.errors import ReproError, SimulationError
+from repro.sim.process import Load, PrefetchNTA
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceRecorder
+
+
+class TestSetWatcher:
+    def test_render_empty_and_labelled(self, quiet_skylake):
+        machine = quiet_skylake
+        space = machine.address_space("p")
+        target = space.alloc_pages(1)[0]
+        watcher = SetWatcher({target: "dr"})
+        target_set = machine.hierarchy.llc_set_of(target)
+        assert watcher.render(target_set).startswith("__")
+        machine.cores[0].load(target)
+        assert "dr:2" in watcher.render(target_set)
+
+    def test_prefetched_marker(self, quiet_skylake):
+        machine = quiet_skylake
+        target = machine.address_space("p").alloc_pages(1)[0]
+        watcher = SetWatcher({target: "dr"})
+        machine.cores[0].prefetchnta(target)
+        target_set = machine.hierarchy.llc_set_of(target)
+        assert "dr:3*" in watcher.render(target_set)
+
+    def test_unlabelled_lines_render_as_unknown(self, quiet_skylake):
+        machine = quiet_skylake
+        target = machine.address_space("p").alloc_pages(1)[0]
+        machine.cores[0].load(target)
+        watcher = SetWatcher()
+        assert "??:2" in watcher.render(machine.hierarchy.llc_set_of(target))
+
+    def test_label_many_and_candidate(self, quiet_skylake):
+        machine = quiet_skylake
+        space = machine.address_space("p")
+        target = space.alloc_pages(1)[0]
+        evset = machine.llc_eviction_set(space, target, size=8)
+        watcher = SetWatcher()
+        watcher.label_many(evset, "w")
+        assert watcher.name_of(evset[3]) == "w3"
+        cache_set = machine.hierarchy.llc_set_of(target)
+        assert watcher.render_eviction_candidate(cache_set) == "(set not full)"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ReproError):
+            SetWatcher().label(0, "")
+
+    def test_diff(self, quiet_skylake):
+        machine = quiet_skylake
+        target = machine.address_space("p").alloc_pages(1)[0]
+        watcher = SetWatcher({target: "dr"})
+        target_set = machine.hierarchy.llc_set_of(target)
+        before = target_set.snapshot()
+        machine.cores[0].load(target)
+        text = watcher.diff(before, target_set)
+        assert "way0: __ -> dr:2" in text
+        assert watcher.diff(target_set.snapshot(), target_set) == "(no change)"
+
+
+class TestTraceRecorder:
+    def test_records_only_watched_set(self, quiet_skylake):
+        machine = quiet_skylake
+        space = machine.address_space("p")
+        target = space.alloc_pages(1)[0]
+        other = target + 64  # same page, different LLC set
+        watcher = SetWatcher({target: "dr"})
+        recorder = TraceRecorder(machine, watch=[target], watcher=watcher)
+
+        def program():
+            yield Load(target)
+            yield Load(other)
+            yield PrefetchNTA(target)
+
+        scheduler = Scheduler(machine)
+        recorder.attach(scheduler)
+        scheduler.spawn("p", 0, program(), start_time=machine.clock)
+        scheduler.run()
+        recorder.detach()
+        assert len(recorder.events) == 2
+        assert [e.op for e in recorder.events] == ["Load", "PrefetchNTA"]
+        assert recorder.events[0].target == "dr"
+        assert "dr:" in recorder.events[0].state_after
+
+    def test_queries_and_dump(self, quiet_skylake):
+        machine = quiet_skylake
+        target = machine.address_space("p").alloc_pages(1)[0]
+        recorder = TraceRecorder(machine, watch=[target])
+
+        def program():
+            yield Load(target)
+            yield Load(target)
+
+        scheduler = Scheduler(machine)
+        with recorder.attach(scheduler):
+            scheduler.spawn("worker", 0, program(), start_time=machine.clock)
+            scheduler.run()
+        assert len(recorder.by_process("worker")) == 2
+        assert recorder.by_process("nobody") == []
+        assert len(recorder.between(0, 10**9)) == 2
+        assert "worker" in recorder.dump(limit=1)
+
+    def test_double_attach_rejected(self, quiet_skylake):
+        machine = quiet_skylake
+        target = machine.address_space("p").alloc_pages(1)[0]
+        recorder = TraceRecorder(machine, watch=[target])
+        scheduler = Scheduler(machine)
+        recorder.attach(scheduler)
+        with pytest.raises(SimulationError):
+            recorder.attach(scheduler)
+        recorder.detach()
+
+    def test_empty_watch_rejected(self, quiet_skylake):
+        with pytest.raises(SimulationError):
+            TraceRecorder(quiet_skylake, watch=[])

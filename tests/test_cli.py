@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_platform_choices(self):
+        args = build_parser().parse_args(["fig3", "--platform", "kaby-lake"])
+        assert args.platform == "kaby-lake"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--platform", "alderlake"])
+
+
+class TestCommands:
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "in-order fraction: 1.00" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--repetitions", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "100%" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--repetitions", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "l1_hit" in out and "dram" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--repetitions", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+
+    def test_send_roundtrip(self, capsys):
+        assert main(["send", "hi", "--interval", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "b'hi'" in out and "CRC OK" in out
+
+    def test_send_reports_failure_exit_code(self, capsys):
+        # An interval far past the cliff garbles the frame.
+        code = main(["send", "hello", "--interval", "700"])
+        assert code == 1
+
+    def test_directory(self, capsys):
+        assert main(["directory"]) == 0
+        out = capsys.readouterr().out
+        assert "True" in out and "False" in out
+
+    def test_fig11(self, capsys):
+        assert main(["fig11", "--repetitions", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "Prime+Prefetch+Scope" in out
+
+    def test_evset_small(self, capsys):
+        assert main(["evset", "--size", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "reference ratio" in out
+
+    def test_pollution(self, capsys):
+        assert main(["pollution"]) == 0
+        out = capsys.readouterr().out
+        assert "1/w bound" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "LLC" in out and "memory references" in out
+
+    def test_fig6_walkthrough(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate=dr" in out and "candidate=ds" in out
+
+    def test_fig8_sweep_small(self, capsys):
+        assert main(["fig8", "--bits", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity" in out and "ntp+ntp" in out
+
+    def test_spy_small(self, capsys):
+        assert main(["spy", "--bits", "24", "--traces", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--bits", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "NTP+NTP" in out and "occupancy" in out

@@ -1,0 +1,105 @@
+"""Tests for platform configuration and the Table I presets."""
+
+import pytest
+
+from repro.config import (
+    CacheGeometry,
+    KABY_LAKE,
+    LatencyProfile,
+    PLATFORMS,
+    PlatformConfig,
+    SKYLAKE,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheGeometry:
+    def test_size_bytes(self):
+        geometry = CacheGeometry(sets=2048, ways=16, slices=4)
+        assert geometry.size_bytes == 8 * 2**20
+        assert geometry.total_sets == 8192
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sets=100, ways=8)
+
+    def test_non_positive_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sets=64, ways=0)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sets=64, ways=8, slices=-1)
+
+
+class TestLatencyProfile:
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            LatencyProfile(l1_hit=50, l2_hit=12)
+
+
+class TestTable1Presets:
+    """Table I of the paper: the two evaluation platforms."""
+
+    def test_skylake_matches_table1(self):
+        assert SKYLAKE.name == "Core i7-6700"
+        assert SKYLAKE.microarchitecture == "Skylake"
+        assert SKYLAKE.cores == 4
+        assert SKYLAKE.frequency_hz == pytest.approx(3.4e9)
+        assert SKYLAKE.l1.ways == 8
+        assert SKYLAKE.l2.ways == 4
+        assert SKYLAKE.llc.ways == 16
+
+    def test_kaby_lake_matches_table1(self):
+        assert KABY_LAKE.name == "Core i7-7700K"
+        assert KABY_LAKE.microarchitecture == "Kaby Lake"
+        assert KABY_LAKE.cores == 4
+        assert KABY_LAKE.frequency_hz == pytest.approx(4.2e9)
+        assert KABY_LAKE.llc.ways == 16
+
+    def test_platform_order(self):
+        assert PLATFORMS == (SKYLAKE, KABY_LAKE)
+
+    def test_llc_is_8mib_shared(self):
+        for platform in PLATFORMS:
+            assert platform.llc.size_bytes == 8 * 2**20
+            assert platform.llc.slices == platform.cores
+
+    def test_insert_ages(self):
+        for platform in PLATFORMS:
+            assert platform.llc_load_insert_age == 2
+            assert platform.llc_prefetch_insert_age == 3
+
+
+class TestPlatformConfig:
+    def test_cycle_conversions_roundtrip(self):
+        cycles = 123456
+        seconds = SKYLAKE.cycles_to_seconds(cycles)
+        assert SKYLAKE.seconds_to_cycles(seconds) == pytest.approx(cycles)
+
+    def test_with_overrides(self):
+        changed = SKYLAKE.with_overrides(cores=4, frequency_hz=1e9)
+        assert changed.frequency_hz == 1e9
+        assert SKYLAKE.frequency_hz == pytest.approx(3.4e9)
+
+    def test_invalid_slice_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(
+                name="bad",
+                microarchitecture="x",
+                cores=4,
+                frequency_hz=1e9,
+                l1=CacheGeometry(sets=64, ways=8),
+                l2=CacheGeometry(sets=1024, ways=4),
+                llc=CacheGeometry(sets=2048, ways=16, slices=2),
+            )
+
+    def test_nonpositive_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(
+                name="bad",
+                microarchitecture="x",
+                cores=0,
+                frequency_hz=1e9,
+                l1=CacheGeometry(sets=64, ways=8),
+                l2=CacheGeometry(sets=1024, ways=4),
+                llc=CacheGeometry(sets=2048, ways=16, slices=1),
+            )

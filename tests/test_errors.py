@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AddressError,
+    AttackError,
+    CacheStateError,
+    ChannelError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    AddressError,
+    CacheStateError,
+    SimulationError,
+    ChannelError,
+    AttackError,
+]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_all_errors_are_repro_errors(error_cls):
+    assert issubclass(error_cls, ReproError)
+    with pytest.raises(ReproError):
+        raise error_cls("boom")
+
+
+def test_catching_base_catches_library_failures():
+    """A downstream user can wrap any library call in `except ReproError`."""
+    from repro.channel.capacity import binary_entropy
+
+    with pytest.raises(ReproError):
+        binary_entropy(2.0)
+
+
+def test_errors_are_not_each_other():
+    assert not issubclass(ChannelError, AttackError)
+    assert not issubclass(AddressError, ConfigurationError)

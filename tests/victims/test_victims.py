@@ -1,0 +1,135 @@
+"""Tests for the victim programs."""
+
+import random
+
+import pytest
+
+from repro.errors import ChannelError, SimulationError
+from repro.sim.scheduler import Scheduler
+from repro.victims.aes import ToyAES, TTABLE_LINES
+from repro.victims.noise import NoiseConfig, background_noise_program, make_noise_lines
+from repro.victims.periodic import periodic_accessor_program
+from repro.victims.rsa import SquareAndMultiplyRSA
+
+
+class TestPeriodicAccessor:
+    def test_period_and_log(self, quiet_skylake):
+        machine = quiet_skylake
+        line = machine.address_space("v").alloc_pages(1)[0]
+        log = []
+        scheduler = Scheduler(machine)
+        scheduler.spawn(
+            "victim", 0, periodic_accessor_program(line, 1000, 10_500, log), 0
+        )
+        scheduler.run()
+        assert len(log) == 10
+        gaps = [b - a for a, b in zip(log, log[1:])]
+        assert all(900 <= g <= 1100 for g in gaps)
+
+    def test_bad_period_rejected(self, quiet_skylake):
+        scheduler = Scheduler(quiet_skylake)
+        scheduler.spawn(
+            "victim", 0, periodic_accessor_program(0, 0, 1000, []), 0
+        )
+        with pytest.raises(SimulationError):
+            scheduler.run()
+
+
+class TestNoise:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ChannelError):
+            NoiseConfig(gap_cycles=0)
+        with pytest.raises(ChannelError):
+            NoiseConfig(target_bias=1.5)
+
+    def test_make_noise_lines_congruence(self, skylake_machine):
+        machine = skylake_machine
+        target = machine.address_space("t").alloc_pages(1)[0]
+        congruent, background = make_noise_lines(machine, [target])
+        mapping = machine.hierarchy.llc_mapping
+        # The pool must be big enough that reuse (a harmless hit) is rare.
+        assert len(congruent) == 24
+        assert all(mapping.congruent(line, target) for line in congruent)
+        assert len(background) == 64
+
+    def test_noise_program_respects_bias(self, quiet_skylake):
+        machine = quiet_skylake
+        target = machine.address_space("t").alloc_pages(1)[0]
+        congruent, background = make_noise_lines(machine, [target])
+        config = NoiseConfig(gap_cycles=100, target_bias=1.0)
+        program = background_noise_program(
+            congruent, background, config, random.Random(0)
+        )
+        scheduler = Scheduler(machine)
+        scheduler.spawn("noise", 0, program, 0)
+        scheduler.run(until=20_000)
+        # With bias 1.0 every access is congruent with the target set.
+        target_set = machine.hierarchy.llc_set_of(target)
+        assert target_set.occupancy > 0
+
+    def test_noise_needs_background_lines(self):
+        with pytest.raises(ChannelError):
+            next(
+                background_noise_program([], [], NoiseConfig(), random.Random(0))
+            )
+
+
+class TestRSA:
+    def test_key_processing(self, quiet_skylake):
+        victim = SquareAndMultiplyRSA(
+            quiet_skylake, core_id=1, key_bits=[1, 0, 1, 1]
+        )
+        seen = [victim.process_next_bit() for _ in range(4)]
+        assert seen == [1, 0, 1, 1]
+        assert victim.finished
+        with pytest.raises(SimulationError):
+            victim.process_next_bit()
+        victim.reset()
+        assert not victim.finished
+
+    def test_multiply_line_touched_only_for_ones(self, quiet_skylake):
+        machine = quiet_skylake
+        victim = SquareAndMultiplyRSA(machine, core_id=1, key_bits=[0, 1])
+        machine.hierarchy.clflush(victim.multiply_line, machine.clock)
+        victim.process_next_bit()  # bit 0: no multiply
+        assert machine.hierarchy.cached_level(1, victim.multiply_line) is None
+        victim.process_next_bit()  # bit 1: multiply
+        assert machine.hierarchy.cached_level(1, victim.multiply_line) is not None
+
+    def test_bad_key_bits_rejected(self, quiet_skylake):
+        with pytest.raises(SimulationError):
+            SquareAndMultiplyRSA(quiet_skylake, core_id=1, key_bits=[2])
+
+    def test_random_key_generated(self, quiet_skylake):
+        victim = SquareAndMultiplyRSA(quiet_skylake, core_id=1, seed=7)
+        assert len(victim.key_bits) == 64
+        assert set(victim.key_bits) <= {0, 1}
+
+
+class TestToyAES:
+    def test_table_geometry(self, quiet_skylake):
+        victim = ToyAES(quiet_skylake, core_id=1)
+        assert len(victim.table_lines) == 4
+        assert all(len(t) == TTABLE_LINES for t in victim.table_lines)
+
+    def test_first_round_lines_depend_on_key(self, quiet_skylake):
+        victim = ToyAES(quiet_skylake, core_id=1, key=[0x50] + [0] * 15)
+        plaintext = [0] * 16
+        lines = victim.first_round_lines(plaintext)
+        # byte 0: (0 ^ 0x50) >> 4 = 5 -> line 5 of table 0.
+        assert lines[0] == victim.table_lines[0][5]
+
+    def test_encrypt_block_touches_lines(self, quiet_skylake):
+        machine = quiet_skylake
+        victim = ToyAES(machine, core_id=1, key=list(range(16)))
+        plaintext = list(range(16))
+        victim.encrypt_block(plaintext)
+        for line in victim.first_round_lines(plaintext):
+            assert machine.hierarchy.cached_level(1, line) is not None
+
+    def test_bad_blocks_rejected(self, quiet_skylake):
+        victim = ToyAES(quiet_skylake, core_id=1)
+        with pytest.raises(SimulationError):
+            victim.first_round_lines([0] * 15)
+        with pytest.raises(SimulationError):
+            ToyAES(quiet_skylake, core_id=1, key=[999] * 16)
