@@ -1,0 +1,80 @@
+"""Engine hot-path throughput: production fast path vs the frozen seed engine.
+
+The sharded sweep runner buys wall-clock time across points; this benchmark
+guards the speedup *within* a point.  Both engines replay one identical
+mixed trace (the channel workloads' op mix: demand loads, PREFETCHNTA, and
+CLFLUSH over LLC-conflicting addresses); the production engine must sustain
+at least twice the reference's ops/sec while the differential tests pin its
+outputs to bit-identical.
+"""
+
+import random
+import time
+
+from conftest import artifact, report
+
+from repro.cache.reference import ReferenceHierarchy
+from repro.config import SKYLAKE
+from repro.sim.machine import Machine
+
+TRACE_LENGTH = 120_000
+OPS = ("load", "prefetchnta", "clflush")
+
+
+def _mixed_trace(seed: int, length: int) -> list:
+    """The channels' op mix over addresses that collide in the LLC."""
+    rng = random.Random(seed)
+    lines = [i * 64 for i in range(768)]
+    return [
+        (rng.choice(OPS), rng.randrange(SKYLAKE.cores), rng.choice(lines))
+        for _ in range(length)
+    ]
+
+
+def _reference_ops_per_sec(trace) -> float:
+    hierarchy = ReferenceHierarchy(SKYLAKE)
+    start = time.perf_counter()
+    now = 0
+    for op, core, addr in trace:
+        if op == "clflush":
+            result = hierarchy.clflush(addr, now)
+        else:
+            result = getattr(hierarchy, op)(core, addr, now)
+        now += result.latency
+    return len(trace) / (time.perf_counter() - start)
+
+
+def _fast_ops_per_sec(trace) -> float:
+    machine = Machine(SKYLAKE, seed=0)
+    start = time.perf_counter()
+    machine.run_trace(trace)
+    return len(trace) / (time.perf_counter() - start)
+
+
+def _compare() -> dict:
+    trace = _mixed_trace(3, TRACE_LENGTH)
+    # Warm-up pass absorbs set-allocation and memo-fill costs for both
+    # engines, then the timed pass measures steady-state throughput.
+    _reference_ops_per_sec(trace[:5000])
+    _fast_ops_per_sec(trace[:5000])
+    reference = _reference_ops_per_sec(trace)
+    fast = _fast_ops_per_sec(trace)
+    return {
+        "trace_length": TRACE_LENGTH,
+        "reference_ops_per_sec": reference,
+        "fast_ops_per_sec": fast,
+        "speedup": fast / reference,
+    }
+
+
+def test_engine_throughput(once):
+    result = once(_compare)
+    artifact("engine_throughput", result)
+    report(
+        "Engine throughput — fast path vs frozen seed engine "
+        "(identical outputs, see tests/cache/test_engine_differential.py)",
+        f"reference: {result['reference_ops_per_sec']:,.0f} ops/s\n"
+        f"fast path: {result['fast_ops_per_sec']:,.0f} ops/s\n"
+        f"speedup:   {result['speedup']:.2f}x",
+    )
+    assert result["speedup"] >= 2.0

@@ -1,5 +1,12 @@
 """Cache substrate: lines, sets, replacement policies, levels, hierarchy."""
 
+#: Version of the simulation engine's *semantics + numeric behaviour*.
+#: The runner's on-disk result cache keys include it, so bump it whenever a
+#: change could alter any experiment's numbers (latencies, policy behaviour,
+#: RNG consumption order) — NOT for pure speedups that keep results
+#: bit-identical.
+ENGINE_VERSION = "1"
+
 from .line import CacheLine
 from .replacement import ReplacementPolicy
 from .qlru import QuadAgeLRU
@@ -11,6 +18,7 @@ from .cachelevel import CacheLevel, LevelStats
 from .hierarchy import CacheHierarchy, MemOpResult, Level
 
 __all__ = [
+    "ENGINE_VERSION",
     "CacheLine",
     "ReplacementPolicy",
     "QuadAgeLRU",

@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..config import CACHE_LINE_SIZE, CacheGeometry
+from ..errors import CacheStateError
 from ..mem.address import line_address
 from ..mem.layout import CacheSetMapping, SetIndex
-from ..config import CacheGeometry
 from .cacheset import CacheSet
 from .replacement import ReplacementPolicy
+
+#: Clears the line-offset bits of a validated (non-negative) address.
+_LINE_MASK = ~(CACHE_LINE_SIZE - 1)
 
 
 @dataclass
@@ -33,14 +37,21 @@ class LevelStats:
     def reset(self) -> None:
         self.hits = self.misses = self.fills = self.evictions = self.invalidations = 0
 
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        return (self.hits, self.misses, self.fills, self.evictions, self.invalidations)
+
 
 class CacheLevel:
     """A set-associative cache level (one slice array).
 
     Sets are created lazily: the experiments only ever touch a handful of
     sets, and the paper's 8 MiB LLC would otherwise cost 8192 live
-    ``CacheSet`` objects per machine.
+    ``CacheSet`` objects per machine.  Pure presence checks go through
+    :meth:`peek_set` and never materialise a set; only fills (and explicit
+    ``set_for``/``set_at`` calls) do.
     """
+
+    __slots__ = ("name", "geometry", "mapping", "_policy_factory", "_sets", "stats")
 
     def __init__(
         self,
@@ -58,22 +69,29 @@ class CacheLevel:
 
     # -- set resolution -------------------------------------------------
 
-    def set_for(self, addr: int) -> CacheSet:
-        """The set ``addr`` maps into, creating it on first touch."""
-        key = self.mapping.index(addr).flat
+    def _get_or_create(self, key: Tuple[int, int]) -> CacheSet:
+        """The set stored under ``key``, creating it on first touch."""
         cache_set = self._sets.get(key)
         if cache_set is None:
             cache_set = CacheSet(self._policy_factory(self.geometry.ways))
             self._sets[key] = cache_set
         return cache_set
 
+    def set_for(self, addr: int) -> CacheSet:
+        """The set ``addr`` maps into, creating it on first touch."""
+        return self._get_or_create(self.mapping.flat_index(addr))
+
     def set_at(self, index: SetIndex) -> CacheSet:
-        key = index.flat
-        cache_set = self._sets.get(key)
-        if cache_set is None:
-            cache_set = CacheSet(self._policy_factory(self.geometry.ways))
-            self._sets[key] = cache_set
-        return cache_set
+        return self._get_or_create(index.flat)
+
+    def peek_set(self, addr: int) -> Optional[CacheSet]:
+        """The set ``addr`` maps into if it has ever been filled, else None.
+
+        Unlike :meth:`set_for` this never creates a set, so read-only
+        introspection does not inflate ``live_sets`` or allocate policy
+        state for sets that were never filled.
+        """
+        return self._sets.get(self.mapping.flat_index(addr))
 
     @property
     def live_sets(self) -> int:
@@ -81,11 +99,28 @@ class CacheLevel:
 
     # -- operations ------------------------------------------------------
 
+    def probe(self, addr: int) -> Tuple[Optional[CacheSet], int]:
+        """Hot-path lookup: ``(set, way)`` for ``addr``, counting stats.
+
+        ``way`` is -1 on a miss (in which case ``set`` may be None if it was
+        never created).  Combines the membership test and the way search in
+        one tag-index query, where the pre-optimization path scanned the
+        ways twice (``lookup`` then ``find``).  ``flat_index`` validates the
+        address, so the tag is computed with raw bit arithmetic.
+        """
+        cache_set = self._sets.get(self.mapping.flat_index(addr))
+        if cache_set is not None:
+            way = cache_set._tag_way.get(addr & _LINE_MASK, -1)
+            if way >= 0:
+                self.stats.hits += 1
+                return cache_set, way
+        self.stats.misses += 1
+        return cache_set, -1
+
     def lookup(self, addr: int) -> Optional[CacheSet]:
         """The set for ``addr`` if it holds the line, else None (counts stats)."""
-        tag = line_address(addr)
-        cache_set = self.set_for(addr)
-        if cache_set.contains(tag):
+        cache_set = self.peek_set(addr)
+        if cache_set is not None and cache_set.contains(line_address(addr)):
             self.stats.hits += 1
             return cache_set
         self.stats.misses += 1
@@ -93,11 +128,14 @@ class CacheLevel:
 
     def contains(self, addr: int) -> bool:
         """Presence check without touching stats or policy state."""
-        return self.set_for(addr).contains(line_address(addr))
+        cache_set = self.peek_set(addr)
+        return cache_set is not None and (addr & _LINE_MASK) in cache_set._tag_way
 
     def touch(self, addr: int, is_prefetch: bool = False) -> None:
         tag = line_address(addr)
-        cache_set = self.set_for(addr)
+        cache_set = self.peek_set(addr)
+        if cache_set is None:
+            raise CacheStateError(f"touch of uncached address {addr:#x}")
         cache_set.touch(cache_set.find(tag), is_prefetch)
 
     def fill(
@@ -114,7 +152,21 @@ class CacheLevel:
         return evicted, inserted
 
     def invalidate(self, addr: int) -> bool:
-        if self.set_for(addr).invalidate(line_address(addr)):
+        cache_set = self.peek_set(addr)
+        if cache_set is not None and cache_set.invalidate(addr & _LINE_MASK):
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_at(self, key: Tuple[int, int], tag: int) -> bool:
+        """Invalidate ``tag`` given its precomputed flat set key.
+
+        Back-invalidation fans one LLC eviction out to every private level;
+        levels sharing a mapping (all L1s, all L2s) resolve the same key, so
+        the hierarchy computes it once and calls this per level.
+        """
+        cache_set = self._sets.get(key)
+        if cache_set is not None and cache_set.invalidate(tag):
             self.stats.invalidations += 1
             return True
         return False
@@ -122,3 +174,17 @@ class CacheLevel:
     def flush_all(self) -> None:
         """Drop every cached line (test helper)."""
         self._sets.clear()
+
+    # -- state comparison (differential tests, result-cache keys) --------
+
+    def snapshot(self) -> Dict[Tuple[int, int], List[Optional[Tuple[int, int]]]]:
+        """(tag, age) state per *non-empty* set, keyed by (slice, set).
+
+        Empty sets are skipped so snapshots are comparable across engines
+        with different lazy-creation behaviour.
+        """
+        return {
+            key: cache_set.snapshot()
+            for key, cache_set in sorted(self._sets.items())
+            if cache_set.occupancy
+        }

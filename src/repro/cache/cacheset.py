@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import CacheStateError
 from .line import CacheLine
@@ -17,37 +17,42 @@ class CacheSet:
     diagrams.  Invalid ways hold ``None``; demand fills prefer the leftmost
     invalid way, matching the "prepare an empty set, fill it in order"
     experiments of Section III.
+
+    Lookups go through a tag->way index (``_tag_way``) kept in sync by
+    :meth:`fill` and :meth:`invalidate` — the only two mutators that install
+    or remove lines.  Replacement policies mutate line *metadata* (ages,
+    PLRU bits) but never move lines between ways, so the index cannot go
+    stale under policy activity.
     """
 
-    __slots__ = ("ways", "policy")
+    __slots__ = ("ways", "policy", "_tag_way", "_valid")
 
     def __init__(self, policy: ReplacementPolicy):
         self.policy = policy
         self.ways: List[Optional[CacheLine]] = [None] * policy.n_ways
+        self._tag_way: Dict[int, int] = {}
+        self._valid = 0
 
     # -- lookup --------------------------------------------------------
 
     def find(self, tag: int) -> int:
         """Way index holding ``tag``, or -1."""
-        for i, line in enumerate(self.ways):
-            if line is not None and line.tag == tag:
-                return i
-        return -1
+        return self._tag_way.get(tag, -1)
 
     def contains(self, tag: int) -> bool:
-        return self.find(tag) >= 0
+        return tag in self._tag_way
 
     def line_for(self, tag: int) -> Optional[CacheLine]:
-        idx = self.find(tag)
-        return None if idx < 0 else self.ways[idx]
+        idx = self._tag_way.get(tag)
+        return None if idx is None else self.ways[idx]
 
     @property
     def occupancy(self) -> int:
-        return sum(1 for line in self.ways if line is not None)
+        return self._valid
 
     @property
     def is_full(self) -> bool:
-        return self.occupancy == len(self.ways)
+        return self._valid == len(self.ways)
 
     # -- mutation ------------------------------------------------------
 
@@ -70,31 +75,33 @@ class CacheSet:
         the fill had to be dropped (possible for prefetches under extreme
         contention; callers decide how to handle it for demand loads).
         """
-        if self.contains(tag):
+        if tag in self._tag_way:
             raise CacheStateError(f"fill of already-present tag {tag:#x}")
-        way = None
-        for i, line in enumerate(self.ways):
-            if line is None:
-                way = i
-                break
+        ways = self.ways
         evicted_tag: Optional[int] = None
-        if way is None:
-            way = self.policy.select_victim(self.ways, now)
+        if self._valid < len(ways):
+            way = ways.index(None)  # leftmost invalid way
+            self._valid += 1
+        else:
+            way = self.policy.select_victim(ways, now)
             if way is None:
                 return None, False
-            evicted_tag = self.ways[way].tag
-            self.policy.on_invalidate(self.ways, way)
-        self.ways[way] = CacheLine(tag, busy_until=busy_until)
-        self.policy.on_fill(self.ways, way, is_prefetch)
+            evicted_tag = ways[way].tag
+            self.policy.on_invalidate(ways, way)
+            del self._tag_way[evicted_tag]
+        ways[way] = CacheLine(tag, busy_until=busy_until)
+        self._tag_way[tag] = way
+        self.policy.on_fill(ways, way, is_prefetch)
         return evicted_tag, True
 
     def invalidate(self, tag: int) -> bool:
         """Drop ``tag`` from this set (CLFLUSH / back-invalidation)."""
-        idx = self.find(tag)
-        if idx < 0:
+        idx = self._tag_way.pop(tag, None)
+        if idx is None:
             return False
         self.policy.on_invalidate(self.ways, idx)
         self.ways[idx] = None
+        self._valid -= 1
         return True
 
     # -- introspection (ground truth for tests & experiments) ----------

@@ -59,7 +59,23 @@ PolicyFactory = Callable[[int], ReplacementPolicy]
 
 
 class CacheHierarchy:
-    """Cores' private L1/L2 caches in front of one shared inclusive LLC."""
+    """Cores' private L1/L2 caches in front of one shared inclusive LLC.
+
+    The per-operation paths are the simulator's hottest code: every
+    experiment funnels millions of loads/prefetches through them.  They are
+    written against :meth:`CacheLevel.probe` (one tag-index query per level)
+    and return *interned* :class:`MemOpResult` values — the full set of
+    possible outcomes is built once per hierarchy, so the hot path allocates
+    nothing for hits.  ``MemOpResult`` compares by value, so interning is
+    invisible to callers.
+    """
+
+    __slots__ = (
+        "config", "l1_mapping", "l2_mapping", "llc_mapping",
+        "l1s", "l2s", "llc", "_lat",
+        "_r_l1_load", "_r_l1_prefetch", "_r_l2_load", "_r_l2_prefetch",
+        "_r_llc", "_r_dram", "_r_flush", "_r_flush_cached",
+    )
 
     def __init__(
         self,
@@ -91,6 +107,17 @@ class CacheHierarchy:
         ]
         self.llc = CacheLevel("LLC", config.llc, self.llc_mapping, llc_policy_factory)
         self._lat = lat
+        # Interned results: one instance per distinct (level, latency) outcome.
+        self._r_l1_load = MemOpResult(Level.L1, lat.l1_hit)
+        self._r_l1_prefetch = MemOpResult(Level.L1, lat.prefetch_issue)
+        self._r_l2_load = MemOpResult(Level.L2, lat.l2_hit)
+        self._r_l2_prefetch = MemOpResult(Level.L2, lat.prefetch_issue)
+        self._r_llc = MemOpResult(Level.LLC, lat.llc_hit)
+        self._r_dram = MemOpResult(Level.DRAM, lat.dram)
+        self._r_flush = MemOpResult(Level.DRAM, lat.clflush)
+        self._r_flush_cached = MemOpResult(
+            Level.DRAM, lat.clflush + lat.clflush_cached_extra
+        )
         # Sanity: inclusion requires the LLC to dominate private capacity in
         # associativity terms for the experiments of Section III (footnote 3).
         if config.l1.ways + config.l2.ways >= config.llc.ways + 16:
@@ -107,11 +134,17 @@ class CacheHierarchy:
             raise ConfigurationError(f"core {core} out of range")
 
     def _back_invalidate(self, tag: int) -> None:
-        """Inclusion: an LLC eviction purges all private copies of ``tag``."""
+        """Inclusion: an LLC eviction purges all private copies of ``tag``.
+
+        All L1s share one mapping and all L2s another, so each flat set key
+        is resolved once rather than once per core.
+        """
+        key = self.l1_mapping.flat_index(tag)
         for level in self.l1s:
-            level.invalidate(tag)
+            level.invalidate_at(key, tag)
+        key = self.l2_mapping.flat_index(tag)
         for level in self.l2s:
-            level.invalidate(tag)
+            level.invalidate_at(key, tag)
 
     def _fill_llc(self, addr: int, now: int, is_prefetch: bool) -> bool:
         """Fill ``addr`` into the LLC from DRAM; returns True if inserted."""
@@ -139,61 +172,57 @@ class CacheHierarchy:
     def load(self, core: int, addr: int, now: int = 0) -> MemOpResult:
         """A demand load from ``core``; returns the satisfying level."""
         self._check_core(core)
-        tag = line_address(addr)
         l1 = self.l1s[core]
-        hit_set = l1.lookup(addr)
-        if hit_set is not None:
-            hit_set.touch(hit_set.find(tag))
-            return MemOpResult(Level.L1, self._lat.l1_hit)
-        l2 = self.l2s[core]
-        hit_set = l2.lookup(addr)
-        if hit_set is not None:
-            hit_set.touch(hit_set.find(tag))
+        hit_set, way = l1.probe(addr)
+        if way >= 0:
+            hit_set.touch(way)
+            return self._r_l1_load
+        hit_set, way = self.l2s[core].probe(addr)
+        if way >= 0:
+            hit_set.touch(way)
             l1.fill(addr, now)
-            return MemOpResult(Level.L2, self._lat.l2_hit)
-        hit_set = self.llc.lookup(addr)
-        if hit_set is not None:
+            return self._r_l2_load
+        hit_set, way = self.llc.probe(addr)
+        if way >= 0:
             # Demand hit: Quad-age LRU decrements the age (Section II-B).
-            hit_set.touch(hit_set.find(tag), is_prefetch=False)
+            hit_set.touch(way, is_prefetch=False)
             self._fill_private(core, addr, now, include_l2=True)
-            return MemOpResult(Level.LLC, self._lat.llc_hit)
+            return self._r_llc
         if self._fill_llc(addr, now, is_prefetch=False):
             self._fill_private(core, addr, now, include_l2=True)
-        return MemOpResult(Level.DRAM, self._lat.dram)
+        return self._r_dram
 
     def prefetchnta(self, core: int, addr: int, now: int = 0) -> MemOpResult:
         """PREFETCHNTA from ``core`` with the paper's three properties."""
         self._check_core(core)
-        tag = line_address(addr)
         l1 = self.l1s[core]
-        hit_set = l1.lookup(addr)
-        if hit_set is not None:
-            hit_set.touch(hit_set.find(tag), is_prefetch=True)
-            return MemOpResult(Level.L1, self._lat.prefetch_issue)
-        l2 = self.l2s[core]
-        hit_set = l2.lookup(addr)
-        if hit_set is not None:
+        hit_set, way = l1.probe(addr)
+        if way >= 0:
+            hit_set.touch(way, is_prefetch=True)
+            return self._r_l1_prefetch
+        hit_set, way = self.l2s[core].probe(addr)
+        if way >= 0:
             # The request is satisfied by L2 and never reaches the LLC, so
             # the LLC age is untouched (the concern behind Fig. 4's Step 1).
-            hit_set.touch(hit_set.find(tag), is_prefetch=True)
+            hit_set.touch(way, is_prefetch=True)
             l1.fill(addr, now)
-            return MemOpResult(Level.L2, self._lat.l2_hit)
-        hit_set = self.llc.lookup(addr)
-        if hit_set is not None:
+            return self._r_l2_load
+        hit_set, way = self.llc.probe(addr)
+        if way >= 0:
             # Property #2: the LLC hit does not update the line's age.
-            hit_set.touch(hit_set.find(tag), is_prefetch=True)
+            hit_set.touch(way, is_prefetch=True)
             self._fill_private(core, addr, now, include_l2=False)
-            return MemOpResult(Level.LLC, self._lat.llc_hit)
+            return self._r_llc
         # Property #1: the miss fill installs the line as eviction candidate.
         if self._fill_llc(addr, now, is_prefetch=True):
             self._fill_private(core, addr, now, include_l2=False)
-        return MemOpResult(Level.DRAM, self._lat.dram)
+        return self._r_dram
 
     def prefetcht0(self, core: int, addr: int, now: int = 0) -> MemOpResult:
         """PREFETCHT0: same fill path as a demand load."""
         result = self.load(core, addr, now)
         if result.level is Level.L1:
-            return MemOpResult(Level.L1, self._lat.prefetch_issue)
+            return self._r_l1_prefetch
         return result
 
     def prefetcht1(self, core: int, addr: int, now: int = 0) -> MemOpResult:
@@ -205,22 +234,21 @@ class CacheHierarchy:
         software prefetches, yields the Leaky Way primitives.
         """
         self._check_core(core)
-        tag = line_address(addr)
         if self.l1s[core].contains(addr):
-            return MemOpResult(Level.L1, self._lat.prefetch_issue)
+            return self._r_l1_prefetch
         l2 = self.l2s[core]
-        hit_set = l2.lookup(addr)
-        if hit_set is not None:
-            hit_set.touch(hit_set.find(tag))
-            return MemOpResult(Level.L2, self._lat.prefetch_issue)
-        hit_set = self.llc.lookup(addr)
-        if hit_set is not None:
-            hit_set.touch(hit_set.find(tag), is_prefetch=False)
+        hit_set, way = l2.probe(addr)
+        if way >= 0:
+            hit_set.touch(way)
+            return self._r_l2_prefetch
+        hit_set, way = self.llc.probe(addr)
+        if way >= 0:
+            hit_set.touch(way, is_prefetch=False)
             l2.fill(addr, now)
-            return MemOpResult(Level.LLC, self._lat.llc_hit)
+            return self._r_llc
         if self._fill_llc(addr, now, is_prefetch=False):
             l2.fill(addr, now)
-        return MemOpResult(Level.DRAM, self._lat.dram)
+        return self._r_dram
 
     def clflush(self, addr: int, now: int = 0) -> MemOpResult:
         """Flush ``addr`` from every cache level on every core.
@@ -232,10 +260,7 @@ class CacheHierarchy:
         tag = line_address(addr)
         was_cached = self.llc.invalidate(addr)
         self._back_invalidate(tag)
-        latency = self._lat.clflush
-        if was_cached:
-            latency += self._lat.clflush_cached_extra
-        return MemOpResult(Level.DRAM, latency)
+        return self._r_flush_cached if was_cached else self._r_flush
 
     # ------------------------------------------------------------------
     # Ground-truth introspection (tests, experiment setup)
@@ -269,6 +294,23 @@ class CacheHierarchy:
             return Level.LLC
         return None
 
+    def levels(self) -> List[CacheLevel]:
+        """Every level, private first, in a stable order."""
+        return [*self.l1s, *self.l2s, self.llc]
+
+    def snapshot(self) -> dict:
+        """Full non-empty cache state of every level, keyed by level name.
+
+        The representation (per-set ``(tag, age)`` lists, empty sets
+        elided) matches :class:`repro.cache.reference.ReferenceHierarchy`'s,
+        so differential tests can compare the two engines directly.
+        """
+        return {level.name: level.snapshot() for level in self.levels()}
+
+    def stats_tuple(self) -> List[tuple]:
+        """Access counters of every level, for whole-machine comparisons."""
+        return [(level.name, *level.stats.as_tuple()) for level in self.levels()]
+
     def reset_stats(self) -> None:
-        for level in [*self.l1s, *self.l2s, self.llc]:
+        for level in self.levels():
             level.stats.reset()

@@ -1,0 +1,350 @@
+"""The frozen *reference* cache engine: the original per-op slow path.
+
+This module is a faithful copy of the seed implementation of
+:mod:`repro.cache.cacheset`, :mod:`repro.cache.cachelevel`, and
+:mod:`repro.cache.hierarchy` from before the hot-path optimization work
+(tag->way index, memoized set indices, interned results).  It exists for two
+jobs and must not be "improved":
+
+* **Differential testing** — ``tests/cache/test_engine_differential.py``
+  replays identical operation traces through this engine and the production
+  engine and requires bit-identical results, cache state, and statistics.
+* **Throughput benchmarking** — ``benchmarks/test_engine_throughput.py``
+  measures the production engine's speedup against this baseline.
+
+Every behavioural detail matches the production engine, including the
+original lazy-set-creation quirk: a lookup miss materialises the target
+``CacheSet`` (the production engine no longer does this, which is why state
+comparisons go through :meth:`ReferenceCacheLevel.snapshot`, which skips
+empty sets on both sides).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import PlatformConfig
+from ..errors import CacheStateError, ConfigurationError
+from ..mem.address import line_address
+from ..mem.layout import CacheSetMapping
+from .cachelevel import LevelStats
+from .hierarchy import Level, MemOpResult
+from .line import CacheLine
+from .plru import TreePLRU
+from .qlru import QuadAgeLRU
+from .replacement import ReplacementPolicy
+
+PolicyFactory = Callable[[int], ReplacementPolicy]
+
+
+class ReferenceCacheSet:
+    """Seed ``CacheSet``: linear tag scans, no auxiliary index."""
+
+    __slots__ = ("ways", "policy")
+
+    def __init__(self, policy: ReplacementPolicy):
+        self.policy = policy
+        self.ways: List[Optional[CacheLine]] = [None] * policy.n_ways
+
+    def find(self, tag: int) -> int:
+        for i, line in enumerate(self.ways):
+            if line is not None and line.tag == tag:
+                return i
+        return -1
+
+    def contains(self, tag: int) -> bool:
+        return self.find(tag) >= 0
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for line in self.ways if line is not None)
+
+    @property
+    def is_full(self) -> bool:
+        return self.occupancy == len(self.ways)
+
+    def touch(self, way: int, is_prefetch: bool = False) -> None:
+        if self.ways[way] is None:
+            raise CacheStateError(f"hit on invalid way {way}")
+        self.policy.on_hit(self.ways, way, is_prefetch)
+
+    def fill(
+        self,
+        tag: int,
+        now: int,
+        is_prefetch: bool = False,
+        busy_until: int = 0,
+    ) -> Tuple[Optional[int], bool]:
+        if self.contains(tag):
+            raise CacheStateError(f"fill of already-present tag {tag:#x}")
+        way = None
+        for i, line in enumerate(self.ways):
+            if line is None:
+                way = i
+                break
+        evicted_tag: Optional[int] = None
+        if way is None:
+            way = self.policy.select_victim(self.ways, now)
+            if way is None:
+                return None, False
+            evicted_tag = self.ways[way].tag
+            self.policy.on_invalidate(self.ways, way)
+        self.ways[way] = CacheLine(tag, busy_until=busy_until)
+        self.policy.on_fill(self.ways, way, is_prefetch)
+        return evicted_tag, True
+
+    def invalidate(self, tag: int) -> bool:
+        idx = self.find(tag)
+        if idx < 0:
+            return False
+        self.policy.on_invalidate(self.ways, idx)
+        self.ways[idx] = None
+        return True
+
+    def snapshot(self) -> List[Optional[Tuple[int, int]]]:
+        return [
+            None if line is None else (line.tag, line.age) for line in self.ways
+        ]
+
+
+class ReferenceCacheLevel:
+    """Seed ``CacheLevel``: per-op ``mapping.index(addr)`` resolution."""
+
+    def __init__(
+        self,
+        name: str,
+        geometry,
+        mapping: CacheSetMapping,
+        policy_factory: PolicyFactory,
+    ):
+        self.name = name
+        self.geometry = geometry
+        self.mapping = mapping
+        self._policy_factory = policy_factory
+        self._sets: Dict[Tuple[int, int], ReferenceCacheSet] = {}
+        self.stats = LevelStats()
+
+    def set_for(self, addr: int) -> ReferenceCacheSet:
+        key = self.mapping.index(addr).flat
+        cache_set = self._sets.get(key)
+        if cache_set is None:
+            cache_set = ReferenceCacheSet(self._policy_factory(self.geometry.ways))
+            self._sets[key] = cache_set
+        return cache_set
+
+    @property
+    def live_sets(self) -> int:
+        return len(self._sets)
+
+    def lookup(self, addr: int) -> Optional[ReferenceCacheSet]:
+        tag = line_address(addr)
+        cache_set = self.set_for(addr)
+        if cache_set.contains(tag):
+            self.stats.hits += 1
+            return cache_set
+        self.stats.misses += 1
+        return None
+
+    def contains(self, addr: int) -> bool:
+        return self.set_for(addr).contains(line_address(addr))
+
+    def fill(
+        self, addr: int, now: int, is_prefetch: bool = False, busy_until: int = 0
+    ) -> Tuple[Optional[int], bool]:
+        evicted, inserted = self.set_for(addr).fill(
+            line_address(addr), now, is_prefetch, busy_until
+        )
+        if inserted:
+            self.stats.fills += 1
+        if evicted is not None:
+            self.stats.evictions += 1
+        return evicted, inserted
+
+    def invalidate(self, addr: int) -> bool:
+        if self.set_for(addr).invalidate(line_address(addr)):
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def snapshot(self) -> Dict[Tuple[int, int], List[Optional[Tuple[int, int]]]]:
+        """(tag, age) state per *non-empty* set, keyed by (slice, set)."""
+        return {
+            key: cache_set.snapshot()
+            for key, cache_set in sorted(self._sets.items())
+            if any(line is not None for line in cache_set.ways)
+        }
+
+
+class ReferenceHierarchy:
+    """Seed ``CacheHierarchy``: per-op result allocation, double tag scans."""
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        llc_policy_factory: Optional[PolicyFactory] = None,
+        private_policy_factory: Optional[PolicyFactory] = None,
+        llc_mapping: Optional[CacheSetMapping] = None,
+    ):
+        self.config = config
+        lat = config.latency
+        if private_policy_factory is None:
+            private_policy_factory = TreePLRU
+        if llc_policy_factory is None:
+            llc_policy_factory = lambda ways: QuadAgeLRU(  # noqa: E731
+                ways,
+                load_insert_age=config.llc_load_insert_age,
+                prefetch_insert_age=config.llc_prefetch_insert_age,
+            )
+        self.l1_mapping = CacheSetMapping(config.l1)
+        self.l2_mapping = CacheSetMapping(config.l2)
+        self.llc_mapping = llc_mapping or CacheSetMapping(config.llc)
+        self.l1s = [
+            ReferenceCacheLevel(
+                f"L1[{c}]", config.l1, self.l1_mapping, private_policy_factory
+            )
+            for c in range(config.cores)
+        ]
+        self.l2s = [
+            ReferenceCacheLevel(
+                f"L2[{c}]", config.l2, self.l2_mapping, private_policy_factory
+            )
+            for c in range(config.cores)
+        ]
+        self.llc = ReferenceCacheLevel(
+            "LLC", config.llc, self.llc_mapping, llc_policy_factory
+        )
+        self._lat = lat
+        if config.l1.ways + config.l2.ways >= config.llc.ways + 16:
+            raise ConfigurationError(
+                "private associativity implausibly large relative to LLC"
+            )
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < len(self.l1s):
+            raise ConfigurationError(f"core {core} out of range")
+
+    def _back_invalidate(self, tag: int) -> None:
+        for level in self.l1s:
+            level.invalidate(tag)
+        for level in self.l2s:
+            level.invalidate(tag)
+
+    def _fill_llc(self, addr: int, now: int, is_prefetch: bool) -> bool:
+        busy_until = now + self._lat.dram
+        evicted, inserted = self.llc.fill(
+            addr, now, is_prefetch=is_prefetch, busy_until=busy_until
+        )
+        if evicted is not None:
+            self._back_invalidate(evicted)
+        return inserted
+
+    def _fill_private(self, core: int, addr: int, now: int, include_l2: bool) -> None:
+        if include_l2:
+            l2 = self.l2s[core]
+            if not l2.contains(addr):
+                l2.fill(addr, now)
+        l1 = self.l1s[core]
+        if not l1.contains(addr):
+            l1.fill(addr, now)
+
+    def load(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        self._check_core(core)
+        tag = line_address(addr)
+        l1 = self.l1s[core]
+        hit_set = l1.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag))
+            return MemOpResult(Level.L1, self._lat.l1_hit)
+        l2 = self.l2s[core]
+        hit_set = l2.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag))
+            l1.fill(addr, now)
+            return MemOpResult(Level.L2, self._lat.l2_hit)
+        hit_set = self.llc.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag), is_prefetch=False)
+            self._fill_private(core, addr, now, include_l2=True)
+            return MemOpResult(Level.LLC, self._lat.llc_hit)
+        if self._fill_llc(addr, now, is_prefetch=False):
+            self._fill_private(core, addr, now, include_l2=True)
+        return MemOpResult(Level.DRAM, self._lat.dram)
+
+    def prefetchnta(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        self._check_core(core)
+        tag = line_address(addr)
+        l1 = self.l1s[core]
+        hit_set = l1.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag), is_prefetch=True)
+            return MemOpResult(Level.L1, self._lat.prefetch_issue)
+        l2 = self.l2s[core]
+        hit_set = l2.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag), is_prefetch=True)
+            l1.fill(addr, now)
+            return MemOpResult(Level.L2, self._lat.l2_hit)
+        hit_set = self.llc.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag), is_prefetch=True)
+            self._fill_private(core, addr, now, include_l2=False)
+            return MemOpResult(Level.LLC, self._lat.llc_hit)
+        if self._fill_llc(addr, now, is_prefetch=True):
+            self._fill_private(core, addr, now, include_l2=False)
+        return MemOpResult(Level.DRAM, self._lat.dram)
+
+    def prefetcht0(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        result = self.load(core, addr, now)
+        if result.level is Level.L1:
+            return MemOpResult(Level.L1, self._lat.prefetch_issue)
+        return result
+
+    def prefetcht1(self, core: int, addr: int, now: int = 0) -> MemOpResult:
+        self._check_core(core)
+        tag = line_address(addr)
+        if self.l1s[core].contains(addr):
+            return MemOpResult(Level.L1, self._lat.prefetch_issue)
+        l2 = self.l2s[core]
+        hit_set = l2.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag))
+            return MemOpResult(Level.L2, self._lat.prefetch_issue)
+        hit_set = self.llc.lookup(addr)
+        if hit_set is not None:
+            hit_set.touch(hit_set.find(tag), is_prefetch=False)
+            l2.fill(addr, now)
+            return MemOpResult(Level.LLC, self._lat.llc_hit)
+        if self._fill_llc(addr, now, is_prefetch=False):
+            l2.fill(addr, now)
+        return MemOpResult(Level.DRAM, self._lat.dram)
+
+    def clflush(self, addr: int, now: int = 0) -> MemOpResult:
+        tag = line_address(addr)
+        was_cached = self.llc.invalidate(addr)
+        self._back_invalidate(tag)
+        latency = self._lat.clflush
+        if was_cached:
+            latency += self._lat.clflush_cached_extra
+        return MemOpResult(Level.DRAM, latency)
+
+    # -- state comparison helpers ---------------------------------------
+
+    def levels(self) -> List[ReferenceCacheLevel]:
+        return [*self.l1s, *self.l2s, self.llc]
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Full non-empty cache state of every level, for differential tests."""
+        return {level.name: level.snapshot() for level in self.levels()}
+
+    def stats_tuple(self) -> List[Tuple[str, int, int, int, int, int]]:
+        return [
+            (
+                level.name,
+                level.stats.hits,
+                level.stats.misses,
+                level.stats.fills,
+                level.stats.evictions,
+                level.stats.invalidations,
+            )
+            for level in self.levels()
+        ]

@@ -42,6 +42,15 @@ def _machine_factory(args: argparse.Namespace) -> Callable[[], Machine]:
     return lambda: Machine(platform, seed=seed)
 
 
+def _result_cache(args: argparse.Namespace):
+    """The on-disk result cache for sweep commands (``--no-cache`` disables)."""
+    if args.no_cache:
+        return None
+    from .runner import ResultCache
+
+    return ResultCache()
+
+
 # ---------------------------------------------------------------------------
 # Commands
 # ---------------------------------------------------------------------------
@@ -105,10 +114,12 @@ def cmd_fig6(args: argparse.Namespace) -> int:
 def cmd_table2(args: argparse.Namespace) -> int:
     from .experiments.capacity_sweep import run_capacity_sweep
 
+    cache = _result_cache(args)
     rows = []
     for channel in ("ntp+ntp", "prime+probe"):
         sweep = run_capacity_sweep(
-            _machine_factory(args), channel, n_bits=args.bits, seed=args.seed
+            _machine_factory(args), channel, n_bits=args.bits, seed=args.seed,
+            jobs=args.jobs, result_cache=cache,
         )
         peak = sweep.peak
         rows.append(
@@ -127,7 +138,8 @@ def cmd_fig8(args: argparse.Namespace) -> int:
     from .experiments.capacity_sweep import run_capacity_sweep
 
     sweep = run_capacity_sweep(
-        _machine_factory(args), args.channel, n_bits=args.bits, seed=args.seed
+        _machine_factory(args), args.channel, n_bits=args.bits, seed=args.seed,
+        jobs=args.jobs, result_cache=_result_cache(args),
     )
     print(format_table(
         ("interval", "raw KB/s", "BER", "capacity KB/s"), sweep.rows(),
@@ -230,9 +242,51 @@ def cmd_evset(args: argparse.Namespace) -> int:
 def cmd_noise(args: argparse.Namespace) -> int:
     from .experiments.noise_sweep import run_noise_sweep
 
-    result = run_noise_sweep(_machine_factory(args), n_bits=args.bits, seed=args.seed)
+    result = run_noise_sweep(
+        _machine_factory(args), n_bits=args.bits, seed=args.seed,
+        jobs=args.jobs, result_cache=_result_cache(args),
+    )
     print(format_table(result.header(), result.rows(),
                        title="Section IV-B3 — BER vs noise intensity"))
+    return 0
+
+
+def cmd_detect_sweep(args: argparse.Namespace) -> int:
+    from .experiments.detection_sweep import run_detection_sweep
+
+    result = run_detection_sweep(
+        _machine_factory(args), duration=args.duration,
+        jobs=args.jobs, result_cache=_result_cache(args),
+    )
+    print(format_table(result.header(), result.rows(),
+                       title="Section V-A3 — FN rate vs victim period"))
+    for attack in sorted(result.curves):
+        try:
+            period = result.usable_period(attack)
+            print(f"{attack}: usable down to ~{period}-cycle periods")
+        except Exception:
+            print(f"{attack}: no tested period reached FN <= 10%")
+    return 0
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .experiments.sensitivity import run_sensitivity_experiment
+
+    result = run_sensitivity_experiment(
+        _PLATFORMS[args.platform], n_bits=args.bits, seed=args.seed,
+        jobs=args.jobs, result_cache=_result_cache(args),
+    )
+    rows = [
+        (f"{p.sync_scale:.2f}", f"{p.ntp_capacity:.0f}",
+         f"{p.prime_probe_capacity:.0f}", f"{p.advantage:.1f}x")
+        for p in result.points
+    ]
+    print(format_table(
+        ("sync scale", "NTP+NTP KB/s", "Prime+Probe KB/s", "advantage"), rows,
+        title="Calibration sensitivity — NTP+NTP advantage vs sync budget",
+    ))
+    lo, hi = result.advantage_range()
+    print(f"advantage range over perturbation: {lo:.1f}x - {hi:.1f}x")
     return 0
 
 
@@ -335,7 +389,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
         run_channel_comparison,
     )
 
-    result = run_channel_comparison(_machine_factory(args), n_bits=args.bits)
+    result = run_channel_comparison(
+        _machine_factory(args), n_bits=args.bits,
+        jobs=args.jobs, result_cache=_result_cache(args),
+    )
     print(format_table(ComparisonResult.HEADER, result.rows(),
                        title="Covert-channel design space"))
     return 0
@@ -374,11 +431,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser, repetitions: Optional[int] = None):
+    def common(p: argparse.ArgumentParser, repetitions: Optional[int] = None,
+               runner: bool = False):
         p.add_argument("--platform", choices=sorted(_PLATFORMS), default="skylake")
         p.add_argument("--seed", type=int, default=0)
         if repetitions is not None:
             p.add_argument("--repetitions", type=int, default=repetitions)
+        if runner:
+            p.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes for sweep points "
+                                "(output is identical for any N)")
+            p.add_argument("--no-cache", action="store_true",
+                           help="recompute sweep points instead of reusing "
+                                "the on-disk result cache")
 
     p = sub.add_parser("fig2", help="insertion policy (Property #1)")
     common(p, repetitions=100)
@@ -401,12 +466,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fig6)
 
     p = sub.add_parser("table2", help="peak channel capacities")
-    common(p)
+    common(p, runner=True)
     p.add_argument("--bits", type=int, default=256)
     p.set_defaults(func=cmd_table2)
 
     p = sub.add_parser("fig8", help="capacity/BER sweep for one channel")
-    common(p)
+    common(p, runner=True)
     p.add_argument("--channel", choices=("ntp+ntp", "prime+probe"), default="ntp+ntp")
     p.add_argument("--bits", type=int, default=256)
     p.set_defaults(func=cmd_fig8)
@@ -433,12 +498,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_evset)
 
     p = sub.add_parser("noise", help="BER vs third-party noise sweep")
-    common(p)
+    common(p, runner=True)
     p.add_argument("--bits", type=int, default=128)
     p.set_defaults(func=cmd_noise)
 
+    p = sub.add_parser("detect-sweep", help="FN rate vs victim period sweep")
+    common(p, runner=True)
+    p.add_argument("--duration", type=int, default=600_000)
+    p.set_defaults(func=cmd_detect_sweep)
+
+    p = sub.add_parser("sensitivity", help="capacity vs sync-budget perturbation")
+    common(p, runner=True)
+    p.add_argument("--bits", type=int, default=128)
+    p.set_defaults(func=cmd_sensitivity)
+
     p = sub.add_parser("compare", help="all channels on one table")
-    common(p)
+    common(p, runner=True)
     p.add_argument("--bits", type=int, default=96)
     p.set_defaults(func=cmd_compare)
 

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from ..attacks.ntp_ntp import NTPNTPChannel
 from ..attacks.prime_probe import PrimeProbeChannel
 from ..errors import ChannelError
+from ..runner import ResultCache, Shard, make_shards, run_shards
 from ..sim.machine import Machine
 from ..victims.noise import NoiseConfig
 
@@ -70,6 +71,24 @@ def _message(n_bits: int, seed: int) -> List[int]:
     return [rng.randint(0, 1) for _ in range(n_bits)]
 
 
+def _capacity_point_worker(shard: Shard) -> dict:
+    """One Figure 8 point, rebuilt entirely from the shard (picklable)."""
+    p = shard.params
+    machine = Machine(p["config"], seed=p["machine_seed"])
+    bits = _message(p["n_bits"], p["seed"])
+    if p["channel"] == "ntp+ntp":
+        chan = NTPNTPChannel(machine, seed=p["seed"])
+    else:
+        chan = PrimeProbeChannel(machine, seed=p["seed"])
+    outcome = chan.transmit(bits, p["interval"], noise=p["noise"])
+    return {
+        "interval": p["interval"],
+        "raw_rate_kb_per_s": outcome.raw_rate_kb_per_s,
+        "bit_error_rate": outcome.bit_error_rate,
+        "capacity_kb_per_s": outcome.capacity_kb_per_s,
+    }
+
+
 def run_capacity_sweep(
     machine_factory,
     channel: str,
@@ -77,11 +96,16 @@ def run_capacity_sweep(
     n_bits: int = 256,
     noise: Optional[NoiseConfig] = None,
     seed: int = 0,
+    jobs: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> CapacitySweepResult:
     """Sweep one channel on one platform.
 
     ``machine_factory`` builds a fresh machine per interval (e.g.
     ``lambda: Machine.skylake(seed=7)``) so sweep points are independent.
+    The factory must be equivalent to ``Machine(config, seed)`` — each point
+    runs as a shard that rebuilds the machine from those two values, serially
+    or on ``jobs`` worker processes with bit-identical results.
     """
     if channel not in ("ntp+ntp", "prime+probe"):
         raise ChannelError(f"unknown channel {channel!r}")
@@ -89,25 +113,23 @@ def run_capacity_sweep(
         noise = NoiseConfig()
     if intervals is None:
         intervals = NTP_NTP_INTERVALS if channel == "ntp+ntp" else PRIME_PROBE_INTERVALS
-    bits = _message(n_bits, seed)
-    result: Optional[CapacitySweepResult] = None
-    for interval in intervals:
-        machine: Machine = machine_factory()
-        if result is None:
-            result = CapacitySweepResult(
-                channel=channel, platform=machine.config.name
-            )
-        if channel == "ntp+ntp":
-            chan = NTPNTPChannel(machine, seed=seed)
-        else:
-            chan = PrimeProbeChannel(machine, seed=seed)
-        outcome = chan.transmit(bits, interval, noise=noise)
-        result.points.append(
-            CapacityPoint(
-                interval=interval,
-                raw_rate_kb_per_s=outcome.raw_rate_kb_per_s,
-                bit_error_rate=outcome.bit_error_rate,
-                capacity_kb_per_s=outcome.capacity_kb_per_s,
-            )
-        )
+    probe: Machine = machine_factory()
+    shards = make_shards(seed, [
+        {
+            "config": probe.config,
+            "machine_seed": probe.seed,
+            "channel": channel,
+            "interval": interval,
+            "n_bits": n_bits,
+            "seed": seed,
+            "noise": noise,
+        }
+        for interval in intervals
+    ])
+    rows = run_shards(
+        _capacity_point_worker, shards, jobs=jobs,
+        cache=result_cache, cache_tag="capacity_sweep/v1",
+    )
+    result = CapacitySweepResult(channel=channel, platform=probe.config.name)
+    result.points.extend(CapacityPoint(**row) for row in rows)
     return result

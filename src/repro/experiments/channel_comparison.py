@@ -8,9 +8,10 @@ per-bit footprint (cache references).
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from ..attacks.ntp_ntp import NTPNTPChannel
 from ..attacks.occupancy import OccupancyChannel, make_occupancy_demo_machine
@@ -18,7 +19,20 @@ from ..attacks.prefetch_prefetch import PrefetchPrefetchChannel
 from ..attacks.prime_probe import PrimeProbeChannel
 from ..attacks.redundant_ntp import RedundantNTPChannel
 from ..errors import ChannelError
+from ..runner import ResultCache, Shard, make_shards, run_shards
 from ..sim.machine import Machine
+
+#: The design space on one table: (name, kind, kwargs, interval, evsets,
+#: shared memory).  Module-level so comparison shards can rebuild a channel
+#: by kind inside a worker process.
+CHANNEL_SPECS = (
+    ("NTP+NTP", "ntp", {}, 1400, True, False),
+    ("NTP+NTP 3-set redundant", "redundant", {"redundancy": 3}, 2400, True, False),
+    ("Prime+Probe", "pp", {}, 10500, True, False),
+    ("Prefetch+Prefetch", "pf", {}, 1600, False, True),
+    ("occupancy (demo-scale LLC)", "occupancy",
+     {"receiver_lines": 640, "sender_lines": 1024}, 220_000, False, False),
+)
 
 
 @dataclass(frozen=True)
@@ -78,47 +92,71 @@ def _measure(name, machine, channel, interval, bits, evsets, shared) -> ChannelP
     )
 
 
+def _comparison_worker(shard: Shard) -> dict:
+    """One channel's profile, rebuilt entirely from the shard."""
+    p = shard.params
+    seed = p["seed"]
+    rng = random.Random(seed)
+    bits = [rng.randint(0, 1) for _ in range(p["n_bits"])]
+    kind = p["kind"]
+    if kind == "occupancy":
+        # The occupancy channel runs on its scaled-down demo machine; its
+        # probe walks would dominate the simulation at full LLC size.
+        machine = make_occupancy_demo_machine(seed=340)
+        channel = OccupancyChannel(machine, seed=seed, **p["kwargs"])
+        bits = bits[: max(16, p["n_bits"] // 4)]
+    else:
+        machine = Machine(p["config"], seed=p["machine_seed"])
+        cls = {
+            "ntp": NTPNTPChannel,
+            "redundant": RedundantNTPChannel,
+            "pp": PrimeProbeChannel,
+            "pf": PrefetchPrefetchChannel,
+        }[kind]
+        channel = cls(machine, seed=seed, **p["kwargs"])
+    profile = _measure(
+        p["name"], machine, channel, p["interval"], bits,
+        evsets=p["evsets"], shared=p["shared"],
+    )
+    return dataclasses.asdict(profile)
+
+
 def run_channel_comparison(
     machine_factory: Callable[[], Machine] = None,
     n_bits: int = 128,
     seed: int = 0,
+    jobs: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> ComparisonResult:
     """Measure every channel class at a near-optimal operating point.
 
-    The occupancy channel runs on its scaled-down demo machine (its probe
-    walks would dominate the simulation at full LLC size); all others share
-    the given factory (default: the paper's Skylake).
+    The occupancy channel runs on its scaled-down demo machine; all others
+    share the given factory (default: the paper's Skylake).  Each channel is
+    an independent shard; ``jobs > 1`` measures them on worker processes
+    with bit-identical results.
     """
     if machine_factory is None:
         machine_factory = lambda: Machine.skylake(seed=340)  # noqa: E731
-    rng = random.Random(seed)
-    bits = [rng.randint(0, 1) for _ in range(n_bits)]
+    probe = machine_factory()
+    shards = make_shards(seed, [
+        {
+            "config": probe.config,
+            "machine_seed": probe.seed,
+            "name": name,
+            "kind": kind,
+            "kwargs": kwargs,
+            "interval": interval,
+            "evsets": evsets,
+            "shared": shared,
+            "n_bits": n_bits,
+            "seed": seed,
+        }
+        for name, kind, kwargs, interval, evsets, shared in CHANNEL_SPECS
+    ])
+    rows = run_shards(
+        _comparison_worker, shards, jobs=jobs,
+        cache=result_cache, cache_tag="channel_comparison/v1",
+    )
     result = ComparisonResult()
-    machine = machine_factory()
-    result.profiles.append(_measure(
-        "NTP+NTP", machine, NTPNTPChannel(machine, seed=seed),
-        1400, bits, evsets=True, shared=False,
-    ))
-    machine = machine_factory()
-    result.profiles.append(_measure(
-        "NTP+NTP 3-set redundant", machine,
-        RedundantNTPChannel(machine, redundancy=3, seed=seed),
-        2400, bits, evsets=True, shared=False,
-    ))
-    machine = machine_factory()
-    result.profiles.append(_measure(
-        "Prime+Probe", machine, PrimeProbeChannel(machine, seed=seed),
-        10500, bits, evsets=True, shared=False,
-    ))
-    machine = machine_factory()
-    result.profiles.append(_measure(
-        "Prefetch+Prefetch", machine, PrefetchPrefetchChannel(machine, seed=seed),
-        1600, bits, evsets=False, shared=True,
-    ))
-    demo = make_occupancy_demo_machine(seed=340)
-    result.profiles.append(_measure(
-        "occupancy (demo-scale LLC)", demo,
-        OccupancyChannel(demo, receiver_lines=640, sender_lines=1024, seed=seed),
-        220_000, bits[: max(16, n_bits // 4)], evsets=False, shared=False,
-    ))
+    result.profiles.extend(ChannelProfile(**row) for row in rows)
     return result

@@ -12,14 +12,17 @@ usable-frequency threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..attacks.prime_scope import PrimePrefetchScope, PrimeScope
 from ..errors import AttackError
+from ..runner import ResultCache, Shard, make_shards, run_shards
 from ..sim.machine import Machine
 from .detection import run_detection_experiment
 
 DEFAULT_PERIODS = (1000, 1500, 2200, 3200, 4500)
+
+_ATTACKS = {cls.__name__: cls for cls in (PrimeScope, PrimePrefetchScope)}
 
 
 @dataclass(frozen=True)
@@ -58,32 +61,59 @@ class DetectionSweepResult:
         return ("victim period", *sorted(self.curves))
 
 
+def _detection_point_worker(shard: Shard) -> dict:
+    """One (attack, period) point, rebuilt entirely from the shard."""
+    p = shard.params
+    machine = Machine(p["config"], seed=p["machine_seed"])
+    # An attacker expecting events every ~period cycles keeps scoping for
+    # about two periods before re-priming.
+    period = p["period"]
+    quiet_checks = max(24, 2 * period // 70)
+    outcome = run_detection_experiment(
+        machine, _ATTACKS[p["attack"]], victim_period=period,
+        duration=p["duration"], max_quiet_checks=quiet_checks,
+    )
+    return {"attack": p["attack"], "period": period,
+            "false_negative_rate": outcome.false_negative_rate}
+
+
 def run_detection_sweep(
     machine_factory: Callable[[], Machine],
     periods: Sequence[int] = None,
     duration: int = 600_000,
+    jobs: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> DetectionSweepResult:
-    """Measure FN rates for both attacks across victim periods."""
+    """Measure FN rates for both attacks across victim periods.
+
+    Each (attack, period) point is an independent shard; ``jobs > 1`` runs
+    them on worker processes with bit-identical results.
+    """
     if periods is None:
         periods = DEFAULT_PERIODS
     if not periods:
         raise AttackError("need at least one victim period")
+    probe = machine_factory()
+    shards = make_shards(probe.seed, [
+        {
+            "config": probe.config,
+            "machine_seed": probe.seed,
+            "attack": name,
+            "period": period,
+            "duration": duration,
+        }
+        for name in _ATTACKS
+        for period in periods
+    ])
+    rows = run_shards(
+        _detection_point_worker, shards, jobs=jobs,
+        cache=result_cache, cache_tag="detection_sweep/v1",
+    )
     result = DetectionSweepResult()
-    for attack_cls in (PrimeScope, PrimePrefetchScope):
-        points: List[DetectionPoint] = []
-        for period in periods:
-            # An attacker expecting events every ~period cycles keeps
-            # scoping for about two periods before re-priming.
-            quiet_checks = max(24, 2 * period // 70)
-            outcome = run_detection_experiment(
-                machine_factory(), attack_cls, victim_period=period,
-                duration=duration, max_quiet_checks=quiet_checks,
-            )
-            points.append(
-                DetectionPoint(
-                    period=period,
-                    false_negative_rate=outcome.false_negative_rate,
-                )
-            )
-        result.curves[attack_cls.__name__] = points
+    for name in _ATTACKS:
+        result.curves[name] = [
+            DetectionPoint(period=row["period"],
+                           false_negative_rate=row["false_negative_rate"])
+            for row in rows if row["attack"] == name
+        ]
     return result

@@ -18,11 +18,21 @@ from ..attacks.ntp_ntp import NTPNTPChannel
 from ..attacks.prime_probe import PrimeProbeChannel
 from ..attacks.redundant_ntp import RedundantNTPChannel
 from ..errors import ChannelError
+from ..runner import ResultCache, Shard, make_shards, run_shards
 from ..sim.machine import Machine
 from ..victims.noise import NoiseConfig
 
 #: Noise levels: probability-per-2K-cycles of a fill into a monitored set.
 DEFAULT_BIASES = (0.0, 0.005, 0.01, 0.02, 0.04)
+
+#: The channel variants under test: (name, kind, channel kwargs, interval).
+#: Module-level so sweep shards can rebuild a variant by name in a worker.
+VARIANTS = (
+    ("ntp+ntp", "ntp", {}, 1500),
+    ("ntp+ntp (maintained)", "ntp", {"maintenance_period": 96}, 1500),
+    ("ntp 3-set redundant", "redundant", {"redundancy": 3}, 2400),
+    ("prime+probe", "pp", {}, 11000),
+)
 
 
 @dataclass
@@ -63,38 +73,71 @@ def _message(n_bits: int, seed: int) -> List[int]:
     return [rng.randint(0, 1) for _ in range(n_bits)]
 
 
+def _build_channel(kind: str, machine: Machine, seed: int, kwargs: dict):
+    if kind == "ntp":
+        return NTPNTPChannel(machine, seed=seed, **kwargs)
+    if kind == "redundant":
+        return RedundantNTPChannel(machine, seed=seed, **kwargs)
+    if kind == "pp":
+        return PrimeProbeChannel(machine, seed=seed, **kwargs)
+    raise ChannelError(f"unknown channel kind {kind!r}")
+
+
+def _noise_point_worker(shard: Shard) -> dict:
+    """One (variant, bias) point, rebuilt entirely from the shard."""
+    p = shard.params
+    machine = Machine(p["config"], seed=p["machine_seed"])
+    channel = _build_channel(p["kind"], machine, p["seed"], p["kwargs"])
+    bits = _message(p["n_bits"], p["seed"])
+    bias = p["bias"]
+    noise = None if bias == 0.0 else NoiseConfig(target_bias=bias)
+    outcome = channel.transmit(bits, p["interval"], noise=noise)
+    return {"name": p["name"], "bias": bias,
+            "bit_error_rate": outcome.bit_error_rate}
+
+
 def run_noise_sweep(
     machine_factory: Callable[[], Machine],
     biases: Optional[Sequence[float]] = None,
     n_bits: int = 192,
     seed: int = 0,
+    jobs: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> NoiseSweepResult:
-    """Sweep noise intensity over the channel variants."""
+    """Sweep noise intensity over the channel variants.
+
+    Each (variant, bias) point is an independent shard; ``jobs > 1`` fans
+    them out to worker processes with bit-identical results, and
+    ``result_cache`` skips points computed by an earlier run.
+    """
     if biases is None:
         biases = DEFAULT_BIASES
     if not biases:
         raise ChannelError("need at least one noise level")
-    bits = _message(n_bits, seed)
-    variants = {
-        "ntp+ntp": lambda m: (NTPNTPChannel(m, seed=seed), 1500),
-        "ntp+ntp (maintained)": lambda m: (
-            NTPNTPChannel(m, seed=seed, maintenance_period=96),
-            1500,
-        ),
-        "ntp 3-set redundant": lambda m: (
-            RedundantNTPChannel(m, redundancy=3, seed=seed),
-            2400,
-        ),
-        "prime+probe": lambda m: (PrimeProbeChannel(m, seed=seed), 11000),
-    }
+    probe = machine_factory()
+    shards = make_shards(seed, [
+        {
+            "config": probe.config,
+            "machine_seed": probe.seed,
+            "name": name,
+            "kind": kind,
+            "kwargs": kwargs,
+            "interval": interval,
+            "bias": bias,
+            "n_bits": n_bits,
+            "seed": seed,
+        }
+        for name, kind, kwargs, interval in VARIANTS
+        for bias in biases
+    ])
+    rows = run_shards(
+        _noise_point_worker, shards, jobs=jobs,
+        cache=result_cache, cache_tag="noise_sweep/v1",
+    )
     result = NoiseSweepResult()
-    for name, build in variants.items():
-        points: List[NoisePoint] = []
-        for bias in biases:
-            machine = machine_factory()
-            channel, interval = build(machine)
-            noise = None if bias == 0.0 else NoiseConfig(target_bias=bias)
-            outcome = channel.transmit(bits, interval, noise=noise)
-            points.append(NoisePoint(bias=bias, bit_error_rate=outcome.bit_error_rate))
-        result.curves[name] = points
+    for name, _, _, _ in VARIANTS:
+        result.curves[name] = [
+            NoisePoint(bias=row["bias"], bit_error_rate=row["bit_error_rate"])
+            for row in rows if row["name"] == name
+        ]
     return result

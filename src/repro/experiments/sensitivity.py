@@ -14,12 +14,13 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..attacks.ntp_ntp import NTPNTPChannel
 from ..attacks.prime_probe import PrimeProbeChannel
 from ..config import PlatformConfig, SyncProfile
 from ..errors import ReproError
+from ..runner import ResultCache, Shard, make_shards, run_shards
 from ..sim.machine import Machine
 
 DEFAULT_SCALES = (0.8, 1.0, 1.2)
@@ -55,40 +56,62 @@ def _peak_capacity(machine: Machine, channel, intervals, bits) -> float:
     return best
 
 
+def _sensitivity_point_worker(shard: Shard) -> dict:
+    """One (scale, channel) peak measurement, rebuilt from the shard."""
+    p = shard.params
+    config: PlatformConfig = p["config"]
+    seed = p["seed"]
+    rng = random.Random(seed)
+    bits = [rng.randint(0, 1) for _ in range(p["n_bits"])]
+    sync = SyncProfile(
+        overhead_cycles=int(config.sync.overhead_cycles * p["scale"]),
+        jitter_sigma=config.sync.jitter_sigma,
+    )
+    scaled = dataclasses.replace(config, sync=sync)
+    base = int(sync.overhead_cycles)
+    machine = Machine(scaled, seed=seed)
+    if p["channel"] == "ntp":
+        channel = NTPNTPChannel(machine, seed=seed)
+        intervals = [base + 170, base + 240, base + 340, base + 500]
+    else:
+        channel = PrimeProbeChannel(machine, seed=seed)
+        intervals = [base + 7600, base + 8800, base + 10400]
+    peak = _peak_capacity(machine, channel, intervals, bits)
+    return {"scale": p["scale"], "channel": p["channel"], "peak": peak}
+
+
 def run_sensitivity_experiment(
     config: PlatformConfig,
     scales: Sequence[float] = DEFAULT_SCALES,
     n_bits: int = 128,
     seed: int = 0,
+    jobs: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> SensitivityResult:
-    """Scale the sync budget and re-measure both channels' peaks."""
+    """Scale the sync budget and re-measure both channels' peaks.
+
+    Each (scale, channel) measurement is an independent shard; ``jobs > 1``
+    fans them out to worker processes with bit-identical results.
+    """
     if not scales:
         raise ReproError("need at least one scale factor")
-    rng = random.Random(seed)
-    bits = [rng.randint(0, 1) for _ in range(n_bits)]
+    shards = make_shards(seed, [
+        {"config": config, "scale": scale, "channel": channel,
+         "n_bits": n_bits, "seed": seed}
+        for scale in scales
+        for channel in ("ntp", "pp")
+    ])
+    rows = run_shards(
+        _sensitivity_point_worker, shards, jobs=jobs,
+        cache=result_cache, cache_tag="sensitivity/v1",
+    )
     result = SensitivityResult()
-    for scale in scales:
-        sync = SyncProfile(
-            overhead_cycles=int(config.sync.overhead_cycles * scale),
-            jitter_sigma=config.sync.jitter_sigma,
-        )
-        scaled = dataclasses.replace(config, sync=sync)
-        base = int(sync.overhead_cycles)
-        ntp_intervals = [base + 170, base + 240, base + 340, base + 500]
-        machine = Machine(scaled, seed=seed)
-        ntp_peak = _peak_capacity(
-            machine, NTPNTPChannel(machine, seed=seed), ntp_intervals, bits
-        )
-        pp_intervals = [base + 7600, base + 8800, base + 10400]
-        machine = Machine(scaled, seed=seed)
-        pp_peak = _peak_capacity(
-            machine, PrimeProbeChannel(machine, seed=seed), pp_intervals, bits
-        )
+    for ntp_row, pp_row in zip(rows[0::2], rows[1::2]):
         result.points.append(
             SensitivityPoint(
-                sync_scale=scale,
-                ntp_capacity=ntp_peak,
-                prime_probe_capacity=pp_peak,
+                sync_scale=ntp_row["scale"],
+                ntp_capacity=ntp_row["peak"],
+                prime_probe_capacity=pp_row["peak"],
             )
         )
     return result

@@ -13,7 +13,7 @@ Cache Slice Selection", Maurice et al.) describe — so the search algorithms in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from ..config import CacheGeometry
 from ..errors import AddressError
@@ -82,6 +82,7 @@ class CacheSetMapping:
     def __init__(self, geometry: CacheGeometry, slice_hash: SliceHash = None):
         self.geometry = geometry
         self._set_mask = geometry.sets - 1
+        self._flat_cache: Dict[int, Tuple[int, int]] = {}
         if geometry.slices > 1:
             self.slice_hash = slice_hash or SliceHash(geometry.slices)
             if self.slice_hash.n_slices != geometry.slices:
@@ -99,6 +100,27 @@ class CacheSetMapping:
         if self.slice_hash is None:
             return SetIndex(slice=0, set=set_idx)
         return SetIndex(slice=self.slice_hash.slice_of(line), set=set_idx)
+
+    def flat_index(self, addr: int) -> Tuple[int, int]:
+        """Memoized ``index(addr).flat``: the hot-path set resolution.
+
+        The slice hash and set mask are pure functions of the line address,
+        so results are cached per line.  The memo goes through
+        :meth:`index` on a miss, which keeps subclasses that override the
+        mapping function (e.g. the randomized-LLC countermeasure) correct.
+        The working set of any experiment is a bounded set of allocated
+        lines, which bounds the memo.
+        """
+        line = validate_address(addr) >> LINE_OFFSET_BITS
+        try:
+            cache = self._flat_cache
+        except AttributeError:
+            # Subclasses may bypass __init__ (RandomizedSetMapping does).
+            cache = self._flat_cache = {}
+        flat = cache.get(line)
+        if flat is None:
+            flat = cache[line] = self.index(addr).flat
+        return flat
 
     def congruent(self, a: int, b: int) -> bool:
         """True when two addresses map to the same slice and set."""

@@ -1,0 +1,35 @@
+"""Parallel sharded sweep runner with on-disk result caching.
+
+Every sweep experiment (capacity, noise, detection, sensitivity, channel
+comparison) decomposes into independent points; this package runs those
+points serially or across a process pool with **bit-identical output**, and
+memoizes each point's result on disk keyed by the full content of the
+computation (engine version + platform config + parameters + seeds).
+
+Typical wiring, from an experiment module::
+
+    def _point_worker(shard):          # top level: must pickle
+        p = shard.params
+        machine = Machine(p["config"], seed=p["machine_seed"])
+        ...
+        return {"interval": p["interval"], "ber": outcome.bit_error_rate}
+
+    shards = make_shards(root_seed, [{...} for point in grid])
+    rows = run_shards(_point_worker, shards, jobs=jobs, cache=cache,
+                      cache_tag="my_sweep/v1")
+"""
+
+from .cache import CACHE_DIR_ENV, ResultCache, default_cache_root
+from .pool import run_shards
+from .shard import Shard, canonical_json, derive_seed, make_shards
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "ResultCache",
+    "default_cache_root",
+    "run_shards",
+    "Shard",
+    "canonical_json",
+    "derive_seed",
+    "make_shards",
+]

@@ -1,0 +1,91 @@
+"""Content-addressed on-disk cache for sweep-point results.
+
+Every cache entry is keyed by the SHA-256 of everything that determines a
+sweep point's output: the engine version, the worker's identity, the full
+platform configuration, and the point's parameters (seeds included).  A
+re-run of ``python -m repro table2`` therefore recomputes nothing, while
+*any* change to the platform config, the sweep grid, or the engine's
+numeric behaviour misses cleanly.
+
+Entries are JSON files under ``<root>/<key[:2]>/<key>.json``.  The cache is
+fail-soft: unreadable/unwritable storage degrades to recomputation, never
+to an error — results must not depend on filesystem health.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..cache import ENGINE_VERSION
+from .shard import canonical_json
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-leakyway``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-leakyway"
+
+
+class ResultCache:
+    """A content-addressed store of JSON sweep-point results."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        #: Fulfilled / recomputed lookups, for tests and ``--jobs`` tuning.
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, **components: Any) -> str:
+        """SHA-256 hex key over the canonical JSON of ``components``.
+
+        The engine version participates automatically so numeric-behaviour
+        changes to the simulator invalidate every prior entry.
+        """
+        material = canonical_json({"engine": ENGINE_VERSION, **components})
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None (counts hit/miss)."""
+        try:
+            payload = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (best effort, atomic rename)."""
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(path)
+        except OSError:
+            pass  # fail-soft: a broken cache only costs recomputation
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed (test helper)."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,82 @@
+"""Shard execution: serial or process-parallel, with identical output.
+
+:func:`run_shards` is the one entry point every sweep goes through.  It
+guarantees:
+
+* **Stable merge order** — results come back in shard order regardless of
+  ``jobs``, so a parallel sweep is bit-identical to a serial one.
+* **Pure workers** — a worker is a top-level function of one
+  :class:`~repro.runner.shard.Shard` returning a JSON-compatible dict.  It
+  must derive everything from the shard (workers run in forked processes
+  where closure state would silently diverge).
+* **Transparent caching** — with a :class:`~repro.runner.cache.ResultCache`,
+  known points are served from disk and only the misses are computed (and
+  then stored), in either execution mode.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from .cache import ResultCache
+from .shard import Shard
+
+Worker = Callable[[Shard], Dict[str, Any]]
+
+
+def _cache_key(cache: ResultCache, worker: Worker, tag: Optional[str], shard: Shard) -> str:
+    return cache.key(
+        worker=f"{worker.__module__}.{worker.__qualname__}",
+        tag=tag,
+        seed=shard.seed,
+        params=shard.params,
+    )
+
+
+def run_shards(
+    worker: Worker,
+    shards: Sequence[Shard],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_tag: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Run ``worker`` over ``shards``; results merged in shard order.
+
+    ``jobs <= 1`` runs inline; ``jobs > 1`` fans the uncached shards out to
+    a ``ProcessPoolExecutor``.  ``cache_tag`` names the sweep family in
+    cache keys (bump it when a worker's *output format* changes without a
+    rename).
+    """
+    if jobs < 0:
+        raise ReproError(f"jobs must be >= 0, got {jobs}")
+    shards = list(shards)
+    results: List[Optional[Dict[str, Any]]] = [None] * len(shards)
+
+    pending: List[Shard] = []
+    keys: Dict[int, str] = {}
+    if cache is not None:
+        for slot, shard in enumerate(shards):
+            key = keys[slot] = _cache_key(cache, worker, cache_tag, shard)
+            hit = cache.get(key)
+            if hit is not None:
+                results[slot] = hit
+            else:
+                pending.append(shard)
+    else:
+        pending = shards
+
+    slot_of = {shard.index: slot for slot, shard in enumerate(shards)}
+    if pending:
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                computed = list(pool.map(worker, pending))
+        else:
+            computed = [worker(shard) for shard in pending]
+        for shard, result in zip(pending, computed):
+            slot = slot_of[shard.index]
+            results[slot] = result
+            if cache is not None:
+                cache.put(keys[slot], result)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,88 @@
+"""Deterministic sharding of independent sweep points.
+
+A *sweep* is a list of independent points (seed x noise level x interval x
+platform x ...).  Each point becomes a :class:`Shard`: a picklable work
+unit carrying its parameters and a per-shard seed derived from the sweep's
+root seed.  Shards never share state, so they can run in any order on any
+process — the pool merges results back in shard order, which is what makes
+parallel output bit-identical to serial output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence
+
+from ..errors import ReproError
+
+#: derive_seed returns non-negative seeds below this (63 bits keeps them
+#: inside one machine word for ``random.Random`` while staying positive).
+SEED_SPACE = 1 << 63
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-compatible canonical form of seed-derivation components."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "value"):  # enums
+        return _canonical(value.value)
+    raise ReproError(
+        f"cannot canonicalize {type(value).__name__} for seed/key derivation"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Stable JSON encoding used for seed derivation and cache keys."""
+    return json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(root_seed: int, *components: Any) -> int:
+    """A deterministic per-shard seed from the root seed plus components.
+
+    SHA-256 over the canonical JSON of ``[root_seed, *components]``,
+    truncated to 63 bits.  Stable across processes, platforms, and Python
+    versions (unlike ``hash()``), so a shard computes the same seed whether
+    it runs serially, in a worker process, or in a resumed run.
+    """
+    material = canonical_json([root_seed, *components])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % SEED_SPACE
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent sweep point: parameters plus a derived seed.
+
+    ``params`` is the worker's entire input; it must be picklable (it
+    crosses the process boundary) and canonicalizable (it feeds the result
+    cache key).  ``seed`` is free for workers that need per-point
+    randomness beyond the seeds already embedded in ``params``.
+    """
+
+    index: int
+    seed: int
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def make_shards(root_seed: int, param_sets: Sequence[Mapping[str, Any]]) -> List[Shard]:
+    """Shards for ``param_sets``, in order, with derived per-shard seeds."""
+    return [
+        Shard(index=i, seed=derive_seed(root_seed, i), params=dict(params))
+        for i, params in enumerate(param_sets)
+    ]

@@ -3,15 +3,22 @@
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
-from ..cache.hierarchy import CacheHierarchy
+from ..cache.hierarchy import CacheHierarchy, Level, MemOpResult
 from ..cache.replacement import ReplacementPolicy
 from ..config import PlatformConfig, SKYLAKE, KABY_LAKE
 from ..cpu.core import Core
 from ..cpu.timing import TimingModel
+from ..errors import ConfigurationError, SimulationError
 from ..mem.allocator import AddressSpace, PageAllocator
 from ..mem.layout import CacheSetMapping
+
+#: One batched memory operation: (op name, core id, byte address).
+TraceOp = Tuple[str, int, int]
+
+_DRAM = Level.DRAM
+_LLC = Level.LLC
 
 
 class Machine:
@@ -35,6 +42,9 @@ class Machine:
         llc_mapping: Optional[CacheSetMapping] = None,
     ):
         self.config = config
+        #: Root seed this machine was built with (sweep shards rebuild an
+        #: identical machine from ``(config, seed)`` in worker processes).
+        self.seed = seed
         self.rng = random.Random(seed)
         self.hierarchy = CacheHierarchy(
             config, llc_policy_factory=llc_policy_factory, llc_mapping=llc_mapping
@@ -100,7 +110,71 @@ class Machine:
                 found.append(line)
                 if len(found) == size:
                     return found
-        raise AssertionError("unreachable")  # pragma: no cover
+        raise ConfigurationError(
+            f"exhausted candidate lines searching for {size} private-conflict "
+            f"lines for target {target:#x} (found {len(found)}): need lines "
+            "congruent in L1 and L2 but not the LLC — the configured "
+            "geometries may make that set empty"
+        )
+
+    # -- batch execution -----------------------------------------------------
+
+    def run_trace(
+        self, ops: Iterable[TraceOp], record: bool = False
+    ) -> "List[MemOpResult] | int":
+        """Execute a batch of memory operations on the sequential clock.
+
+        ``ops`` yields ``(op, core, addr)`` tuples with ``op`` one of
+        ``load``, ``prefetchnta``, ``prefetcht0``, ``prefetcht1``,
+        ``prefetcht2``, or ``clflush``.  Counters, statistics, and the
+        clock advance exactly as if each operation had been issued through
+        ``machine.cores[core]`` individually; the batch form exists so
+        experiments replaying long traces pay one Python call per *batch*
+        instead of several per *operation*.
+
+        Returns the per-op :class:`MemOpResult` list when ``record`` is
+        true, else the number of operations executed (recording a
+        multi-million-op trace would hold every result alive for no
+        reason).
+        """
+        hierarchy = self.hierarchy
+        cores = self.cores
+        dispatch = {
+            "load": hierarchy.load,
+            "prefetchnta": hierarchy.prefetchnta,
+            "prefetcht0": hierarchy.prefetcht0,
+            "prefetcht1": hierarchy.prefetcht1,
+            "prefetcht2": hierarchy.prefetcht1,
+            "clflush": None,  # flush has its own accounting below
+        }
+        results: List[MemOpResult] = []
+        clock = self.clock
+        count = 0
+        for op, core_id, addr in ops:
+            try:
+                handler = dispatch[op]
+            except KeyError:
+                self.clock = clock
+                raise SimulationError(f"unknown trace op {op!r}") from None
+            core = cores[core_id]
+            if handler is None:
+                core.flushes += 1
+                result = hierarchy.clflush(addr, clock)
+            else:
+                core.memory_references += 1
+                result = handler(core_id, addr, clock)
+                level = result.level
+                if level is _DRAM:
+                    core.llc_references += 1
+                    core.llc_misses += 1
+                elif level is _LLC:
+                    core.llc_references += 1
+            clock += result.latency
+            count += 1
+            if record:
+                results.append(result)
+        self.clock = clock
+        return results if record else count
 
     # -- convenience ---------------------------------------------------------
 

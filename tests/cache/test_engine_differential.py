@@ -1,0 +1,143 @@
+"""Differential testing: production fast-path engine vs the frozen reference.
+
+The production engine (tag->way index, memoized set indices, interned
+results, batch execution) must be *bit-identical* to the seed engine
+preserved in :mod:`repro.cache.reference`: same per-op outcome (level and
+latency), same final cache state, same statistics.  Both engines replay
+identical mixed traces of loads, PREFETCHNTA/T0/T1, and CLFLUSH across
+multiple cores and congruent address groups.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.reference import ReferenceHierarchy
+from repro.config import SKYLAKE, CacheGeometry, PlatformConfig
+from repro.sim.machine import Machine
+
+#: A tiny sliced platform: small enough that random addresses collide in
+#: every level, so traces exercise evictions, back-invalidation, and
+#: in-flight-fill drops, not just cold fills.
+TINY = PlatformConfig(
+    name="tiny-diff",
+    microarchitecture="test",
+    cores=2,
+    frequency_hz=1e9,
+    l1=CacheGeometry(sets=4, ways=2),
+    l2=CacheGeometry(sets=8, ways=2),
+    llc=CacheGeometry(sets=8, ways=4, slices=2),
+)
+
+OPS = ("load", "prefetchnta", "prefetcht0", "prefetcht1", "clflush")
+
+
+def replay(hierarchy, trace):
+    """Replay ``trace`` per-op; returns the (level, latency) outcome list."""
+    outcomes = []
+    now = 0
+    for op, core, addr in trace:
+        if op == "clflush":
+            result = hierarchy.clflush(addr, now)
+        else:
+            result = getattr(hierarchy, op)(core, addr, now)
+        outcomes.append((result.level, result.latency))
+        now += result.latency
+    return outcomes
+
+
+def assert_identical(fast, reference, trace):
+    fast_outcomes = replay(fast, trace)
+    ref_outcomes = replay(reference, trace)
+    assert fast_outcomes == ref_outcomes
+    assert fast.snapshot() == reference.snapshot()
+    assert fast.stats_tuple() == reference.stats_tuple()
+
+
+def mixed_trace(seed, length, cores, n_lines):
+    rng = random.Random(seed)
+    lines = [i * 64 for i in range(n_lines)]
+    return [
+        (rng.choice(OPS), rng.randrange(cores), rng.choice(lines))
+        for _ in range(length)
+    ]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_mixed_trace_identical_on_tiny_platform(seed):
+    trace = mixed_trace(seed, length=4000, cores=TINY.cores, n_lines=96)
+    assert_identical(CacheHierarchy(TINY), ReferenceHierarchy(TINY), trace)
+
+
+def test_mixed_trace_identical_on_skylake():
+    # The paper's platform: addresses drawn from a few pages so LLC sets
+    # conflict while L1/L2 behaviour still differs across levels.
+    trace = mixed_trace(99, length=6000, cores=SKYLAKE.cores, n_lines=512)
+    assert_identical(CacheHierarchy(SKYLAKE), ReferenceHierarchy(SKYLAKE), trace)
+
+
+def test_congruent_pressure_trace_identical():
+    """Hammer a handful of LLC-congruent groups: eviction-path heavy."""
+    machine = Machine(SKYLAKE, seed=5)
+    space = machine.address_space("diff")
+    target = space.alloc_pages(1)[0]
+    evset = machine.llc_eviction_set(space, target, size=SKYLAKE.llc.ways + 4)
+    lines = [target, *evset]
+    rng = random.Random(17)
+    trace = [
+        (rng.choice(OPS), rng.randrange(SKYLAKE.cores), rng.choice(lines))
+        for _ in range(5000)
+    ]
+    assert_identical(CacheHierarchy(SKYLAKE), ReferenceHierarchy(SKYLAKE), trace)
+
+
+def test_run_trace_matches_per_op_issue():
+    """Machine.run_trace == issuing the same ops through cores one by one."""
+    trace = mixed_trace(7, length=3000, cores=2, n_lines=128)
+    batched = Machine(TINY, seed=0)
+    stepped = Machine(TINY, seed=0)
+    results = batched.run_trace(trace, record=True)
+    expected = []
+    for op, core, addr in trace:
+        method = getattr(stepped.cores[core], op)
+        expected.append(method(addr))
+    assert results == expected
+    assert batched.clock == stepped.clock
+    assert batched.hierarchy.snapshot() == stepped.hierarchy.snapshot()
+    assert batched.hierarchy.stats_tuple() == stepped.hierarchy.stats_tuple()
+    for fast_core, slow_core in zip(batched.cores, stepped.cores):
+        assert fast_core.memory_references == slow_core.memory_references
+        assert fast_core.flushes == slow_core.flushes
+        assert fast_core.llc_references == slow_core.llc_references
+        assert fast_core.llc_misses == slow_core.llc_misses
+
+
+def test_run_trace_unrecorded_returns_count():
+    machine = Machine(TINY, seed=0)
+    trace = mixed_trace(8, length=500, cores=2, n_lines=64)
+    assert machine.run_trace(trace) == len(trace)
+
+
+def test_run_trace_rejects_unknown_op():
+    from repro.errors import SimulationError
+
+    machine = Machine(TINY, seed=0)
+    with pytest.raises(SimulationError):
+        machine.run_trace([("movnti", 0, 0)])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(OPS),
+            st.integers(min_value=0, max_value=1),
+            st.integers(min_value=0, max_value=63).map(lambda line: line * 64),
+        ),
+        max_size=300,
+    )
+)
+def test_hypothesis_traces_identical(ops):
+    assert_identical(CacheHierarchy(TINY), ReferenceHierarchy(TINY), ops)

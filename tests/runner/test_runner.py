@@ -1,0 +1,136 @@
+"""The sharded runner's contract: parallel == serial, cache == recompute.
+
+The sweep experiments lean on three guarantees from :mod:`repro.runner`:
+stable merge order (so ``--jobs`` never changes output), deterministic
+seed derivation (so a shard computes the same thing in any process), and
+content-addressed caching (so a repeated sweep returns without simulating).
+Each is tested here both in isolation and through a real sweep.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SKYLAKE
+from repro.errors import ReproError
+from repro.experiments.noise_sweep import run_noise_sweep
+from repro.runner import (
+    ResultCache,
+    Shard,
+    canonical_json,
+    derive_seed,
+    make_shards,
+    run_shards,
+)
+from repro.sim.machine import Machine
+
+
+def _square_worker(shard: Shard) -> dict:
+    return {"index": shard.index, "seed": shard.seed,
+            "square": shard.params["x"] ** 2}
+
+
+class TestShards:
+    def test_seeds_deterministic_and_distinct(self):
+        shards = make_shards(7, [{"x": i} for i in range(32)])
+        again = make_shards(7, [{"x": i} for i in range(32)])
+        assert [s.seed for s in shards] == [s.seed for s in again]
+        assert len({s.seed for s in shards}) == 32
+
+    def test_root_seed_changes_all_shard_seeds(self):
+        a = make_shards(1, [{}, {}])
+        b = make_shards(2, [{}, {}])
+        assert all(x.seed != y.seed for x, y in zip(a, b))
+
+    def test_derive_seed_handles_dataclasses_and_enums(self):
+        one = derive_seed(0, SKYLAKE, {"b": 2, "a": 1})
+        two = derive_seed(0, SKYLAKE, {"a": 1, "b": 2})
+        assert one == two  # dict order must not matter
+
+    def test_canonical_json_rejects_opaque_objects(self):
+        with pytest.raises(ReproError):
+            canonical_json({"machine": object()})
+
+    def test_config_survives_canonicalization(self):
+        text = canonical_json(SKYLAKE)
+        assert SKYLAKE.name in text
+        assert text == canonical_json(dataclasses.replace(SKYLAKE))
+
+
+class TestRunShards:
+    def test_parallel_merge_order_matches_serial(self):
+        shards = make_shards(3, [{"x": i} for i in range(10)])
+        serial = run_shards(_square_worker, shards, jobs=1)
+        parallel = run_shards(_square_worker, shards, jobs=4)
+        assert serial == parallel
+        assert [r["square"] for r in serial] == [i ** 2 for i in range(10)]
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ReproError):
+            run_shards(_square_worker, [], jobs=-1)
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        shards = make_shards(5, [{"x": i} for i in range(4)])
+        first = run_shards(_square_worker, shards, cache=cache, cache_tag="t")
+        assert (cache.hits, cache.misses) == (0, 4)
+        second = run_shards(_square_worker, shards, cache=cache, cache_tag="t")
+        assert first == second
+        assert cache.hits == 4
+
+    def test_cache_key_separates_tags_and_params(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = {"worker": "w", "seed": 1, "params": {"x": 1}}
+        assert cache.key(**base) != cache.key(**{**base, "seed": 2})
+        assert cache.key(tag="a", **base) != cache.key(tag="b", **base)
+
+    def test_cache_is_fail_soft(self, tmp_path):
+        cache = ResultCache(tmp_path / "missing")
+        key = cache.key(worker="w", seed=0, params={})
+        assert cache.get(key) is None  # unreadable -> miss, not error
+        cache.put(key, {"v": 1})
+        assert cache.get(key) == {"v": 1}
+
+
+class TestSweepThroughRunner:
+    """ISSUE acceptance: a real sweep, parallel and cached, is bit-identical."""
+
+    BIASES = (0.0, 0.02)
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_noise_sweep(
+            lambda: Machine.skylake(seed=77), biases=self.BIASES, n_bits=48
+        )
+
+    def test_parallel_noise_sweep_bit_identical(self, serial):
+        parallel = run_noise_sweep(
+            lambda: Machine.skylake(seed=77), biases=self.BIASES, n_bits=48,
+            jobs=4,
+        )
+        assert parallel.curves.keys() == serial.curves.keys()
+        for name in serial.curves:
+            assert [(p.bias, p.bit_error_rate) for p in parallel.curve(name)] \
+                == [(p.bias, p.bit_error_rate) for p in serial.curve(name)]
+
+    def test_second_invocation_served_from_cache(self, serial, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_noise_sweep(
+            lambda: Machine.skylake(seed=77), biases=self.BIASES, n_bits=48,
+            result_cache=cache,
+        )
+        computed = cache.misses
+        assert computed == len(self.BIASES) * len(first.curves)
+        second = run_noise_sweep(
+            lambda: Machine.skylake(seed=77), biases=self.BIASES, n_bits=48,
+            result_cache=cache,
+        )
+        assert cache.hits == computed  # every point reused, none recomputed
+        assert cache.misses == computed
+        for name in first.curves:
+            assert [(p.bias, p.bit_error_rate) for p in second.curve(name)] \
+                == [(p.bias, p.bit_error_rate) for p in first.curve(name)]
+        # And the cached results equal the freshly computed serial baseline.
+        for name in serial.curves:
+            assert [p.bit_error_rate for p in second.curve(name)] \
+                == [p.bit_error_rate for p in serial.curve(name)]
