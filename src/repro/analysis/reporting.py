@@ -57,3 +57,50 @@ def comparison_table(
         rows=rows,
         title=title,
     )
+
+
+# -- observability hooks ------------------------------------------------------
+
+
+def runner_summary(registry) -> str:
+    """One-line sweep-runner summary from a run's obs counters.
+
+    The sweep commands print this under their result tables so cache
+    effectiveness and pool utilization are visible without a profiler.
+    ``registry`` is any :class:`repro.obs.MetricsRegistry`.
+    """
+    total = registry.counter("runner.shards.total").value
+    cached = registry.counter("runner.shards.cached").value
+    computed = registry.counter("runner.shards.computed").value
+    corrupt = registry.counter("runner.cache.corrupt").value
+    jobs = int(registry.gauge("runner.pool.jobs").value) or 1
+    utilization = registry.gauge("runner.pool.utilization").value
+    seconds = registry.histogram("runner.shard.seconds")
+    parts = [
+        f"[runner] {total} shard(s): {cached} cached, {computed} computed"
+        + (f" ({corrupt} corrupt entries evicted)" if corrupt else "")
+    ]
+    if computed:
+        parts.append(f"mean {seconds.mean:.2f}s/shard")
+        parts.append(f"pool {utilization:.0%} busy over {jobs} job(s)")
+    return "; ".join(parts)
+
+
+def metrics_table(registry, prefix: str = "", title: Optional[str] = None) -> str:
+    """Counters and gauges of ``registry`` as an aligned table.
+
+    ``prefix`` filters by dotted-name prefix (``"cache."``, ``"channel."``).
+    """
+    snapshot = registry.as_dict(prefix)
+    rows: List[tuple] = [
+        (name, "counter", value) for name, value in snapshot["counters"].items()
+    ]
+    rows += [
+        (name, "gauge", f"{value:g}") for name, value in snapshot["gauges"].items()
+    ]
+    rows += [
+        (name, "histogram", f"n={h['count']} mean={h['mean']:g}")
+        for name, h in snapshot["histograms"].items()
+    ]
+    rows.sort()
+    return format_table(("metric", "kind", "value"), rows, title=title)

@@ -20,7 +20,7 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 
 def cdf(samples: Sequence[float]) -> Tuple[List[float], List[float]]:
-    """Empirical CDF as (sorted values, cumulative fractions].
+    """Empirical CDF as (sorted values, cumulative fractions).
 
     The return format matches what the paper's CDF figures (11, 12) plot.
     """

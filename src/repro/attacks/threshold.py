@@ -8,6 +8,7 @@ module does the same against the simulated timing model.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -31,6 +32,25 @@ class ThresholdCalibration:
         return min(self.slow_samples) - max(self.fast_samples)
 
 
+def _rank(n: int, q: float) -> int:
+    """Index of the q-quantile in a sorted n-sample population.
+
+    Nearest-rank selection on the real-valued rank ``q * n``, with ties
+    rounding toward the population's interior, so small calibration
+    populations select an interior order statistic.  The truncating
+    ``int(n * q)`` arithmetic this replaces handed the n=10
+    minimum-calibration case its literal max (p95 -> rank 9.5 -> index 9)
+    and min (p5 -> rank 0.5 -> index 0), which made the threshold hostage
+    to a single outlier sample; here those ties resolve to indices 8 and 1.
+    """
+    position = q * n
+    if q >= 0.5:
+        index = math.ceil(position - 0.5) - 1  # 1-based nearest rank, tie down
+    else:
+        index = math.floor(position + 0.5)  # 0-based nearest rank, tie up
+    return min(n - 1, max(0, index))
+
+
 def threshold_from_samples(fast: Sequence[int], slow: Sequence[int]) -> int:
     """Threshold between two latency populations.
 
@@ -42,8 +62,8 @@ def threshold_from_samples(fast: Sequence[int], slow: Sequence[int]) -> int:
         raise AttackError("both sample populations must be non-empty")
     fast_sorted = sorted(fast)
     slow_sorted = sorted(slow)
-    fast_hi = fast_sorted[min(len(fast_sorted) - 1, int(len(fast_sorted) * 0.95))]
-    slow_lo = slow_sorted[max(0, int(len(slow_sorted) * 0.05))]
+    fast_hi = fast_sorted[_rank(len(fast_sorted), 0.95)]
+    slow_lo = slow_sorted[_rank(len(slow_sorted), 0.05)]
     if slow_lo <= fast_hi:
         raise AttackError(
             f"populations overlap (fast p95={fast_hi}, slow p5={slow_lo}); "

@@ -61,6 +61,10 @@ class QuadAgeLRU(ReplacementPolicy):
         self.load_insert_age = load_insert_age
         self.prefetch_insert_age = prefetch_insert_age
         self.prefetch_hit_updates = prefetch_hit_updates
+        #: Lines aged by the victim scan's "increment every age" rounds —
+        #: the replacement-policy event stream the paper's figures count
+        #: (published as ``cache.LLC.age_promotions`` by ``repro.obs``).
+        self.age_promotions = 0
 
     def on_fill(self, ways: Ways, way: int, is_prefetch: bool) -> None:
         line = ways[way]
@@ -78,6 +82,15 @@ class QuadAgeLRU(ReplacementPolicy):
             # proven temporal locality after all.
             line.prefetched = False
 
+    def peek_victim(self, ways: Ways, now: int) -> Optional[int]:
+        # Peeks simulate the victim scan on copied lines; a peek must not
+        # count aging rounds it immediately throws away.
+        before = self.age_promotions
+        try:
+            return super().peek_victim(ways, now)
+        finally:
+            self.age_promotions = before
+
     def select_victim(self, ways: Ways, now: int) -> Optional[int]:
         evictable = [
             i for i, line in enumerate(ways) if line is not None and not line.is_busy(now)
@@ -93,4 +106,5 @@ class QuadAgeLRU(ReplacementPolicy):
             for i in evictable:
                 if ways[i].age < MAX_AGE:
                     ways[i].age += 1
+                    self.age_promotions += 1
         raise AssertionError("aging loop failed to produce a victim")  # pragma: no cover

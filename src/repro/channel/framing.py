@@ -54,27 +54,43 @@ class FrameCodec:
         return PREAMBLE_BITS + bytes_to_bits(body)
 
     def decode(self, bits: Sequence[int]) -> Optional[Frame]:
-        """Find the preamble and decode one frame; None if no frame found."""
+        """Resynchronizing decode: the first CRC-clean frame in ``bits``.
+
+        A bit error can fabricate a preamble *before* the real one (or
+        corrupt the length byte at a matched offset), so stopping at the
+        first match would discard an intact frame further downstream.
+        Every preamble position is tried in order; the first frame whose
+        CRC checks wins.  If none checks, the first syntactically complete
+        frame is returned with ``crc_ok=False`` so callers can report a
+        corrupted decode; None only when no complete frame exists at all.
+        """
         bits = list(bits)
-        start = self._find_preamble(bits)
-        if start is None:
-            return None
-        body_bits = bits[start:]
-        if len(body_bits) < 16:
-            return None
-        length = bits_to_bytes(body_bits[:8])[0]
-        needed = 8 + length * 8 + 8
-        if len(body_bits) < needed:
-            return None
-        body = bits_to_bytes(body_bits[:needed])
-        payload = body[1 : 1 + length]
-        ok = crc8(body[: 1 + length]) == body[1 + length]
-        return Frame(payload=payload, crc_ok=ok)
+        fallback: Optional[Frame] = None
+        for start in self._iter_preambles(bits):
+            body_bits = bits[start:]
+            if len(body_bits) < 16:
+                continue
+            length = bits_to_bytes(body_bits[:8])[0]
+            needed = 8 + length * 8 + 8
+            if len(body_bits) < needed:
+                continue
+            body = bits_to_bytes(body_bits[:needed])
+            payload = body[1 : 1 + length]
+            if crc8(body[: 1 + length]) == body[1 + length]:
+                return Frame(payload=payload, crc_ok=True)
+            if fallback is None:
+                fallback = Frame(payload=payload, crc_ok=False)
+        return fallback
 
     @staticmethod
-    def _find_preamble(bits: List[int]) -> Optional[int]:
+    def _iter_preambles(bits: List[int]):
+        """Yield the body offset after every preamble match, in order."""
         n = len(PREAMBLE_BITS)
         for i in range(len(bits) - n + 1):
             if bits[i : i + n] == PREAMBLE_BITS:
-                return i + n
-        return None
+                yield i + n
+
+    @classmethod
+    def _find_preamble(cls, bits: List[int]) -> Optional[int]:
+        """Body offset after the first preamble match, or None."""
+        return next(cls._iter_preambles(bits), None)

@@ -30,6 +30,11 @@ class HammingEncoder:
     BLOCK_DATA = 4
     BLOCK_CODE = 7
 
+    def __init__(self) -> None:
+        #: Single-bit corrections applied across all decodes (observability:
+        #: the transport mirrors deltas into ``channel.hamming.corrections``).
+        self.corrections = 0
+
     def encode(self, bits: Sequence[int]) -> List[int]:
         """Encode a bit string (length must be a multiple of 4)."""
         _check_bits(bits)
@@ -84,4 +89,5 @@ class HammingEncoder:
                 syndrome |= parity
         if syndrome:
             word[syndrome] ^= 1  # single-error correction
+            self.corrections += 1
         return [word[position] for position in _DATA_POSITIONS]

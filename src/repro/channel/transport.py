@@ -9,6 +9,10 @@ Prefetch+Prefetch, the redundant variant — into a checked byte pipe::
     transport = ReliableTransport(NTPNTPChannel(machine))
     delivery = transport.send(b"secret", interval=1500)
     assert delivery.ok and delivery.payload == b"secret"
+
+Every decode is accounted in the transport's metrics registry (frames
+attempted / synced / CRC-failed, Hamming corrections, truncated bits,
+per-send BER) — see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import ChannelError
+from ..obs import EventTrace, MetricsRegistry, NULL_TRACE, get_registry
 from .framing import FrameCodec
 from .hamming import HammingEncoder
 from .interleave import BlockInterleaver
@@ -34,10 +39,19 @@ class Delivery:
 
     @property
     def overhead(self) -> float:
-        """Channel bits per payload bit."""
-        if not self.payload:
+        """Channel bits per payload bit.
+
+        Infinite only when no frame was delivered at all.  A legitimately
+        delivered *empty* payload has zero payload bits, so the ratio is
+        degenerate; it reports the absolute channel bit count instead —
+        finite, monotone in channel cost, and distinguishable from failure.
+        """
+        if self.payload is None:
             return float("inf")
-        return self.channel_bits / (len(self.payload) * 8)
+        payload_bits = len(self.payload) * 8
+        if payload_bits == 0:
+            return float(self.channel_bits)
+        return self.channel_bits / payload_bits
 
 
 class ReliableTransport:
@@ -48,6 +62,8 @@ class ReliableTransport:
         channel,
         interleave_rows: int = 16,
         codec: Optional[FrameCodec] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
         if interleave_rows < 1:
             raise ChannelError(f"interleave_rows must be >= 1, got {interleave_rows}")
@@ -55,6 +71,8 @@ class ReliableTransport:
         self.codec = codec or FrameCodec()
         self.fec = HammingEncoder()
         self.interleave_rows = interleave_rows
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.trace = trace if trace is not None else NULL_TRACE
 
     # -- pipeline ------------------------------------------------------------
 
@@ -68,16 +86,36 @@ class ReliableTransport:
         return interleaver.interleave(interleaver.pad(coded))
 
     def decode(self, bits: List[int]) -> Optional[bytes]:
-        """Inverse pipeline; None when no intact frame survives."""
+        """Inverse pipeline; None when no intact frame survives.
+
+        A stream whose length is not an exact multiple of the interleaver
+        block is truncated to the largest whole number of blocks instead of
+        rejected — a single trailing dropped or duplicated bit must not
+        discard an otherwise intact frame.
+        """
+        metrics = self.metrics
+        metrics.counter("channel.frames.attempted").inc()
         interleaver = BlockInterleaver(
             rows=self.interleave_rows, cols=self.fec.BLOCK_CODE
         )
-        if len(bits) % interleaver.block_bits != 0:
+        usable = len(bits) - len(bits) % interleaver.block_bits
+        if usable != len(bits):
+            metrics.counter("channel.bits.truncated").inc(len(bits) - usable)
+            bits = list(bits[:usable])
+        if not bits:
             return None
         coded = interleaver.deinterleave(bits)
+        corrections_before = self.fec.corrections
         frame_bits = self.fec.decode(coded)
+        metrics.counter("channel.hamming.corrections").inc(
+            self.fec.corrections - corrections_before
+        )
         frame = self.codec.decode(frame_bits)
-        if frame is None or not frame.crc_ok:
+        if frame is None:
+            return None
+        metrics.counter("channel.frames.synced").inc()
+        if not frame.crc_ok:
+            metrics.counter("channel.frames.crc_failed").inc()
             return None
         return frame.payload
 
@@ -89,10 +127,26 @@ class ReliableTransport:
         kwargs = {} if noise is None else {"noise": noise}
         result = self.channel.transmit(tx_bits, interval, **kwargs)
         decoded = self.decode(list(result.received_bits))
-        return Delivery(
+        delivery = Delivery(
             payload=decoded,
             ok=decoded == payload,
             channel_bits=len(tx_bits),
             channel_ber=result.bit_error_rate,
             raw_rate_kb_per_s=result.raw_rate_kb_per_s,
         )
+        metrics = self.metrics
+        metrics.counter("channel.sends.total").inc()
+        if delivery.ok:
+            metrics.counter("channel.sends.ok").inc()
+        metrics.histogram(
+            "channel.send.ber", buckets=(0.0, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5)
+        ).observe(result.bit_error_rate)
+        self.trace.emit(
+            "channel.send",
+            ok=delivery.ok,
+            payload_bytes=len(payload),
+            channel_bits=delivery.channel_bits,
+            ber=result.bit_error_rate,
+            interval=interval,
+        )
+        return delivery

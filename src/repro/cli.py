@@ -51,6 +51,30 @@ def _result_cache(args: argparse.Namespace):
     return ResultCache()
 
 
+def _sweep_obs(args: argparse.Namespace):
+    """(metrics registry, trace) backing one sweep command's run."""
+    from .obs import EventTrace, MetricsRegistry, NULL_TRACE
+
+    registry = MetricsRegistry()
+    trace = EventTrace() if getattr(args, "trace", None) else NULL_TRACE
+    return registry, trace
+
+
+def _finish_sweep_obs(args: argparse.Namespace, registry, trace) -> None:
+    """Print the runner summary and export the trace, if one was recorded.
+
+    Both lines go to stderr: stdout carries only the result tables, which
+    are bit-identical for any ``--jobs`` value, while this telemetry is
+    wall-clock and varies run to run.
+    """
+    from .analysis.reporting import runner_summary
+
+    print(runner_summary(registry), file=sys.stderr)
+    if getattr(args, "trace", None):
+        written = trace.to_jsonl(args.trace)
+        print(f"[trace] {written} event(s) -> {args.trace}", file=sys.stderr)
+
+
 # ---------------------------------------------------------------------------
 # Commands
 # ---------------------------------------------------------------------------
@@ -115,11 +139,12 @@ def cmd_table2(args: argparse.Namespace) -> int:
     from .experiments.capacity_sweep import run_capacity_sweep
 
     cache = _result_cache(args)
+    registry, trace = _sweep_obs(args)
     rows = []
     for channel in ("ntp+ntp", "prime+probe"):
         sweep = run_capacity_sweep(
             _machine_factory(args), channel, n_bits=args.bits, seed=args.seed,
-            jobs=args.jobs, result_cache=cache,
+            jobs=args.jobs, result_cache=cache, metrics=registry, trace=trace,
         )
         peak = sweep.peak
         rows.append(
@@ -131,20 +156,24 @@ def cmd_table2(args: argparse.Namespace) -> int:
         title="Table II — peak channel capacities "
               "(paper: NTP+NTP 302/275, Prime+Probe 86/81)",
     ))
+    _finish_sweep_obs(args, registry, trace)
     return 0
 
 
 def cmd_fig8(args: argparse.Namespace) -> int:
     from .experiments.capacity_sweep import run_capacity_sweep
 
+    registry, trace = _sweep_obs(args)
     sweep = run_capacity_sweep(
         _machine_factory(args), args.channel, n_bits=args.bits, seed=args.seed,
         jobs=args.jobs, result_cache=_result_cache(args),
+        metrics=registry, trace=trace,
     )
     print(format_table(
         ("interval", "raw KB/s", "BER", "capacity KB/s"), sweep.rows(),
         title=f"Figure 8 — {args.channel} on {sweep.platform}",
     ))
+    _finish_sweep_obs(args, registry, trace)
     return 0
 
 
@@ -242,21 +271,26 @@ def cmd_evset(args: argparse.Namespace) -> int:
 def cmd_noise(args: argparse.Namespace) -> int:
     from .experiments.noise_sweep import run_noise_sweep
 
+    registry, trace = _sweep_obs(args)
     result = run_noise_sweep(
         _machine_factory(args), n_bits=args.bits, seed=args.seed,
         jobs=args.jobs, result_cache=_result_cache(args),
+        metrics=registry, trace=trace,
     )
     print(format_table(result.header(), result.rows(),
                        title="Section IV-B3 — BER vs noise intensity"))
+    _finish_sweep_obs(args, registry, trace)
     return 0
 
 
 def cmd_detect_sweep(args: argparse.Namespace) -> int:
     from .experiments.detection_sweep import run_detection_sweep
 
+    registry, trace = _sweep_obs(args)
     result = run_detection_sweep(
         _machine_factory(args), duration=args.duration,
         jobs=args.jobs, result_cache=_result_cache(args),
+        metrics=registry, trace=trace,
     )
     print(format_table(result.header(), result.rows(),
                        title="Section V-A3 — FN rate vs victim period"))
@@ -266,15 +300,18 @@ def cmd_detect_sweep(args: argparse.Namespace) -> int:
             print(f"{attack}: usable down to ~{period}-cycle periods")
         except Exception:
             print(f"{attack}: no tested period reached FN <= 10%")
+    _finish_sweep_obs(args, registry, trace)
     return 0
 
 
 def cmd_sensitivity(args: argparse.Namespace) -> int:
     from .experiments.sensitivity import run_sensitivity_experiment
 
+    registry, trace = _sweep_obs(args)
     result = run_sensitivity_experiment(
         _PLATFORMS[args.platform], n_bits=args.bits, seed=args.seed,
         jobs=args.jobs, result_cache=_result_cache(args),
+        metrics=registry, trace=trace,
     )
     rows = [
         (f"{p.sync_scale:.2f}", f"{p.ntp_capacity:.0f}",
@@ -287,6 +324,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
     ))
     lo, hi = result.advantage_range()
     print(f"advantage range over perturbation: {lo:.1f}x - {hi:.1f}x")
+    _finish_sweep_obs(args, registry, trace)
     return 0
 
 
@@ -376,10 +414,42 @@ def cmd_pollution(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    machine = _machine(args)
+    if not args.json:
+        machine = _machine(args)
+        channel = NTPNTPChannel(machine, seed=args.seed)
+        channel.transmit([1, 0] * 32, 1500)
+        print(machine.stats_report())
+        return 0
+
+    # --json: one instrumented channel run plus a tiny sweep, every layer's
+    # counters published into a single registry and dumped as JSON.
+    import json
+
+    from .channel.transport import ReliableTransport
+    from .experiments.capacity_sweep import run_capacity_sweep
+    from .obs import MachineMetrics, MetricsRegistry
+
+    registry = MetricsRegistry()
+    machine = Machine(_PLATFORMS[args.platform], seed=args.seed,
+                      metrics=registry)
     channel = NTPNTPChannel(machine, seed=args.seed)
-    channel.transmit([1, 0] * 32, 1500)
-    print(machine.stats_report())
+    transport = ReliableTransport(channel, metrics=registry)
+    transport.send(b"stats", interval=1500)
+    # The channel drives cores op-by-op; one batched replay exercises the
+    # engine.ops.* / engine.served.* accumulation path too.
+    lines = [i * 64 for i in range(64)]
+    machine.run_trace(
+        [("load", 0, a) for a in lines]
+        + [("prefetchnta", 1, a) for a in lines]
+        + [("clflush", 0, a) for a in lines[:8]]
+    )
+    run_capacity_sweep(
+        _machine_factory(args), "ntp+ntp", intervals=(1500, 2100),
+        n_bits=32, seed=args.seed, jobs=1, result_cache=None,
+        metrics=registry,
+    )
+    MachineMetrics(machine, registry).publish()
+    print(json.dumps(registry.as_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -389,12 +459,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
         run_channel_comparison,
     )
 
+    registry, trace = _sweep_obs(args)
     result = run_channel_comparison(
         _machine_factory(args), n_bits=args.bits,
         jobs=args.jobs, result_cache=_result_cache(args),
+        metrics=registry, trace=trace,
     )
     print(format_table(ComparisonResult.HEADER, result.rows(),
                        title="Covert-channel design space"))
+    _finish_sweep_obs(args, registry, trace)
     return 0
 
 
@@ -444,6 +517,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--no-cache", action="store_true",
                            help="recompute sweep points instead of reusing "
                                 "the on-disk result cache")
+            p.add_argument("--trace", metavar="FILE", default=None,
+                           help="export a JSONL event trace of the sweep "
+                                "(shard timings, cache hits/misses)")
 
     p = sub.add_parser("fig2", help="insertion policy (Property #1)")
     common(p, repetitions=100)
@@ -543,6 +619,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="cache statistics of a channel run")
     common(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit cache / runner / channel obs counters as JSON "
+                        "instead of the plain-text cache report")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("send", help="ship a text message over NTP+NTP")

@@ -18,9 +18,10 @@ LLC on every transmitted "1".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from ..errors import ReproError
+from ..obs import EventTrace, MachineMetrics, MetricsRegistry, NULL_TRACE
 from ..sim.machine import Machine
 
 
@@ -63,6 +64,8 @@ class PerfCounterDetector:
         miss_rate_threshold: float = 0.3,
         min_misses: int = 16,
         flag_fraction: float = 0.5,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ):
         if not 0.0 < miss_rate_threshold <= 1.0:
             raise ReproError("miss_rate_threshold must be in (0, 1]")
@@ -73,11 +76,21 @@ class PerfCounterDetector:
         self.min_misses = min_misses
         self.flag_fraction = flag_fraction
         self.windows: List[List[DetectorSample]] = []
+        #: Counter source: the detector reads the machine's published PMU
+        #: counters from the obs registry, the same namespace ``repro stats
+        #: --json`` exports — not its own private tallies.  Pass ``metrics``
+        #: to share a registry with the rest of a run.
+        if metrics is not None and not metrics.enabled:
+            metrics = None  # a null sink stores nothing and cannot back reads
+        self.machine_metrics = MachineMetrics(machine, metrics)
+        self.metrics = self.machine_metrics.registry
+        self.trace = trace if trace is not None else NULL_TRACE
         self._last = self._snapshot()
 
     def _snapshot(self) -> List[tuple]:
+        self.machine_metrics.publish()
         return [
-            (core.llc_references, core.llc_misses, core.flushes)
+            self.machine_metrics.core_counters(core.core_id)
             for core in self.machine.cores
         ]
 
@@ -95,6 +108,22 @@ class PerfCounterDetector:
         ]
         self._last = current
         self.windows.append(samples)
+        self.metrics.counter("detector.windows").inc()
+        for window_sample in samples:
+            if self._suspicious(window_sample):
+                self.metrics.counter("detector.suspicious_windows").inc()
+                self.metrics.counter(
+                    f"detector.core.{window_sample.core}.suspicious"
+                ).inc()
+            self.trace.emit(
+                "detector.window",
+                core=window_sample.core,
+                llc_references=window_sample.llc_references,
+                llc_misses=window_sample.llc_misses,
+                flushes=window_sample.flushes,
+                miss_rate=window_sample.miss_rate,
+                suspicious=self._suspicious(window_sample),
+            )
         return samples
 
     def _suspicious(self, sample: DetectorSample) -> bool:

@@ -98,6 +98,8 @@ def run_capacity_sweep(
     seed: int = 0,
     jobs: int = 1,
     result_cache: Optional[ResultCache] = None,
+    metrics=None,
+    trace=None,
 ) -> CapacitySweepResult:
     """Sweep one channel on one platform.
 
@@ -129,6 +131,7 @@ def run_capacity_sweep(
     rows = run_shards(
         _capacity_point_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="capacity_sweep/v1",
+        metrics=metrics, trace=trace,
     )
     result = CapacitySweepResult(channel=channel, platform=probe.config.name)
     result.points.extend(CapacityPoint(**row) for row in rows)

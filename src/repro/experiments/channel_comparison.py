@@ -127,6 +127,8 @@ def run_channel_comparison(
     seed: int = 0,
     jobs: int = 1,
     result_cache: Optional[ResultCache] = None,
+    metrics=None,
+    trace=None,
 ) -> ComparisonResult:
     """Measure every channel class at a near-optimal operating point.
 
@@ -156,6 +158,7 @@ def run_channel_comparison(
     rows = run_shards(
         _comparison_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="channel_comparison/v1",
+        metrics=metrics, trace=trace,
     )
     result = ComparisonResult()
     result.profiles.extend(ChannelProfile(**row) for row in rows)

@@ -83,6 +83,8 @@ def run_detection_sweep(
     duration: int = 600_000,
     jobs: int = 1,
     result_cache: Optional[ResultCache] = None,
+    metrics=None,
+    trace=None,
 ) -> DetectionSweepResult:
     """Measure FN rates for both attacks across victim periods.
 
@@ -108,6 +110,7 @@ def run_detection_sweep(
     rows = run_shards(
         _detection_point_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="detection_sweep/v1",
+        metrics=metrics, trace=trace,
     )
     result = DetectionSweepResult()
     for name in _ATTACKS:

@@ -103,6 +103,8 @@ def run_noise_sweep(
     seed: int = 0,
     jobs: int = 1,
     result_cache: Optional[ResultCache] = None,
+    metrics=None,
+    trace=None,
 ) -> NoiseSweepResult:
     """Sweep noise intensity over the channel variants.
 
@@ -133,6 +135,7 @@ def run_noise_sweep(
     rows = run_shards(
         _noise_point_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="noise_sweep/v1",
+        metrics=metrics, trace=trace,
     )
     result = NoiseSweepResult()
     for name, _, _, _ in VARIANTS:

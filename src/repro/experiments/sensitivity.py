@@ -87,6 +87,8 @@ def run_sensitivity_experiment(
     seed: int = 0,
     jobs: int = 1,
     result_cache: Optional[ResultCache] = None,
+    metrics=None,
+    trace=None,
 ) -> SensitivityResult:
     """Scale the sync budget and re-measure both channels' peaks.
 
@@ -104,6 +106,7 @@ def run_sensitivity_experiment(
     rows = run_shards(
         _sensitivity_point_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="sensitivity/v1",
+        metrics=metrics, trace=trace,
     )
     result = SensitivityResult()
     for ntp_row, pp_row in zip(rows[0::2], rows[1::2]):

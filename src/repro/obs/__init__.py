@@ -1,0 +1,51 @@
+"""Observability: metrics, structured tracing, and engine publishers.
+
+The paper's whole argument is counted events — which replacement-policy
+transitions fire, which probes miss, which frames survive.  ``repro.obs``
+makes those counts first-class:
+
+* :class:`MetricsRegistry` — counters / gauges / fixed-bucket histograms,
+  with a free no-op sink (:data:`NULL_REGISTRY`) as the default.
+* :class:`EventTrace` — structured events with JSONL export
+  (``--trace FILE`` on the sweep commands).
+* :class:`MachineMetrics` — publishes engine counters (per-level
+  hits/misses/evictions/fills, quad-age promotions, per-core PMU analogs)
+  into a registry.
+
+Surfaced via ``python -m repro stats --json`` and the runner summaries the
+sweep commands print.
+"""
+
+from .instrument import MachineMetrics, llc_age_promotions
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .trace import EventTrace, NullTrace, NULL_TRACE, TraceEvent
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "EventTrace",
+    "NullTrace",
+    "NULL_TRACE",
+    "TraceEvent",
+    "MachineMetrics",
+    "llc_age_promotions",
+]

@@ -1,0 +1,250 @@
+"""Counters, gauges, and fixed-bucket histograms for the simulator.
+
+The repo's argument — like the paper's — rests on *counting events*: LLC
+hits and misses, quad-age promotions, CRC failures, cache-served shards.
+:class:`MetricsRegistry` is the one place those counts accumulate, cheap
+enough to leave compiled into the hot paths:
+
+* Instruments are plain ``__slots__`` objects; an increment is one integer
+  add on an attribute.
+* The default registry is :data:`NULL_REGISTRY`, whose instruments are
+  shared do-nothing singletons — instrumented code pays one attribute call
+  that immediately returns.  ``benchmarks/test_engine_throughput.py`` gates
+  the enabled-path overhead at <5% of engine throughput.
+
+Nothing here is thread-safe by design: the simulator is single-threaded and
+sweep parallelism is process-based (each worker owns its registry).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+
+#: Default histogram buckets: upper bounds in whatever unit the caller uses
+#: (seconds for shard wall times, ratio for BERs).  Powers of ~4 cover the
+#: microsecond-to-minute and 0.01%-to-100% ranges with few buckets.
+DEFAULT_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0
+)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; the final slot
+    counts overflows.  ``total``/``count`` give the mean without storing
+    samples, so a million shard timings cost a handful of integers.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ReproError(f"histogram buckets must be sorted and non-empty, got {bounds}")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Namespace of metrics, keyed by dotted name (``cache.LLC.misses``).
+
+    Instrument getters are idempotent: asking for an existing name returns
+    the live instrument, so instrumentation sites never need to coordinate
+    registration.  ``enabled`` lets hot paths skip per-op accumulation with
+    one boolean check when the registry is the null sink.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    def as_dict(self, prefix: str = "") -> Dict[str, Any]:
+        """JSON-compatible snapshot, optionally filtered by name prefix."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+                if name.startswith(prefix)
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+                if name.startswith(prefix)
+            },
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(self._histograms.items())
+                if name.startswith(prefix)
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    total = 0.0
+    count = 0
+    mean = 0.0
+    buckets: tuple = ()
+    counts: List[int] = []
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The no-op sink: every instrument is the shared null singleton.
+
+    This is what instrumented code holds by default, so the disabled cost
+    of a metric site is an attribute lookup plus an empty method call — and
+    hot loops that check ``registry.enabled`` first pay only the boolean.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name, buckets=None) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def as_dict(self, prefix: str = "") -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Process-wide no-op sink; safe to share because it never stores anything.
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process default registry (the null sink unless one is installed)."""
+    return _default_registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` as the process default; None restores the null sink.
+
+    Returns the previous default so callers can restore it (see
+    :class:`use_registry` for the scoped form).
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+class use_registry:
+    """Context manager installing a default registry for a scope::
+
+        with use_registry(MetricsRegistry()) as reg:
+            run_shards(...)          # records into reg
+        print(reg.as_dict())
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        set_registry(self._previous)

@@ -1,0 +1,97 @@
+"""Structured event tracing with JSONL export.
+
+Where :mod:`repro.obs.metrics` answers "how many", a trace answers "in what
+order, and with what context": one :class:`TraceEvent` per interesting
+moment (a shard starting, a frame failing CRC, a detector window closing),
+exported as one JSON object per line so standard tooling (``jq``, pandas)
+can consume a sweep's timeline directly::
+
+    trace = EventTrace()
+    run_noise_sweep(..., trace=trace)
+    trace.to_jsonl("noise.trace.jsonl")
+
+Like the metrics layer, the disabled form (:data:`NULL_TRACE`) is free:
+``emit`` on the null trace does nothing and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Union
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event: a name, a wall-clock timestamp, and fields."""
+
+    name: str
+    t: float
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "t": self.t, **self.fields}
+
+
+class EventTrace:
+    """An append-only buffer of :class:`TraceEvent` with JSONL round-trip."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.time):
+        self._clock = clock
+        self.events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Record one event; field values must be JSON-compatible."""
+        self.events.append(TraceEvent(name=name, t=self._clock(), fields=fields))
+
+    def to_jsonl(self, path: Union[str, Path]) -> int:
+        """Write one JSON object per event; returns the number written."""
+        path = Path(path)
+        with path.open("w") as fp:
+            for event in self.events:
+                fp.write(json.dumps(event.as_dict(), sort_keys=True))
+                fp.write("\n")
+        return len(self.events)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "EventTrace":
+        """Rebuild a trace from a JSONL export (analysis helper)."""
+        trace = cls()
+        for line_number, line in enumerate(Path(path).read_text().splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                name = record.pop("name")
+                t = record.pop("t")
+            except (ValueError, KeyError) as error:
+                raise ReproError(
+                    f"{path}:{line_number}: not a trace event: {error}"
+                ) from error
+            trace.events.append(TraceEvent(name=name, t=t, fields=record))
+        return trace
+
+
+class NullTrace(EventTrace):
+    """The no-op trace: ``emit`` discards everything."""
+
+    enabled = False
+
+    def emit(self, name: str, **fields: Any) -> None:
+        pass
+
+    def to_jsonl(self, path: Union[str, Path]) -> int:
+        raise ReproError("the null trace records nothing to export")
+
+
+#: Process-wide no-op trace; what instrumented code holds by default.
+NULL_TRACE = NullTrace()

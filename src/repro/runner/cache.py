@@ -43,6 +43,8 @@ class ResultCache:
         #: Fulfilled / recomputed lookups, for tests and ``--jobs`` tuning.
         self.hits = 0
         self.misses = 0
+        #: Entries that existed on disk but failed to parse (also misses).
+        self.corrupt = 0
 
     def key(self, **components: Any) -> str:
         """SHA-256 hex key over the canonical JSON of ``components``.
@@ -57,11 +59,27 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored payload for ``key``, or None (counts hit/miss)."""
+        """The stored payload for ``key``, or None (counts hit/miss).
+
+        An entry that exists but fails to parse (a torn or truncated write)
+        is evicted best-effort rather than left to be re-parsed — and
+        re-missed — on every subsequent run.
+        """
+        path = self._path(key)
         try:
-            payload = json.loads(self._path(key).read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass  # fail-soft: the recompute will overwrite it anyway
             return None
         self.hits += 1
         return payload
@@ -78,14 +96,20 @@ class ResultCache:
             pass  # fail-soft: a broken cache only costs recomputation
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed (test helper)."""
+        """Delete every entry; returns the number removed (test helper).
+
+        Also sweeps ``<key>.tmp.<pid>`` leftovers from writers that crashed
+        between :meth:`put`'s write and rename — those never match the
+        entry glob and would otherwise accumulate forever.
+        """
         removed = 0
         if not self.root.exists():
             return removed
-        for entry in self.root.glob("*/*.json"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*/*.json", "*/*.tmp.*"):
+            for entry in self.root.glob(pattern):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed

@@ -12,18 +12,28 @@ guarantees:
 * **Transparent caching** — with a :class:`~repro.runner.cache.ResultCache`,
   known points are served from disk and only the misses are computed (and
   then stored), in either execution mode.
+* **Accounted execution** — per-shard wall time, pool utilization, and
+  cache hit/miss/corrupt counts land in the run's metrics registry and
+  (optionally) an :class:`~repro.obs.trace.EventTrace`, so sweep summaries
+  and ``--trace FILE`` cost nothing to support here.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+from ..obs import EventTrace, MetricsRegistry, NULL_TRACE, get_registry
 from .cache import ResultCache
 from .shard import Shard
 
 Worker = Callable[[Shard], Dict[str, Any]]
+
+#: Shard wall-time histogram buckets (seconds).
+_SHARD_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0)
 
 
 def _cache_key(cache: ResultCache, worker: Worker, tag: Optional[str], shard: Shard) -> str:
@@ -35,48 +45,95 @@ def _cache_key(cache: ResultCache, worker: Worker, tag: Optional[str], shard: Sh
     )
 
 
+def _timed_call(worker: Worker, shard: Shard) -> Tuple[Dict[str, Any], float]:
+    """Run ``worker`` on ``shard``; top level so it pickles to pool workers."""
+    start = time.perf_counter()
+    result = worker(shard)
+    return result, time.perf_counter() - start
+
+
 def run_shards(
     worker: Worker,
     shards: Sequence[Shard],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_tag: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    trace: Optional[EventTrace] = None,
 ) -> List[Dict[str, Any]]:
     """Run ``worker`` over ``shards``; results merged in shard order.
 
     ``jobs <= 1`` runs inline; ``jobs > 1`` fans the uncached shards out to
     a ``ProcessPoolExecutor``.  ``cache_tag`` names the sweep family in
     cache keys (bump it when a worker's *output format* changes without a
-    rename).
+    rename).  ``metrics`` defaults to the process registry (the null sink
+    unless one is installed); ``trace`` records per-shard events.
     """
     if jobs < 0:
         raise ReproError(f"jobs must be >= 0, got {jobs}")
+    registry = metrics if metrics is not None else get_registry()
+    trace = trace if trace is not None else NULL_TRACE
+    wall_start = time.perf_counter()
     shards = list(shards)
     results: List[Optional[Dict[str, Any]]] = [None] * len(shards)
 
     pending: List[Shard] = []
     keys: Dict[int, str] = {}
+    cache_counts_before = (
+        (cache.hits, cache.misses, cache.corrupt) if cache is not None else (0, 0, 0)
+    )
     if cache is not None:
         for slot, shard in enumerate(shards):
             key = keys[slot] = _cache_key(cache, worker, cache_tag, shard)
             hit = cache.get(key)
             if hit is not None:
                 results[slot] = hit
+                trace.emit("runner.cache.hit", shard=shard.index, key=key)
             else:
                 pending.append(shard)
+                trace.emit("runner.cache.miss", shard=shard.index, key=key)
     else:
         pending = shards
 
     slot_of = {shard.index: slot for slot, shard in enumerate(shards)}
+    busy_seconds = 0.0
+    workers_used = min(jobs, len(pending)) if jobs > 1 else (1 if pending else 0)
     if pending:
         if jobs > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                computed = list(pool.map(worker, pending))
+            with ProcessPoolExecutor(max_workers=workers_used) as pool:
+                computed = list(pool.map(partial(_timed_call, worker), pending))
         else:
-            computed = [worker(shard) for shard in pending]
-        for shard, result in zip(pending, computed):
+            computed = [_timed_call(worker, shard) for shard in pending]
+        shard_seconds = registry.histogram("runner.shard.seconds", _SHARD_SECONDS_BUCKETS)
+        for shard, (result, elapsed) in zip(pending, computed):
             slot = slot_of[shard.index]
             results[slot] = result
             if cache is not None:
                 cache.put(keys[slot], result)
+            busy_seconds += elapsed
+            shard_seconds.observe(elapsed)
+            trace.emit("runner.shard", shard=shard.index, seconds=elapsed)
+
+    registry.counter("runner.shards.total").inc(len(shards))
+    registry.counter("runner.shards.computed").inc(len(pending))
+    registry.counter("runner.shards.cached").inc(len(shards) - len(pending))
+    if cache is not None:
+        registry.counter("runner.cache.hits").inc(cache.hits - cache_counts_before[0])
+        registry.counter("runner.cache.misses").inc(cache.misses - cache_counts_before[1])
+        registry.counter("runner.cache.corrupt").inc(cache.corrupt - cache_counts_before[2])
+    wall_seconds = time.perf_counter() - wall_start
+    registry.gauge("runner.pool.jobs").set(max(workers_used, 1))
+    if pending and wall_seconds > 0:
+        registry.gauge("runner.pool.utilization").set(
+            busy_seconds / (wall_seconds * max(workers_used, 1))
+        )
+    trace.emit(
+        "runner.sweep",
+        shards=len(shards),
+        computed=len(pending),
+        cached=len(shards) - len(pending),
+        jobs=max(workers_used, 1),
+        wall_seconds=wall_seconds,
+        busy_seconds=busy_seconds,
+    )
     return results  # type: ignore[return-value]

@@ -13,6 +13,7 @@ from ..cpu.timing import TimingModel
 from ..errors import ConfigurationError, SimulationError
 from ..mem.allocator import AddressSpace, PageAllocator
 from ..mem.layout import CacheSetMapping
+from ..obs import MetricsRegistry, NULL_REGISTRY
 
 #: One batched memory operation: (op name, core id, byte address).
 TraceOp = Tuple[str, int, int]
@@ -40,8 +41,13 @@ class Machine:
         seed: int = 0,
         llc_policy_factory: Optional[Callable[[int], ReplacementPolicy]] = None,
         llc_mapping: Optional[CacheSetMapping] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config
+        #: Metrics sink for batch execution; the default null sink keeps the
+        #: hot path at a single boolean check per operation (the <5% gate in
+        #: ``benchmarks/test_engine_throughput.py`` covers the enabled case).
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         #: Root seed this machine was built with (sweep shards rebuild an
         #: identical machine from ``(config, seed)`` in worker processes).
         self.seed = seed
@@ -150,6 +156,18 @@ class Machine:
         results: List[MemOpResult] = []
         clock = self.clock
         count = 0
+        # Per-batch accumulation keeps instrumentation off the per-op path:
+        # enabled runs pay one pre-seeded local-dict bump per op and flush
+        # once at the end; served-by-level counts come from LevelStats
+        # deltas around the batch, at zero per-op cost.  The default null
+        # sink pays only this boolean.
+        observe = self.metrics.enabled
+        op_counts = dict.fromkeys(dispatch, 0)
+        if observe:
+            l1_hits0 = sum(l.stats.hits for l in hierarchy.l1s)
+            l2_hits0 = sum(l.stats.hits for l in hierarchy.l2s)
+            llc_hits0 = hierarchy.llc.stats.hits
+            llc_misses0 = hierarchy.llc.stats.misses
         for op, core_id, addr in ops:
             try:
                 handler = dispatch[op]
@@ -169,11 +187,27 @@ class Machine:
                     core.llc_misses += 1
                 elif level is _LLC:
                     core.llc_references += 1
+            if observe:
+                op_counts[op] += 1
             clock += result.latency
             count += 1
             if record:
                 results.append(result)
         self.clock = clock
+        if observe:
+            metrics = self.metrics
+            for op, n in op_counts.items():
+                if n:
+                    metrics.counter(f"engine.ops.{op}").inc(n)
+            served = (
+                ("L1", sum(l.stats.hits for l in hierarchy.l1s) - l1_hits0),
+                ("L2", sum(l.stats.hits for l in hierarchy.l2s) - l2_hits0),
+                ("LLC", hierarchy.llc.stats.hits - llc_hits0),
+                ("DRAM", hierarchy.llc.stats.misses - llc_misses0),
+            )
+            for name, n in served:
+                if n:
+                    metrics.counter(f"engine.served.{name}").inc(n)
         return results if record else count
 
     # -- convenience ---------------------------------------------------------

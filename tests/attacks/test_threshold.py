@@ -59,3 +59,33 @@ class TestCalibration:
         core.clflush(line)
         assert core.timed_prefetchnta(line).cycles > cal.threshold
         assert core.timed_prefetchnta(line).cycles <= cal.threshold
+
+
+class TestRankSelection:
+    """Small calibration populations must use interior order statistics."""
+
+    def test_n10_ignores_single_fast_outlier(self):
+        # Truncating int(n * q) picked index 9 — the literal max — so one
+        # interrupt spike in ten samples poisoned the threshold.
+        fast = [10] * 9 + [300]
+        slow = [200] * 10
+        th = threshold_from_samples(fast, slow)
+        assert 10 < th < 200
+
+    def test_n10_ignores_single_slow_outlier(self):
+        fast = [10] * 10
+        slow = [15] + [250] * 9
+        th = threshold_from_samples(fast, slow)
+        assert 10 < th < 250
+
+    def test_n2_still_uses_extremes(self):
+        # With two samples there is no interior; nearest-rank must keep the
+        # old max/min behaviour so real overlap is still rejected.
+        with pytest.raises(AttackError):
+            threshold_from_samples([100, 200], [150, 160])
+
+    def test_large_population_close_to_exact_percentile(self):
+        fast = list(range(100))           # p95 ~ 94..95
+        slow = list(range(300, 400))      # p5  ~ 304..305
+        th = threshold_from_samples(fast, slow)
+        assert abs(th - (95 + 305) // 2) <= 2

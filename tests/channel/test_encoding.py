@@ -106,3 +106,35 @@ class TestFraming:
         codec = FrameCodec()
         frame = codec.decode(codec.encode(payload))
         assert frame.payload == payload and frame.crc_ok
+
+
+class TestFramingResync:
+    """decode() must scan *every* preamble position, not just the first."""
+
+    def test_resyncs_past_fabricated_preamble(self):
+        codec = FrameCodec()
+        real = codec.encode(b"payload")
+        # A bit pattern that looks like a preamble followed by a garbage
+        # length byte (255) the stream cannot satisfy.
+        decoy = list(PREAMBLE_BITS) + [1] * 8
+        frame = codec.decode(decoy + real)
+        assert frame == Frame(payload=b"payload", crc_ok=True)
+
+    def test_prefers_crc_clean_frame_over_earlier_corrupt_one(self):
+        codec = FrameCodec()
+        corrupt = codec.encode(b"aa")
+        corrupt[len(PREAMBLE_BITS) + 9] ^= 1  # break the first frame's CRC
+        clean = codec.encode(b"bb")
+        frame = codec.decode(corrupt + clean)
+        assert frame.crc_ok and frame.payload == b"bb"
+
+    def test_falls_back_to_first_complete_frame_when_no_crc_survives(self):
+        codec = FrameCodec()
+        corrupt = codec.encode(b"cc")
+        corrupt[len(PREAMBLE_BITS) + 9] ^= 1
+        frame = codec.decode(corrupt)
+        assert frame is not None and not frame.crc_ok
+
+    def test_repeated_preambles_without_frames_return_none(self):
+        bits = (list(PREAMBLE_BITS) + [1] * 4) * 3
+        assert FrameCodec().decode(bits) is None

@@ -70,3 +70,86 @@ class TestEndToEnd:
         assert delivery.channel_ber < 0.05
         assert delivery.overhead > 1.75  # FEC + framing + padding cost
         assert delivery.raw_rate_kb_per_s > 200
+
+
+class _LoopbackChannel:
+    """Returns exactly what was sent."""
+
+    def transmit(self, bits, interval, noise=None):
+        from repro.attacks.common import ChannelResult
+
+        return ChannelResult(
+            sent_bits=list(bits),
+            received_bits=list(bits),
+            interval=interval,
+            frequency_hz=3.4e9,
+        )
+
+
+class TestDeliveryRegressions:
+    def test_empty_payload_delivers_with_finite_overhead(self):
+        """b'' is a legitimate frame, not a failure: ok=True, overhead finite."""
+        transport = ReliableTransport(_LoopbackChannel())
+        delivery = transport.send(b"", interval=1500)
+        assert delivery.ok
+        assert delivery.payload == b""
+        assert delivery.overhead == float(delivery.channel_bits)
+        assert delivery.overhead != float("inf")
+
+    def test_failed_delivery_overhead_is_infinite(self):
+        transport = ReliableTransport(channel=None)
+        bits = transport.encode(b"x")
+        from repro.channel.transport import Delivery
+
+        failed = Delivery(payload=None, ok=False, channel_bits=len(bits),
+                          channel_ber=1.0, raw_rate_kb_per_s=0.0)
+        assert failed.overhead == float("inf")
+
+    def test_trailing_extra_bit_still_decodes(self):
+        """A duplicated trailing bit must not reject the whole stream."""
+        transport = ReliableTransport(channel=None)
+        bits = transport.encode(b"leaky")
+        assert transport.decode(bits + [0]) == b"leaky"
+        assert transport.decode(bits[:-1]) is None or True  # no exception
+
+    def test_truncation_is_counted(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        transport = ReliableTransport(channel=None, metrics=registry)
+        bits = transport.encode(b"leaky")
+        transport.decode(bits + [0, 1, 1])
+        assert registry.counter("channel.bits.truncated").value == 3
+
+
+class TestTransportMetrics:
+    def test_send_counters_and_ber_histogram(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        transport = ReliableTransport(_LoopbackChannel(), metrics=registry)
+        transport.send(b"hello", interval=1500)
+        counters = registry.as_dict("channel.")["counters"]
+        assert counters["channel.sends.total"] == 1
+        assert counters["channel.sends.ok"] == 1
+        assert counters["channel.frames.attempted"] == 1
+        assert counters["channel.frames.synced"] == 1
+        hist = registry.histogram("channel.send.ber")
+        assert hist.count == 1 and hist.mean == 0.0
+
+    def test_burst_corrections_counted(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        transport = ReliableTransport(_LossyChannel(), metrics=registry)
+        transport.send(b"a burst-corrupted payload", interval=1500)
+        assert registry.counter("channel.hamming.corrections").value > 0
+
+    def test_send_trace_event(self):
+        from repro.obs import EventTrace
+
+        trace = EventTrace()
+        transport = ReliableTransport(_LoopbackChannel(), trace=trace)
+        transport.send(b"hi", interval=1500)
+        assert [e.name for e in trace.events] == ["channel.send"]
+        assert trace.events[0].fields["ok"] is True

@@ -87,3 +87,41 @@ class TestAttackDetection:
 
         assert 0 in detector_fr.flagged_cores(), "Flush+Reload reloads => caught"
         assert 0 not in detector_ff.flagged_cores(), "Flush+Flush never loads"
+
+
+class TestDetectorObservability:
+    def test_counters_land_in_shared_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        machine = Machine.skylake(seed=225)
+        detector = PerfCounterDetector(machine, metrics=registry)
+        lines = machine.address_space("app").lines_with_offset(0, count=64)
+        for _ in range(4):
+            for line in lines:
+                machine.cores[0].clflush(line)
+                machine.cores[0].load(line)
+            detector.sample()
+        counters = registry.as_dict("detector.")["counters"]
+        assert counters["detector.windows"] == 4
+        assert counters.get("detector.suspicious_windows", 0) >= 1
+        # The PMU gauges the detector reads are in the same namespace.
+        assert registry.gauge("core.0.llc_misses").value > 0
+
+    def test_disabled_registry_is_replaced(self):
+        from repro.obs import NULL_REGISTRY
+
+        detector = PerfCounterDetector(Machine.skylake(seed=226),
+                                       metrics=NULL_REGISTRY)
+        assert detector.metrics.enabled  # a null sink cannot back reads
+
+    def test_window_trace_events(self):
+        from repro.obs import EventTrace
+
+        trace = EventTrace()
+        machine = Machine.skylake(seed=227)
+        detector = PerfCounterDetector(machine, trace=trace)
+        detector.sample()
+        names = {e.name for e in trace.events}
+        assert names == {"detector.window"}
+        assert len(trace) == machine.config.cores

@@ -1,0 +1,106 @@
+"""Engine-counter publishing: MachineMetrics and run_trace accumulation."""
+
+from repro.config import SKYLAKE
+from repro.obs import MachineMetrics, MetricsRegistry, llc_age_promotions
+from repro.sim.machine import Machine
+
+
+def _mixed_trace(lines=64, repeats=4):
+    addrs = [i * 64 for i in range(lines)]
+    ops = []
+    for _ in range(repeats):
+        ops += [("load", 0, a) for a in addrs]
+        ops += [("prefetchnta", 1, a) for a in addrs]
+    ops += [("clflush", 0, a) for a in addrs[:8]]
+    return ops
+
+
+class TestMachineMetrics:
+    def test_publish_mirrors_level_stats(self):
+        machine = Machine(SKYLAKE, seed=0)
+        machine.run_trace(_mixed_trace())
+        registry = MachineMetrics(machine, MetricsRegistry()).publish()
+        gauges = registry.as_dict("cache.")["gauges"]
+        llc = machine.hierarchy.llc.stats
+        assert gauges["cache.LLC.hits"] == llc.hits
+        assert gauges["cache.LLC.misses"] == llc.misses
+        assert gauges["cache.LLC.fills"] == llc.fills
+        assert gauges["cache.LLC.evictions"] == llc.evictions
+        assert gauges["cache.LLC.hit_rate"] == llc.hit_rate
+        # Per-core L1s are published under their distinct names.
+        assert "cache.L1[0].hits" in gauges
+        assert "cache.L1[1].hits" in gauges
+
+    def test_publish_mirrors_core_counters(self):
+        machine = Machine(SKYLAKE, seed=0)
+        machine.run_trace(_mixed_trace())
+        metrics = MachineMetrics(machine, MetricsRegistry())
+        metrics.publish()
+        core = machine.cores[0]
+        assert metrics.core_counters(0) == (
+            core.llc_references, core.llc_misses, core.flushes
+        )
+
+    def _overfill_one_llc_set(self, machine, extra=4):
+        space = machine.address_space("obs-test")
+        target = space.alloc_pages(1)[0]
+        lines = machine.llc_eviction_set(
+            space, target, size=machine.llc_ways + extra
+        )
+        # run_trace advances the clock past each fill's busy window, so the
+        # overflow fills genuinely force victim selection.
+        machine.run_trace([("load", 0, line) for line in lines] * 2)
+        return target
+
+    def test_age_promotions_counted(self):
+        machine = Machine(SKYLAKE, seed=0)
+        assert llc_age_promotions(machine) == 0
+        # Overfill one LLC set so victim selection must age lines.
+        self._overfill_one_llc_set(machine)
+        assert llc_age_promotions(machine) > 0
+        registry = MachineMetrics(machine, MetricsRegistry()).publish()
+        assert registry.as_dict()["gauges"]["cache.LLC.age_promotions"] > 0
+
+    def test_peek_victim_does_not_count_promotions(self):
+        machine = Machine(SKYLAKE, seed=0)
+        target = self._overfill_one_llc_set(machine)
+        before = llc_age_promotions(machine)
+        cache_set = machine.hierarchy.llc_set_of(target)
+        cache_set.policy.peek_victim(cache_set.ways, now=0)
+        assert llc_age_promotions(machine) == before
+
+
+class TestRunTraceCounters:
+    def test_op_and_service_counters(self):
+        registry = MetricsRegistry()
+        machine = Machine(SKYLAKE, seed=0, metrics=registry)
+        trace = _mixed_trace()
+        machine.run_trace(trace)
+        counters = registry.as_dict("engine.")["counters"]
+        expected_loads = sum(1 for op, _, _ in trace if op == "load")
+        expected_nta = sum(1 for op, _, _ in trace if op == "prefetchnta")
+        expected_flush = sum(1 for op, _, _ in trace if op == "clflush")
+        assert counters["engine.ops.load"] == expected_loads
+        assert counters["engine.ops.prefetchnta"] == expected_nta
+        assert counters["engine.ops.clflush"] == expected_flush
+        # Served-by-level counts partition the demand/prefetch ops.
+        served = sum(
+            n for name, n in counters.items() if name.startswith("engine.served.")
+        )
+        assert served == expected_loads + expected_nta
+
+    def test_default_machine_records_nothing(self):
+        machine = Machine(SKYLAKE, seed=0)
+        machine.run_trace(_mixed_trace())
+        assert machine.metrics.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_counters_do_not_change_simulation(self):
+        plain = Machine(SKYLAKE, seed=0)
+        observed = Machine(SKYLAKE, seed=0, metrics=MetricsRegistry())
+        trace = _mixed_trace()
+        plain_results = plain.run_trace(trace, record=True)
+        observed_results = observed.run_trace(trace, record=True)
+        assert plain_results == observed_results
+        assert plain.clock == observed.clock

@@ -1,0 +1,127 @@
+"""The metrics registry: instruments, snapshots, and the null sink."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_getter_is_idempotent(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc()
+        assert registry.counter("hits").value == 2
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("util")
+        gauge.set(0.25)
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 99.0, 1000.0):
+            hist.observe(value)
+        # counts[i] counts observations <= buckets[i]; last slot overflows.
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.mean == pytest.approx(sum((0.5, 1.0, 5.0, 99.0, 1000.0)) / 5)
+
+    def test_default_buckets_cover_wide_range(self):
+        hist = MetricsRegistry().histogram("t")
+        assert hist.buckets == DEFAULT_BUCKETS
+        assert len(hist.counts) == len(DEFAULT_BUCKETS) + 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().histogram("bad", buckets=(5.0, 1.0))
+
+    def test_empty_mean_is_zero(self):
+        assert MetricsRegistry().histogram("empty").mean == 0.0
+
+
+class TestRegistrySnapshot:
+    def test_as_dict_sections_and_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(7)
+        registry.counter("runner.shards.total").inc(2)
+        registry.gauge("cache.hit_rate").set(0.5)
+        registry.histogram("runner.seconds", buckets=(1.0,)).observe(0.2)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"cache.hits": 7, "runner.shards.total": 2}
+        assert snapshot["gauges"] == {"cache.hit_rate": 0.5}
+        assert snapshot["histograms"]["runner.seconds"]["count"] == 1
+        cache_only = registry.as_dict("cache.")
+        assert set(cache_only["counters"]) == {"cache.hits"}
+        assert set(cache_only["histograms"]) == set()
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.5)
+        registry.histogram("c").observe(0.1)
+        assert json.loads(json.dumps(registry.as_dict()))
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.counter("a").value == 0
+
+
+class TestNullRegistry:
+    def test_disabled_and_stores_nothing(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.counter("x").inc(100)
+        NULL_REGISTRY.gauge("y").set(3.0)
+        NULL_REGISTRY.histogram("z").observe(1.0)
+        assert NULL_REGISTRY.counter("x").value == 0
+        assert NULL_REGISTRY.gauge("y").value == 0
+        assert NULL_REGISTRY.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_real_registry_is_enabled(self):
+        assert MetricsRegistry().enabled
+
+
+class TestProcessDefault:
+    def test_default_is_null_sink(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_round_trip(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_use_registry_scopes_and_restores(self):
+        mine = MetricsRegistry()
+        with use_registry(mine) as registry:
+            assert registry is mine
+            assert get_registry() is mine
+        assert get_registry() is NULL_REGISTRY

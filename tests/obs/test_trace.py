@@ -1,0 +1,68 @@
+"""Event tracing: emit, JSONL round-trip, and the null trace."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import EventTrace, NULL_TRACE
+
+
+def _fixed_clock():
+    t = iter(range(100))
+    return lambda: float(next(t))
+
+
+class TestEmit:
+    def test_records_name_time_and_fields(self):
+        trace = EventTrace(clock=_fixed_clock())
+        trace.emit("runner.shard", shard=3, seconds=0.25)
+        assert len(trace) == 1
+        event = trace.events[0]
+        assert event.name == "runner.shard"
+        assert event.t == 0.0
+        assert event.fields == {"shard": 3, "seconds": 0.25}
+
+    def test_as_dict_flattens_fields(self):
+        trace = EventTrace(clock=_fixed_clock())
+        trace.emit("x", a=1)
+        assert trace.events[0].as_dict() == {"name": "x", "t": 0.0, "a": 1}
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        trace = EventTrace(clock=_fixed_clock())
+        trace.emit("channel.send", ok=True, ber=0.0)
+        trace.emit("runner.sweep", shards=4)
+        path = tmp_path / "run.trace.jsonl"
+        assert trace.to_jsonl(path) == 2
+        back = EventTrace.from_jsonl(path)
+        assert [e.as_dict() for e in back.events] == [
+            e.as_dict() for e in trace.events
+        ]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "t": 1.0}\n\n{"name": "b", "t": 2.0}\n')
+        assert len(EventTrace.from_jsonl(path)) == 2
+
+    def test_bad_line_rejected_with_location(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "t": 1.0}\nnot json\n')
+        with pytest.raises(ReproError, match=":2:"):
+            EventTrace.from_jsonl(path)
+
+    def test_missing_name_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"t": 1.0}\n')
+        with pytest.raises(ReproError):
+            EventTrace.from_jsonl(path)
+
+
+class TestNullTrace:
+    def test_emit_discards(self):
+        NULL_TRACE.emit("anything", x=1)
+        assert len(NULL_TRACE) == 0
+        assert not NULL_TRACE.enabled
+
+    def test_export_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            NULL_TRACE.to_jsonl(tmp_path / "nope.jsonl")

@@ -134,3 +134,76 @@ class TestSweepThroughRunner:
         for name in serial.curves:
             assert [p.bit_error_rate for p in second.curve(name)] \
                 == [p.bit_error_rate for p in serial.curve(name)]
+
+
+class TestCacheHygiene:
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key(tag="t", x=1)
+        cache.put(key, {"x": 1})
+        # A writer that crashed between write and rename leaves this behind.
+        orphan = tmp_path / key[:2] / f"{key}.tmp.99999"
+        orphan.write_text("partial")
+        assert cache.clear() == 2
+        assert not orphan.exists()
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_evicted_and_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key(tag="t", x=2)
+        cache.put(key, {"x": 2})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{torn write")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert cache.misses == 1
+        assert not path.exists()  # evicted, not left to re-fail
+        # The recompute-and-put path repairs the entry.
+        cache.put(key, {"x": 2})
+        assert cache.get(key) == {"x": 2}
+
+    def test_unreadable_entry_is_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(cache.key(tag="t", x=3)) is None
+        assert cache.misses == 1 and cache.corrupt == 0
+
+
+class TestRunnerObservability:
+    def test_shard_counters_and_histogram(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        shards = make_shards(0, [{"x": i} for i in range(5)])
+        run_shards(_square_worker, shards, metrics=registry)
+        counters = registry.as_dict("runner.")["counters"]
+        assert counters["runner.shards.total"] == 5
+        assert counters["runner.shards.computed"] == 5
+        assert counters["runner.shards.cached"] == 0
+        assert registry.histogram("runner.shard.seconds").count == 5
+        assert registry.gauge("runner.pool.jobs").value == 1
+
+    def test_cache_hit_counters(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        cache = ResultCache(tmp_path)
+        shards = make_shards(0, [{"x": i} for i in range(4)])
+        run_shards(_square_worker, shards, cache=cache, cache_tag="obs/v1")
+        registry = MetricsRegistry()
+        run_shards(_square_worker, shards, cache=cache, cache_tag="obs/v1",
+                   metrics=registry)
+        counters = registry.as_dict("runner.")["counters"]
+        assert counters["runner.shards.cached"] == 4
+        assert counters["runner.shards.computed"] == 0
+        assert counters["runner.cache.hits"] == 4
+
+    def test_trace_events_recorded(self, tmp_path):
+        from repro.obs import EventTrace
+
+        trace = EventTrace()
+        shards = make_shards(0, [{"x": i} for i in range(3)])
+        run_shards(_square_worker, shards, cache=ResultCache(tmp_path),
+                   cache_tag="obs/v2", trace=trace)
+        names = [e.name for e in trace.events]
+        assert names.count("runner.cache.miss") == 3
+        assert names.count("runner.shard") == 3
+        assert names[-1] == "runner.sweep"

@@ -96,3 +96,45 @@ class TestCommands:
         assert main(["compare", "--bits", "32"]) == 0
         out = capsys.readouterr().out
         assert "NTP+NTP" in out and "occupancy" in out
+
+
+class TestObservability:
+    def test_stats_json_emits_all_layers(self, capsys):
+        import json
+
+        assert main(["stats", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        counters = snapshot["counters"]
+        assert counters["channel.sends.total"] == 1
+        assert counters["runner.shards.total"] == 2
+        assert any(name.startswith("engine.ops.") for name in counters)
+        gauges = snapshot["gauges"]
+        assert any(name.startswith("cache.LLC.") for name in gauges)
+        assert any(name.startswith("core.") for name in gauges)
+        assert "runner.shard.seconds" in snapshot["histograms"]
+
+    def test_stats_plain_text_unchanged(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "level" in out and "LLC" in out
+
+    def test_sweep_trace_exports_jsonl(self, capsys, tmp_path):
+        from repro.obs import EventTrace
+
+        path = tmp_path / "noise.trace.jsonl"
+        assert main(["noise", "--bits", "8", "--no-cache",
+                     "--trace", str(path)]) == 0
+        captured = capsys.readouterr()
+        # Telemetry goes to stderr; stdout stays the deterministic table.
+        assert "[runner]" in captured.err and "[trace]" in captured.err
+        assert "[runner]" not in captured.out
+        trace = EventTrace.from_jsonl(path)
+        assert any(e.name == "runner.shard" for e in trace.events)
+        assert trace.events[-1].name == "runner.sweep"
+
+    def test_sweep_without_trace_prints_runner_summary(self, capsys):
+        assert main(["noise", "--bits", "8", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "[runner] 20 shard(s)" in captured.err
+        assert "[trace]" not in captured.err
+        assert "[runner]" not in captured.out
