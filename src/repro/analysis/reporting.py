@@ -73,6 +73,8 @@ def runner_summary(registry) -> str:
     cached = registry.counter("runner.shards.cached").value
     computed = registry.counter("runner.shards.computed").value
     corrupt = registry.counter("runner.cache.corrupt").value
+    retries = registry.counter("runner.retries").value
+    failures = registry.counter("runner.failures").value
     jobs = int(registry.gauge("runner.pool.jobs").value) or 1
     utilization = registry.gauge("runner.pool.utilization").value
     seconds = registry.histogram("runner.shard.seconds")
@@ -80,6 +82,8 @@ def runner_summary(registry) -> str:
         f"[runner] {total} shard(s): {cached} cached, {computed} computed"
         + (f" ({corrupt} corrupt entries evicted)" if corrupt else "")
     ]
+    if retries or failures:
+        parts.append(f"{retries} retried attempt(s), {failures} failed shard(s)")
     if computed:
         parts.append(f"mean {seconds.mean:.2f}s/shard")
         parts.append(f"pool {utilization:.0%} busy over {jobs} job(s)")

@@ -9,6 +9,7 @@ runs can be diffed without re-simulating.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
 from pathlib import Path
 from typing import Any, Union
@@ -32,8 +33,11 @@ def _encode(value: Any) -> Any:
         return [_encode(item) for item in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
-    if hasattr(value, "value"):  # enums
-        return value.value
+    if isinstance(value, enum.Enum):
+        # Strictly enums: a ``hasattr(value, "value")`` duck test would
+        # silently serialize any object exposing a ``.value`` attribute
+        # (e.g. a metrics Counter) as that attribute.
+        return _encode(value.value)
     raise ReproError(f"cannot serialize {type(value).__name__} into a result artifact")
 
 

@@ -11,12 +11,22 @@ drawn per (slot, party).
 from __future__ import annotations
 
 import random
+from typing import Optional
 
 from ..errors import ChannelError
+from ..faults import FaultPlan
 
 
 class SlotClock:
-    """Shared slot timing for one covert-channel run."""
+    """Shared slot timing for one covert-channel run.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`) makes the clock slip:
+    with ``slot_slip_probability`` per (party, slot), :meth:`edge` delays
+    the party's arrival by one full interval — a missed slot, the timing
+    analogue of an OS preemption landing on the spin loop.  ``party`` keys
+    the fault stream so the sender's and receiver's slips are independent
+    but each reproducible.
+    """
 
     def __init__(
         self,
@@ -24,6 +34,8 @@ class SlotClock:
         interval: int,
         jitter_sigma: float = 0.0,
         rng: random.Random | None = None,
+        faults: Optional[FaultPlan] = None,
+        party: str = "",
     ):
         if interval <= 0:
             raise ChannelError(f"interval must be positive, got {interval}")
@@ -33,6 +45,10 @@ class SlotClock:
         self.interval = interval
         self.jitter_sigma = jitter_sigma
         self._rng = rng or random.Random(0)
+        self.faults = faults
+        self.party = party
+        #: Injected slot slips so far (for tests and chaos reports).
+        self.slips = 0
 
     def slot_start(self, index: int) -> int:
         """Nominal start cycle of slot ``index``."""
@@ -50,14 +66,30 @@ class SlotClock:
         if not 0.0 <= phase < 1.0:
             raise ChannelError(f"phase must be in [0, 1), got {phase}")
         nominal = self.slot_start(index) + int(phase * self.interval)
+        slip = 0
+        if self.faults is not None and self.faults.decide(
+            "channel.slot_slip", self.faults.slot_slip_probability, self.party, index
+        ):
+            slip = self.interval
+            self.slips += 1
         if self.jitter_sigma == 0.0:
-            return nominal
+            return nominal + slip
         jitter = int(self._rng.gauss(0.0, self.jitter_sigma))
         floor = self.slot_start(index - 1) if index > 0 else self.t0
-        return max(floor, nominal + jitter)
+        return max(floor, nominal + jitter) + slip
 
     def slot_of(self, time: int) -> int:
-        """Which slot a cycle count falls in (before t0 counts as slot 0)."""
-        if time <= self.t0:
-            return 0
+        """Which slot a cycle count falls in.
+
+        Slot ``i`` owns the half-open window
+        ``[t0 + i*interval, t0 + (i+1)*interval)`` — the lower edge is
+        inclusive, so ``slot_of(t0) == 0`` and ``slot_of(t0 + interval)``
+        is already slot 1.  A time before ``t0`` predates the protocol and
+        has no slot; it raises rather than being silently attributed to
+        slot 0 (which used to misattribute pre-sync samples).
+        """
+        if time < self.t0:
+            raise ChannelError(
+                f"time {time} precedes t0={self.t0}: pre-sync samples have no slot"
+            )
         return (time - self.t0) // self.interval

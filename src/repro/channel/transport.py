@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import ChannelError
+from ..faults import ChannelFaultInjector, FaultPlan
 from ..obs import EventTrace, MetricsRegistry, NULL_TRACE, get_registry
 from .framing import FrameCodec
 from .hamming import HammingEncoder
@@ -64,6 +65,7 @@ class ReliableTransport:
         codec: Optional[FrameCodec] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[EventTrace] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if interleave_rows < 1:
             raise ChannelError(f"interleave_rows must be >= 1, got {interleave_rows}")
@@ -73,6 +75,15 @@ class ReliableTransport:
         self.interleave_rows = interleave_rows
         self.metrics = metrics if metrics is not None else get_registry()
         self.trace = trace if trace is not None else NULL_TRACE
+        #: Deterministic receive-side fault injection (burst flips, slot
+        #: slips, dropped frames), keyed per send; ``None`` injects nothing.
+        self.faults = faults
+        self._fault_injector = (
+            ChannelFaultInjector(faults)
+            if faults is not None and faults.injects_channel_faults
+            else None
+        )
+        self._send_index = 0
 
     # -- pipeline ------------------------------------------------------------
 
@@ -122,11 +133,33 @@ class ReliableTransport:
     # -- end to end ------------------------------------------------------------
 
     def send(self, payload: bytes, interval: int, noise=None) -> Delivery:
-        """Ship ``payload`` over the channel and decode what arrived."""
+        """Ship ``payload`` over the channel and decode what arrived.
+
+        With a fault plan, the received stream is perturbed *after* the
+        physical channel, so ``Delivery.channel_ber`` still reports the
+        channel's own error rate; injected damage shows up in decode
+        success and the ``channel.faults.*`` counters.
+        """
         tx_bits = self.encode(payload)
         kwargs = {} if noise is None else {"noise": noise}
         result = self.channel.transmit(tx_bits, interval, **kwargs)
-        decoded = self.decode(list(result.received_bits))
+        received = list(result.received_bits)
+        if self._fault_injector is not None:
+            received, report = self._fault_injector.perturb(received, self._send_index)
+            if report.any:
+                metrics = self.metrics
+                metrics.counter("channel.faults.flips").inc(report.flips)
+                metrics.counter("channel.faults.slips").inc(report.slips)
+                metrics.counter("channel.faults.drops").inc(int(report.dropped))
+                self.trace.emit(
+                    "channel.faults",
+                    send=self._send_index,
+                    flips=report.flips,
+                    slips=report.slips,
+                    dropped=report.dropped,
+                )
+        self._send_index += 1
+        decoded = self.decode(received)
         delivery = Delivery(
             payload=decoded,
             ok=decoded == payload,

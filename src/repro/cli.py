@@ -51,6 +51,16 @@ def _result_cache(args: argparse.Namespace):
     return ResultCache()
 
 
+def _fault_plan(args: argparse.Namespace):
+    """The :class:`~repro.faults.FaultPlan` behind ``--faults``, if any."""
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None
+    from .faults import FaultPlan
+
+    return FaultPlan.load(path)
+
+
 def _sweep_obs(args: argparse.Namespace):
     """(metrics registry, trace) backing one sweep command's run."""
     from .obs import EventTrace, MetricsRegistry, NULL_TRACE
@@ -140,11 +150,13 @@ def cmd_table2(args: argparse.Namespace) -> int:
 
     cache = _result_cache(args)
     registry, trace = _sweep_obs(args)
+    plan = _fault_plan(args)
     rows = []
     for channel in ("ntp+ntp", "prime+probe"):
         sweep = run_capacity_sweep(
             _machine_factory(args), channel, n_bits=args.bits, seed=args.seed,
             jobs=args.jobs, result_cache=cache, metrics=registry, trace=trace,
+            faults=plan, retries=args.retries,
         )
         peak = sweep.peak
         rows.append(
@@ -168,6 +180,7 @@ def cmd_fig8(args: argparse.Namespace) -> int:
         _machine_factory(args), args.channel, n_bits=args.bits, seed=args.seed,
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
+        faults=_fault_plan(args), retries=args.retries,
     )
     print(format_table(
         ("interval", "raw KB/s", "BER", "capacity KB/s"), sweep.rows(),
@@ -276,6 +289,7 @@ def cmd_noise(args: argparse.Namespace) -> int:
         _machine_factory(args), n_bits=args.bits, seed=args.seed,
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
+        faults=_fault_plan(args), retries=args.retries,
     )
     print(format_table(result.header(), result.rows(),
                        title="Section IV-B3 — BER vs noise intensity"))
@@ -291,6 +305,7 @@ def cmd_detect_sweep(args: argparse.Namespace) -> int:
         _machine_factory(args), duration=args.duration,
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
+        faults=_fault_plan(args), retries=args.retries,
     )
     print(format_table(result.header(), result.rows(),
                        title="Section V-A3 — FN rate vs victim period"))
@@ -312,6 +327,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
         _PLATFORMS[args.platform], n_bits=args.bits, seed=args.seed,
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
+        faults=_fault_plan(args), retries=args.retries,
     )
     rows = [
         (f"{p.sync_scale:.2f}", f"{p.ntp_capacity:.0f}",
@@ -464,11 +480,33 @@ def cmd_compare(args: argparse.Namespace) -> int:
         _machine_factory(args), n_bits=args.bits,
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
+        faults=_fault_plan(args), retries=args.retries,
     )
     print(format_table(ComparisonResult.HEADER, result.rows(),
                        title="Covert-channel design space"))
     _finish_sweep_obs(args, registry, trace)
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .experiments.chaos_sweep import run_chaos_sweep
+
+    registry, trace = _sweep_obs(args)
+    result = run_chaos_sweep(
+        _machine_factory(args), n_bits=args.bits,
+        crash_probability=args.crash, retries=args.retries,
+        seed=args.seed, jobs=args.jobs, result_cache=_result_cache(args),
+        metrics=registry, trace=trace, plan=_fault_plan(args),
+    )
+    print(format_table(result.header(), result.rows(),
+                       title="Chaos — channel BER/delivery vs fault rate"))
+    verdict = "bit-identical" if result.runner_identical else "DIVERGED"
+    print(f"runner chaos (crash p={result.crash_probability}, "
+          f"retries={result.retries}): {verdict}, "
+          f"{result.runner_retries} retried attempt(s), "
+          f"{result.runner_failures} unrecovered shard(s)")
+    _finish_sweep_obs(args, registry, trace)
+    return 0 if result.ok else 1
 
 
 def cmd_send(args: argparse.Namespace) -> int:
@@ -520,6 +558,12 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--trace", metavar="FILE", default=None,
                            help="export a JSONL event trace of the sweep "
                                 "(shard timings, cache hits/misses)")
+            p.add_argument("--faults", metavar="PLAN.json", default=None,
+                           help="inject deterministic faults from this "
+                                "FaultPlan file (see docs/robustness.md)")
+            p.add_argument("--retries", type=int, default=0, metavar="N",
+                           help="retry budget per shard when faults strike "
+                                "(recoverable runs stay bit-identical)")
 
     p = sub.add_parser("fig2", help="insertion policy (Property #1)")
     common(p, repetitions=100)
@@ -623,6 +667,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit cache / runner / channel obs counters as JSON "
                         "instead of the plain-text cache report")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("chaos", help="fault-injected sweep + robustness curve")
+    common(p, runner=True)
+    p.add_argument("--bits", type=int, default=48)
+    p.add_argument("--crash", type=float, default=0.2, metavar="P",
+                   help="per-attempt worker crash probability for the "
+                        "runner-determinism act")
+    p.set_defaults(func=cmd_chaos, retries=3)
 
     p = sub.add_parser("send", help="ship a text message over NTP+NTP")
     common(p)

@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence
 from ..attacks.ntp_ntp import NTPNTPChannel
 from ..attacks.prime_probe import PrimeProbeChannel
 from ..errors import ChannelError
-from ..runner import ResultCache, Shard, make_shards, run_shards
+from ..faults import FaultPlan
+from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
 from ..sim.machine import Machine
 from ..victims.noise import NoiseConfig
 
@@ -100,6 +101,8 @@ def run_capacity_sweep(
     result_cache: Optional[ResultCache] = None,
     metrics=None,
     trace=None,
+    faults: Optional[FaultPlan] = None,
+    retries: int = 0,
 ) -> CapacitySweepResult:
     """Sweep one channel on one platform.
 
@@ -108,6 +111,10 @@ def run_capacity_sweep(
     The factory must be equivalent to ``Machine(config, seed)`` — each point
     runs as a shard that rebuilds the machine from those two values, serially
     or on ``jobs`` worker processes with bit-identical results.
+
+    ``faults``/``retries`` engage the runner's fault-injection and retry
+    layer; a point whose shard exhausts its retries is dropped from the
+    curve (visible in ``runner.failures``) rather than aborting the sweep.
     """
     if channel not in ("ntp+ntp", "prime+probe"):
         raise ChannelError(f"unknown channel {channel!r}")
@@ -131,8 +138,10 @@ def run_capacity_sweep(
     rows = run_shards(
         _capacity_point_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="capacity_sweep/v1",
-        metrics=metrics, trace=trace,
+        metrics=metrics, trace=trace, faults=faults, retries=retries,
     )
     result = CapacitySweepResult(channel=channel, platform=probe.config.name)
-    result.points.extend(CapacityPoint(**row) for row in rows)
+    result.points.extend(
+        CapacityPoint(**row) for row in rows if not is_error_record(row)
+    )
     return result

@@ -19,7 +19,8 @@ from ..attacks.prefetch_prefetch import PrefetchPrefetchChannel
 from ..attacks.prime_probe import PrimeProbeChannel
 from ..attacks.redundant_ntp import RedundantNTPChannel
 from ..errors import ChannelError
-from ..runner import ResultCache, Shard, make_shards, run_shards
+from ..faults import FaultPlan
+from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
 from ..sim.machine import Machine
 
 #: The design space on one table: (name, kind, kwargs, interval, evsets,
@@ -129,13 +130,17 @@ def run_channel_comparison(
     result_cache: Optional[ResultCache] = None,
     metrics=None,
     trace=None,
+    faults: Optional[FaultPlan] = None,
+    retries: int = 0,
 ) -> ComparisonResult:
     """Measure every channel class at a near-optimal operating point.
 
     The occupancy channel runs on its scaled-down demo machine; all others
     share the given factory (default: the paper's Skylake).  Each channel is
     an independent shard; ``jobs > 1`` measures them on worker processes
-    with bit-identical results.
+    with bit-identical results.  ``faults``/``retries`` engage the runner's
+    fault-injection and retry layer; an exhausted shard's profile is
+    dropped from the table.
     """
     if machine_factory is None:
         machine_factory = lambda: Machine.skylake(seed=340)  # noqa: E731
@@ -158,8 +163,10 @@ def run_channel_comparison(
     rows = run_shards(
         _comparison_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="channel_comparison/v1",
-        metrics=metrics, trace=trace,
+        metrics=metrics, trace=trace, faults=faults, retries=retries,
     )
     result = ComparisonResult()
-    result.profiles.extend(ChannelProfile(**row) for row in rows)
+    result.profiles.extend(
+        ChannelProfile(**row) for row in rows if not is_error_record(row)
+    )
     return result

@@ -16,7 +16,8 @@ from typing import Callable, List, Optional, Sequence
 
 from ..attacks.prime_scope import PrimePrefetchScope, PrimeScope
 from ..errors import AttackError
-from ..runner import ResultCache, Shard, make_shards, run_shards
+from ..faults import FaultPlan
+from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
 from ..sim.machine import Machine
 from .detection import run_detection_experiment
 
@@ -85,11 +86,15 @@ def run_detection_sweep(
     result_cache: Optional[ResultCache] = None,
     metrics=None,
     trace=None,
+    faults: Optional[FaultPlan] = None,
+    retries: int = 0,
 ) -> DetectionSweepResult:
     """Measure FN rates for both attacks across victim periods.
 
     Each (attack, period) point is an independent shard; ``jobs > 1`` runs
     them on worker processes with bit-identical results.
+    ``faults``/``retries`` engage the runner's fault-injection and retry
+    layer; an exhausted shard's point is dropped from its curve.
     """
     if periods is None:
         periods = DEFAULT_PERIODS
@@ -110,8 +115,9 @@ def run_detection_sweep(
     rows = run_shards(
         _detection_point_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="detection_sweep/v1",
-        metrics=metrics, trace=trace,
+        metrics=metrics, trace=trace, faults=faults, retries=retries,
     )
+    rows = [row for row in rows if not is_error_record(row)]
     result = DetectionSweepResult()
     for name in _ATTACKS:
         result.curves[name] = [

@@ -18,7 +18,8 @@ from ..attacks.ntp_ntp import NTPNTPChannel
 from ..attacks.prime_probe import PrimeProbeChannel
 from ..attacks.redundant_ntp import RedundantNTPChannel
 from ..errors import ChannelError
-from ..runner import ResultCache, Shard, make_shards, run_shards
+from ..faults import FaultPlan
+from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
 from ..sim.machine import Machine
 from ..victims.noise import NoiseConfig
 
@@ -105,12 +106,17 @@ def run_noise_sweep(
     result_cache: Optional[ResultCache] = None,
     metrics=None,
     trace=None,
+    faults: Optional[FaultPlan] = None,
+    retries: int = 0,
 ) -> NoiseSweepResult:
     """Sweep noise intensity over the channel variants.
 
     Each (variant, bias) point is an independent shard; ``jobs > 1`` fans
     them out to worker processes with bit-identical results, and
     ``result_cache`` skips points computed by an earlier run.
+    ``faults``/``retries`` engage the runner's fault-injection and retry
+    layer; an exhausted shard's point is dropped from its curve rather
+    than aborting the sweep.
     """
     if biases is None:
         biases = DEFAULT_BIASES
@@ -135,8 +141,9 @@ def run_noise_sweep(
     rows = run_shards(
         _noise_point_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="noise_sweep/v1",
-        metrics=metrics, trace=trace,
+        metrics=metrics, trace=trace, faults=faults, retries=retries,
     )
+    rows = [row for row in rows if not is_error_record(row)]
     result = NoiseSweepResult()
     for name, _, _, _ in VARIANTS:
         result.curves[name] = [

@@ -20,7 +20,8 @@ from ..attacks.ntp_ntp import NTPNTPChannel
 from ..attacks.prime_probe import PrimeProbeChannel
 from ..config import PlatformConfig, SyncProfile
 from ..errors import ReproError
-from ..runner import ResultCache, Shard, make_shards, run_shards
+from ..faults import FaultPlan
+from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
 from ..sim.machine import Machine
 
 DEFAULT_SCALES = (0.8, 1.0, 1.2)
@@ -89,11 +90,16 @@ def run_sensitivity_experiment(
     result_cache: Optional[ResultCache] = None,
     metrics=None,
     trace=None,
+    faults: Optional[FaultPlan] = None,
+    retries: int = 0,
 ) -> SensitivityResult:
     """Scale the sync budget and re-measure both channels' peaks.
 
     Each (scale, channel) measurement is an independent shard; ``jobs > 1``
     fans them out to worker processes with bit-identical results.
+    ``faults``/``retries`` engage the runner's fault-injection and retry
+    layer; a scale whose ntp or pp shard exhausts its retries is dropped
+    as a *pair* (the rows are consumed positionally).
     """
     if not scales:
         raise ReproError("need at least one scale factor")
@@ -106,10 +112,13 @@ def run_sensitivity_experiment(
     rows = run_shards(
         _sensitivity_point_worker, shards, jobs=jobs,
         cache=result_cache, cache_tag="sensitivity/v1",
-        metrics=metrics, trace=trace,
+        metrics=metrics, trace=trace, faults=faults, retries=retries,
     )
     result = SensitivityResult()
     for ntp_row, pp_row in zip(rows[0::2], rows[1::2]):
+        if is_error_record(ntp_row) or is_error_record(pp_row):
+            # Rows pair up positionally; a failed half invalidates the pair.
+            continue
         result.points.append(
             SensitivityPoint(
                 sync_scale=ntp_row["scale"],

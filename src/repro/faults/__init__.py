@@ -1,0 +1,41 @@
+"""Deterministic fault injection (chaos harness).
+
+The paper stresses its channel with external load and reports how BER and
+capacity degrade (Section VI); this package generalizes that experiment
+into a first-class, reproducible fault model.  A seeded, JSON-serializable
+:class:`FaultPlan` declares worker crashes/timeouts (sweep runner), bit
+perturbations (covert channel), and cache pollution (machine traces);
+injectors consume the plan through SHA-256-derived per-site RNG streams,
+so every fault fires identically at any ``--jobs`` value, in any process.
+
+Wired into :func:`repro.runner.run_shards` (``faults=`` / ``retries=``),
+:class:`repro.channel.ReliableTransport` (``faults=``),
+:class:`repro.channel.SlotClock` (``faults=``),
+:class:`repro.sim.machine.Machine` (``faults=``), and the CLI
+(``--faults PLAN.json`` on sweep commands, plus ``python -m repro chaos``).
+See ``docs/robustness.md``.
+"""
+
+from .inject import (
+    ChannelFaultInjector,
+    ChannelFaultReport,
+    InjectedCrash,
+    InjectedFault,
+    InjectedTimeout,
+    ShardFaultInjector,
+    TracePollution,
+)
+from .plan import FaultPlan, NO_FAULTS, site_seed
+
+__all__ = [
+    "ChannelFaultInjector",
+    "ChannelFaultReport",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedTimeout",
+    "NO_FAULTS",
+    "ShardFaultInjector",
+    "site_seed",
+    "TracePollution",
+]

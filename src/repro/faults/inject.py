@@ -1,0 +1,159 @@
+"""Fault injectors: the code that actually breaks things, deterministically.
+
+Each injector consumes a :class:`~repro.faults.plan.FaultPlan` and owns one
+fault family:
+
+* :class:`ShardFaultInjector` — raises :class:`InjectedCrash` /
+  :class:`InjectedTimeout` before a shard attempt runs, so the worker's
+  own computation is never perturbed and a retried attempt reproduces the
+  fault-free result bit for bit.
+* :class:`ChannelFaultInjector` — perturbs a received bit stream with
+  burst flips, slot slips (bit deletions), and whole-frame drops.
+* :class:`TracePollution` — interleaves random interfering fills into a
+  machine trace.
+
+Injection decisions are drawn from per-site streams
+(:meth:`FaultPlan.decide` / :meth:`FaultPlan.stream`), never from shared
+RNG state, so they are independent of execution order and process layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import ReproError
+from .plan import FaultPlan
+
+#: Page-sized window pollution addresses are drawn from (1 GiB of lines).
+_POLLUTION_ADDRESS_BITS = 30
+
+
+class InjectedFault(ReproError):
+    """A failure deliberately injected by a :class:`FaultPlan`."""
+
+
+class InjectedCrash(InjectedFault):
+    """An injected worker-process crash."""
+
+
+class InjectedTimeout(InjectedFault):
+    """An injected worker hang, abandoned by the runner's watchdog."""
+
+
+class ShardFaultInjector:
+    """Decides, per (shard, attempt), whether a runner fault fires."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def check(self, shard_index: int, attempt: int) -> None:
+        """Raise the injected fault for this attempt, if any.
+
+        Called *before* the worker runs: an injected crash can therefore
+        never corrupt a result, only delay it — which is what makes a
+        recoverable chaos run bit-identical to a fault-free run.
+        """
+        plan = self.plan
+        if plan.decide("runner.crash", plan.crash_probability, shard_index, attempt):
+            raise InjectedCrash(
+                f"injected crash: shard {shard_index}, attempt {attempt}"
+            )
+        if plan.decide("runner.timeout", plan.timeout_probability, shard_index, attempt):
+            raise InjectedTimeout(
+                f"injected timeout: shard {shard_index}, attempt {attempt}"
+            )
+
+
+@dataclass
+class ChannelFaultReport:
+    """What one :meth:`ChannelFaultInjector.perturb` call injected."""
+
+    flips: int = 0
+    slips: int = 0
+    dropped: bool = False
+
+    @property
+    def any(self) -> bool:
+        return bool(self.flips or self.slips or self.dropped)
+
+
+class ChannelFaultInjector:
+    """Perturbs received bit streams according to a plan.
+
+    ``context`` components (e.g. a transport's send counter) key the RNG
+    streams so repeated sends see independent — but reproducible — fault
+    patterns.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def perturb(
+        self, bits: Sequence[int], *context: Any
+    ) -> Tuple[List[int], ChannelFaultReport]:
+        """Faulted copy of ``bits`` plus a report of what was injected.
+
+        Order of application mirrors the physical story: a dropped frame
+        loses everything; otherwise slot slips delete bits (shifting the
+        stream left, the hardest fault for a block code), then burst flips
+        corrupt what remains.
+        """
+        plan = self.plan
+        report = ChannelFaultReport()
+        if plan.decide("channel.drop", plan.frame_drop_probability, *context):
+            report.dropped = True
+            return [], report
+        out = list(bits)
+        if plan.slot_slip_probability > 0:
+            rng = plan.stream("channel.slip", *context)
+            p = plan.slot_slip_probability
+            kept = [bit for bit in out if not rng.random() < p]
+            report.slips = len(out) - len(kept)
+            out = kept
+        if plan.bit_flip_probability > 0:
+            rng = plan.stream("channel.flip", *context)
+            p = plan.bit_flip_probability
+            position = 0
+            while position < len(out):
+                if rng.random() < p:
+                    burst_end = min(position + plan.burst_length, len(out))
+                    for i in range(position, burst_end):
+                        out[i] ^= 1
+                    report.flips += burst_end - position
+                    position = burst_end
+                else:
+                    position += 1
+        return out, report
+
+
+class TracePollution:
+    """Interleaves random interfering fills into a machine trace.
+
+    Models a third party dirtying the cache while an experiment replays a
+    trace: before each original op, with ``pollution_probability``, a burst
+    of ``pollution_burst`` loads to random line addresses is issued from
+    ``core``.  The stream is keyed by the machine seed, so two machines
+    built alike pollute alike.
+    """
+
+    def __init__(self, plan: FaultPlan, machine_seed: int, core: int):
+        self._rng = plan.stream("machine.pollution", machine_seed)
+        self._probability = plan.pollution_probability
+        self._burst = plan.pollution_burst
+        self.core = core
+        #: Total interfering fills injected so far (monotone).
+        self.injected = 0
+
+    def wrap(self, ops: Iterable[tuple]) -> Iterator[tuple]:
+        """The polluted op stream (original ops all pass through, in order)."""
+        rng = self._rng
+        probability = self._probability
+        address_space = 1 << _POLLUTION_ADDRESS_BITS
+        for op in ops:
+            if rng.random() < probability:
+                for _ in range(self._burst):
+                    addr = rng.randrange(address_space) & ~63
+                    self.injected += 1
+                    yield ("load", self.core, addr)
+            yield op

@@ -1,0 +1,196 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is the single description of every fault the chaos
+harness can inject: worker crashes and timeouts into the sweep runner,
+bit-level perturbations into the covert channel, and interfering fills
+into a machine trace.  Two properties make it safe to leave wired into
+production paths:
+
+* **Deterministic** — every injection decision is drawn from a SHA-256
+  derived per-site RNG stream (the same construction as
+  :func:`repro.runner.shard.derive_seed`), keyed by the plan seed, a site
+  name (``"runner.crash"``), and the site's coordinates (shard index,
+  attempt number, slot, ...).  Decisions therefore do not depend on
+  execution order: shard 7's attempt 2 crashes — or doesn't — identically
+  at any ``--jobs`` value.
+* **JSON-serializable** — a plan round-trips through
+  :meth:`to_json`/:meth:`from_json` and ships on the CLI as
+  ``--faults PLAN.json``, so a chaos scenario is an artifact, not code.
+
+The zero plan (``FaultPlan()``) injects nothing; every fault family is off
+until its probability is raised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import ReproError
+
+#: Per-site seeds live in the same 63-bit space as shard seeds.
+_SEED_SPACE = 1 << 63
+
+_PROBABILITY_FIELDS = (
+    "crash_probability",
+    "timeout_probability",
+    "bit_flip_probability",
+    "slot_slip_probability",
+    "frame_drop_probability",
+    "pollution_probability",
+)
+
+
+def site_seed(seed: int, site: str, *components: Any) -> int:
+    """A deterministic 63-bit seed for one injection site.
+
+    SHA-256 over the compact JSON of ``[seed, site, *components]`` —
+    stable across processes and platforms, so the same site draws the
+    same stream wherever it runs.  ``components`` must be JSON-compatible
+    scalars (shard indices, attempt numbers, party names).
+    """
+    material = json.dumps(
+        [seed, site, *components], sort_keys=True, separators=(",", ":")
+    )
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seeded, declarative description of what to break, and how often.
+
+    Runner faults (consumed by :func:`repro.runner.run_shards`):
+
+    * ``crash_probability`` — chance a shard attempt dies before the worker
+      runs (models a crashed worker process).
+    * ``timeout_probability`` — chance a shard attempt is abandoned as hung
+      (models a stuck worker; no real time is spent).
+
+    Channel faults (consumed by :class:`repro.channel.ReliableTransport`
+    and :class:`repro.channel.SlotClock`):
+
+    * ``bit_flip_probability`` — chance each received bit position starts a
+      burst of ``burst_length`` flipped bits.
+    * ``slot_slip_probability`` — per-bit chance of a slot slip.  At the
+      transport this deletes the bit (the receiver missed a slot, shifting
+      the rest of the stream); at a ``SlotClock`` it delays the party's
+      arrival by one full interval.
+    * ``frame_drop_probability`` — chance an entire send arrives empty.
+
+    Cache faults (consumed by :class:`repro.sim.machine.Machine`):
+
+    * ``pollution_probability`` — per-trace-op chance of an interfering
+      burst of ``pollution_burst`` random fills from the machine's last
+      core (a third party dirtying the LLC mid-trace).
+    """
+
+    seed: int = 0
+    # -- runner faults ----------------------------------------------------
+    crash_probability: float = 0.0
+    timeout_probability: float = 0.0
+    # -- channel faults ---------------------------------------------------
+    bit_flip_probability: float = 0.0
+    burst_length: int = 3
+    slot_slip_probability: float = 0.0
+    frame_drop_probability: float = 0.0
+    # -- cache faults -----------------------------------------------------
+    pollution_probability: float = 0.0
+    pollution_burst: int = 4
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ReproError(f"plan seed must be non-negative, got {self.seed}")
+        for name in _PROBABILITY_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {value}")
+        if self.burst_length < 1:
+            raise ReproError(f"burst_length must be >= 1, got {self.burst_length}")
+        if self.pollution_burst < 1:
+            raise ReproError(
+                f"pollution_burst must be >= 1, got {self.pollution_burst}"
+            )
+
+    # -- which fault families are live ------------------------------------
+
+    @property
+    def injects_runner_faults(self) -> bool:
+        return self.crash_probability > 0 or self.timeout_probability > 0
+
+    @property
+    def injects_channel_faults(self) -> bool:
+        return (
+            self.bit_flip_probability > 0
+            or self.slot_slip_probability > 0
+            or self.frame_drop_probability > 0
+        )
+
+    @property
+    def injects_cache_faults(self) -> bool:
+        return self.pollution_probability > 0
+
+    # -- deterministic randomness -----------------------------------------
+
+    def stream(self, site: str, *components: Any) -> random.Random:
+        """A fresh RNG stream for one injection site."""
+        return random.Random(site_seed(self.seed, site, *components))
+
+    def decide(self, site: str, probability: float, *components: Any) -> bool:
+        """One order-independent Bernoulli draw for ``site`` at ``components``."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.stream(site, *components).random() < probability
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ReproError(f"fault plan must be a JSON object, got {type(data).__name__}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ReproError(
+                f"unknown fault plan field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise ReproError(f"fault plan is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        path = Path(path)
+        if not path.exists():
+            raise ReproError(f"no fault plan at {path}")
+        return cls.from_json(path.read_text())
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+
+#: The plan that injects nothing (convenience for defaults and tests).
+NO_FAULTS = FaultPlan()

@@ -23,6 +23,14 @@ from .layout import CacheSetMapping
 HUGE_PAGE_SIZE = 2 * 2**20
 FRAMES_PER_HUGE_PAGE = HUGE_PAGE_SIZE // PAGE_SIZE
 
+#: Rejection-sampling attempts before :meth:`PageAllocator.alloc_frame`
+#: falls back to drawing directly from the free set.  Generous enough that
+#: a pool under ~98% occupancy virtually never falls back (keeping the RNG
+#: stream — hence every derived address — identical to the unbounded
+#: sampler), while a nearly full pool stays O(frames) instead of looping
+#: toward forever.
+ALLOC_ATTEMPTS = 64
+
 
 class PageAllocator:
     """Hands out distinct, randomly chosen physical page frames.
@@ -44,14 +52,23 @@ class PageAllocator:
         return len(self._allocated)
 
     def alloc_frame(self) -> int:
-        """Allocate one page frame; returns its base physical address."""
+        """Allocate one page frame; returns its base physical address.
+
+        Rejection sampling is bounded at :data:`ALLOC_ATTEMPTS` draws; a
+        degenerate (nearly exhausted) pool then samples one frame uniformly
+        from the sorted free set instead of spinning.
+        """
         if len(self._allocated) >= self._frames:
             raise AddressError("physical memory exhausted")
-        while True:
+        for _ in range(ALLOC_ATTEMPTS):
             frame = self._rng.randrange(self._frames)
             if frame not in self._allocated:
                 self._allocated.add(frame)
                 return frame << PAGE_OFFSET_BITS
+        free = sorted(set(range(self._frames)) - self._allocated)
+        frame = free[self._rng.randrange(len(free))]
+        self._allocated.add(frame)
+        return frame << PAGE_OFFSET_BITS
 
     def alloc_frames(self, count: int) -> List[int]:
         return [self.alloc_frame() for _ in range(count)]

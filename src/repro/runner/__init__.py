@@ -20,13 +20,16 @@ Typical wiring, from an experiment module::
 """
 
 from .cache import CACHE_DIR_ENV, ResultCache, default_cache_root
-from .pool import run_shards
+from .pool import SHARD_ERROR_KEY, backoff_seconds, is_error_record, run_shards
 from .shard import Shard, canonical_json, derive_seed, make_shards
 
 __all__ = [
     "CACHE_DIR_ENV",
     "ResultCache",
+    "SHARD_ERROR_KEY",
+    "backoff_seconds",
     "default_cache_root",
+    "is_error_record",
     "run_shards",
     "Shard",
     "canonical_json",

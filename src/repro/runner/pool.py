@@ -4,18 +4,29 @@
 guarantees:
 
 * **Stable merge order** — results come back in shard order regardless of
-  ``jobs``, so a parallel sweep is bit-identical to a serial one.
+  ``jobs``, so a parallel sweep is bit-identical to a serial one.  Shard
+  indices must be unique; a duplicate is rejected up front rather than
+  silently misattributing one shard's result to another's slot.
 * **Pure workers** — a worker is a top-level function of one
   :class:`~repro.runner.shard.Shard` returning a JSON-compatible dict.  It
   must derive everything from the shard (workers run in forked processes
   where closure state would silently diverge).
 * **Transparent caching** — with a :class:`~repro.runner.cache.ResultCache`,
   known points are served from disk and only the misses are computed (and
-  then stored), in either execution mode.
-* **Accounted execution** — per-shard wall time, pool utilization, and
-  cache hit/miss/corrupt counts land in the run's metrics registry and
-  (optionally) an :class:`~repro.obs.trace.EventTrace`, so sweep summaries
-  and ``--trace FILE`` cost nothing to support here.
+  then stored), in either execution mode.  Only successful results are
+  cached, and a shard that needed retries is cached exactly once.
+* **Graceful degradation** — with ``retries`` and/or a
+  :class:`~repro.faults.FaultPlan`, each shard gets a bounded retry budget
+  with deterministic exponential backoff, and a shard that exhausts it
+  yields an *error record* (see :func:`is_error_record`) in its merge slot
+  instead of aborting the whole sweep.  Injected faults fire before the
+  worker runs, so a recoverable chaos run merges bit-identically to a
+  fault-free run.
+* **Accounted execution** — per-shard wall time, pool utilization, retry
+  and failure counts, and cache hit/miss/corrupt counts land in the run's
+  metrics registry (``runner.retries`` / ``runner.failures`` among them)
+  and (optionally) an :class:`~repro.obs.trace.EventTrace`, so sweep
+  summaries and ``--trace FILE`` cost nothing to support here.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+from ..faults import FaultPlan, ShardFaultInjector
 from ..obs import EventTrace, MetricsRegistry, NULL_TRACE, get_registry
 from .cache import ResultCache
 from .shard import Shard
@@ -34,6 +46,32 @@ Worker = Callable[[Shard], Dict[str, Any]]
 
 #: Shard wall-time histogram buckets (seconds).
 _SHARD_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0)
+
+#: Key marking a merged slot as a shard failure rather than a result.
+SHARD_ERROR_KEY = "__shard_error__"
+
+#: Ceiling on one retry's backoff sleep, whatever the base and attempt.
+BACKOFF_CAP_SECONDS = 5.0
+
+#: One worker attempt's outcome: (result, error record, seconds, attempts).
+_Outcome = Tuple[Optional[Dict[str, Any]], Optional[Dict[str, Any]], float, int]
+
+
+def is_error_record(result: Any) -> bool:
+    """Whether a merged slot holds a shard-failure record instead of a result."""
+    return isinstance(result, dict) and SHARD_ERROR_KEY in result
+
+
+def backoff_seconds(base: float, attempt: int) -> float:
+    """Deterministic exponential backoff before retry ``attempt`` (1-based).
+
+    ``base * 2**(attempt-1)``, capped at :data:`BACKOFF_CAP_SECONDS`.  No
+    jitter: the schedule is part of the reproducible contract, and sweep
+    shards never contend for a shared resource that would need decorrelating.
+    """
+    if base <= 0 or attempt <= 0:
+        return 0.0
+    return min(base * (2 ** (attempt - 1)), BACKOFF_CAP_SECONDS)
 
 
 def _cache_key(cache: ResultCache, worker: Worker, tag: Optional[str], shard: Shard) -> str:
@@ -45,11 +83,48 @@ def _cache_key(cache: ResultCache, worker: Worker, tag: Optional[str], shard: Sh
     )
 
 
-def _timed_call(worker: Worker, shard: Shard) -> Tuple[Dict[str, Any], float]:
-    """Run ``worker`` on ``shard``; top level so it pickles to pool workers."""
+def _timed_call(worker: Worker, shard: Shard) -> _Outcome:
+    """Run ``worker`` once; top level so it pickles to pool workers."""
     start = time.perf_counter()
     result = worker(shard)
-    return result, time.perf_counter() - start
+    return result, None, time.perf_counter() - start, 1
+
+
+def _attempt_shard(
+    worker: Worker,
+    faults: Optional[FaultPlan],
+    retries: int,
+    backoff_base: float,
+    shard: Shard,
+) -> _Outcome:
+    """Run ``worker`` with fault injection and bounded retry (pickles to pools).
+
+    Fault decisions key on ``(shard.index, attempt)``, so they are identical
+    in any process at any ``jobs`` value; the worker itself is only ever run
+    clean, which keeps recovered results bit-identical to fault-free ones.
+    """
+    injector = ShardFaultInjector(faults) if faults is not None else None
+    start = time.perf_counter()
+    failure: Optional[Dict[str, Any]] = None
+    for attempt in range(retries + 1):
+        if attempt:
+            delay = backoff_seconds(backoff_base, attempt)
+            if delay:
+                time.sleep(delay)
+        try:
+            if injector is not None:
+                injector.check(shard.index, attempt)
+            result = worker(shard)
+        except Exception as error:
+            failure = {
+                "shard": shard.index,
+                "error": type(error).__name__,
+                "message": str(error),
+                "attempts": attempt + 1,
+            }
+            continue
+        return result, None, time.perf_counter() - start, attempt + 1
+    return None, failure, time.perf_counter() - start, retries + 1
 
 
 def run_shards(
@@ -60,6 +135,10 @@ def run_shards(
     cache_tag: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     trace: Optional[EventTrace] = None,
+    faults: Optional[FaultPlan] = None,
+    retries: int = 0,
+    backoff_base: float = 0.0,
+    on_error: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Run ``worker`` over ``shards``; results merged in shard order.
 
@@ -68,14 +147,40 @@ def run_shards(
     cache keys (bump it when a worker's *output format* changes without a
     rename).  ``metrics`` defaults to the process registry (the null sink
     unless one is installed); ``trace`` records per-shard events.
+
+    ``faults`` injects deterministic crashes/timeouts per (shard, attempt);
+    ``retries`` bounds how many times a failing shard is re-attempted, with
+    ``backoff_base``-seconds exponential backoff between attempts.
+    ``on_error`` selects what an exhausted shard does: ``"record"`` leaves
+    an error record in its merge slot, ``"raise"`` aborts the sweep.  The
+    default is ``"record"`` whenever faults or retries are engaged and the
+    legacy ``"raise"`` otherwise.
     """
     if jobs < 0:
         raise ReproError(f"jobs must be >= 0, got {jobs}")
+    if retries < 0:
+        raise ReproError(f"retries must be >= 0, got {retries}")
+    if backoff_base < 0:
+        raise ReproError(f"backoff_base must be >= 0, got {backoff_base}")
+    if on_error is None:
+        on_error = "record" if (faults is not None or retries > 0) else "raise"
+    if on_error not in ("record", "raise"):
+        raise ReproError(f"on_error must be 'record' or 'raise', got {on_error!r}")
     registry = metrics if metrics is not None else get_registry()
     trace = trace if trace is not None else NULL_TRACE
     wall_start = time.perf_counter()
     shards = list(shards)
     results: List[Optional[Dict[str, Any]]] = [None] * len(shards)
+
+    slot_of: Dict[int, int] = {}
+    for slot, shard in enumerate(shards):
+        duplicate = slot_of.get(shard.index)
+        if duplicate is not None:
+            raise ReproError(
+                f"duplicate shard index {shard.index} (positions {duplicate} "
+                f"and {slot}): indices must be unique for a stable merge"
+            )
+        slot_of[shard.index] = slot
 
     pending: List[Shard] = []
     keys: Dict[int, str] = {}
@@ -95,28 +200,61 @@ def run_shards(
     else:
         pending = shards
 
-    slot_of = {shard.index: slot for slot, shard in enumerate(shards)}
     busy_seconds = 0.0
+    retried_attempts = 0
+    failed_shards = 0
     workers_used = min(jobs, len(pending)) if jobs > 1 else (1 if pending else 0)
     if pending:
+        if faults is None and retries == 0 and on_error == "raise":
+            # Legacy fast path: worker exceptions propagate unwrapped.
+            call = partial(_timed_call, worker)
+        else:
+            call = partial(_attempt_shard, worker, faults, retries, backoff_base)
         if jobs > 1:
             with ProcessPoolExecutor(max_workers=workers_used) as pool:
-                computed = list(pool.map(partial(_timed_call, worker), pending))
+                computed = list(pool.map(call, pending))
         else:
-            computed = [_timed_call(worker, shard) for shard in pending]
+            computed = [call(shard) for shard in pending]
         shard_seconds = registry.histogram("runner.shard.seconds", _SHARD_SECONDS_BUCKETS)
-        for shard, (result, elapsed) in zip(pending, computed):
+        for shard, (result, failure, elapsed, attempts) in zip(pending, computed):
             slot = slot_of[shard.index]
-            results[slot] = result
-            if cache is not None:
-                cache.put(keys[slot], result)
+            if attempts > 1:
+                retried_attempts += attempts - 1
+                trace.emit(
+                    "runner.shard.retried",
+                    shard=shard.index,
+                    retries=attempts - 1,
+                    recovered=failure is None,
+                )
+            if failure is not None:
+                if on_error == "raise":
+                    raise ReproError(
+                        f"shard {shard.index} failed after {attempts} "
+                        f"attempt(s): {failure['error']}: {failure['message']}"
+                    )
+                failed_shards += 1
+                results[slot] = {SHARD_ERROR_KEY: failure}
+                trace.emit(
+                    "runner.shard.failed",
+                    shard=shard.index,
+                    attempts=attempts,
+                    error=failure["error"],
+                )
+            else:
+                results[slot] = result
+                if cache is not None:
+                    cache.put(keys[slot], result)
+                trace.emit("runner.shard", shard=shard.index, seconds=elapsed)
             busy_seconds += elapsed
             shard_seconds.observe(elapsed)
-            trace.emit("runner.shard", shard=shard.index, seconds=elapsed)
 
     registry.counter("runner.shards.total").inc(len(shards))
     registry.counter("runner.shards.computed").inc(len(pending))
     registry.counter("runner.shards.cached").inc(len(shards) - len(pending))
+    # Always materialized (inc 0) so ``stats --json`` shows the retry layer
+    # even on fault-free runs.
+    registry.counter("runner.retries").inc(retried_attempts)
+    registry.counter("runner.failures").inc(failed_shards)
     if cache is not None:
         registry.counter("runner.cache.hits").inc(cache.hits - cache_counts_before[0])
         registry.counter("runner.cache.misses").inc(cache.misses - cache_counts_before[1])
@@ -132,6 +270,8 @@ def run_shards(
         shards=len(shards),
         computed=len(pending),
         cached=len(shards) - len(pending),
+        retries=retried_attempts,
+        failures=failed_shards,
         jobs=max(workers_used, 1),
         wall_seconds=wall_seconds,
         busy_seconds=busy_seconds,

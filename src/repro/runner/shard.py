@@ -25,6 +25,7 @@ SEED_SPACE = 1 << 63
 def _canonical(value: Any) -> Any:
     """JSON-compatible canonical form of seed-derivation components."""
     import dataclasses
+    import enum
 
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
@@ -40,7 +41,9 @@ def _canonical(value: Any) -> Any:
         return [_canonical(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
-    if hasattr(value, "value"):  # enums
+    if isinstance(value, enum.Enum):
+        # Strictly enums, mirroring results_io._encode: arbitrary objects
+        # that happen to expose ``.value`` must not silently canonicalize.
         return _canonical(value.value)
     raise ReproError(
         f"cannot canonicalize {type(value).__name__} for seed/key derivation"

@@ -11,6 +11,7 @@ from ..config import PlatformConfig, SKYLAKE, KABY_LAKE
 from ..cpu.core import Core
 from ..cpu.timing import TimingModel
 from ..errors import ConfigurationError, SimulationError
+from ..faults import FaultPlan, TracePollution
 from ..mem.allocator import AddressSpace, PageAllocator
 from ..mem.layout import CacheSetMapping
 from ..obs import MetricsRegistry, NULL_REGISTRY
@@ -42,6 +43,7 @@ class Machine:
         llc_policy_factory: Optional[Callable[[int], ReplacementPolicy]] = None,
         llc_mapping: Optional[CacheSetMapping] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         self.config = config
         #: Metrics sink for batch execution; the default null sink keeps the
@@ -59,6 +61,13 @@ class Machine:
         self.cores: List[Core] = [Core(self, c) for c in range(config.cores)]
         self.allocator = PageAllocator(self.rng)
         self.clock = 0
+        #: Deterministic cache-pollution injection for :meth:`run_trace`
+        #: (``faults`` with ``pollution_probability > 0``); ``None`` — the
+        #: default — keeps the batch path entirely fault-free.
+        self.faults = faults
+        self.pollution: Optional[TracePollution] = None
+        if faults is not None and faults.injects_cache_faults:
+            self.pollution = TracePollution(faults, seed, core=config.cores - 1)
 
     # -- constructors ------------------------------------------------------
 
@@ -142,6 +151,11 @@ class Machine:
         true, else the number of operations executed (recording a
         multi-million-op trace would hold every result alive for no
         reason).
+
+        With a fault plan carrying ``pollution_probability``, random
+        interfering fills are interleaved into the batch (see
+        :class:`repro.faults.TracePollution`); the injected loads execute —
+        and are counted — like any other op.
         """
         hierarchy = self.hierarchy
         cores = self.cores
@@ -162,6 +176,10 @@ class Machine:
         # deltas around the batch, at zero per-op cost.  The default null
         # sink pays only this boolean.
         observe = self.metrics.enabled
+        pollution = self.pollution
+        injected_before = pollution.injected if pollution is not None else 0
+        if pollution is not None:
+            ops = pollution.wrap(ops)
         op_counts = dict.fromkeys(dispatch, 0)
         if observe:
             l1_hits0 = sum(l.stats.hits for l in hierarchy.l1s)
@@ -208,6 +226,10 @@ class Machine:
             for name, n in served:
                 if n:
                     metrics.counter(f"engine.served.{name}").inc(n)
+            if pollution is not None and pollution.injected != injected_before:
+                metrics.counter("engine.faults.pollution").inc(
+                    pollution.injected - injected_before
+                )
         return results if record else count
 
     # -- convenience ---------------------------------------------------------

@@ -61,3 +61,23 @@ def test_non_dict_toplevel_rejected():
 def test_missing_artifact_rejected(tmp_path):
     with pytest.raises(ReproError):
         load_result(tmp_path / "nope.json")
+
+
+def test_non_enum_value_attribute_rejected():
+    # Regression: any object with a ``.value`` attribute used to be treated
+    # as an enum and silently serialized as that attribute; now only real
+    # enum members take the enum path.
+    class Impostor:
+        value = 42
+
+    with pytest.raises(ReproError):
+        result_to_dict({"sneaky": Impostor()})
+
+
+def test_int_enum_serializes_to_its_value():
+    import enum
+
+    class Flag(enum.IntEnum):
+        ON = 1
+
+    assert result_to_dict({"flag": Flag.ON})["flag"] == 1

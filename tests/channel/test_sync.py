@@ -54,7 +54,42 @@ def test_jitter_spreads_edges():
 
 def test_slot_of_inverts_slot_start():
     clock = SlotClock(t0=1000, interval=500)
-    assert clock.slot_of(1000) == 0
+    assert clock.slot_of(1000) == 0  # lower edge is inclusive
     assert clock.slot_of(1499) == 0
     assert clock.slot_of(1500) == 1
-    assert clock.slot_of(0) == 0  # before t0 clamps to slot 0
+
+
+def test_slot_of_rejects_pre_sync_times():
+    # Regression: times before t0 (including negative ones) used to be
+    # silently attributed to slot 0, misattributing pre-sync samples.
+    clock = SlotClock(t0=1000, interval=500)
+    with pytest.raises(ChannelError):
+        clock.slot_of(999)
+    with pytest.raises(ChannelError):
+        clock.slot_of(0)
+    with pytest.raises(ChannelError):
+        clock.slot_of(-1)
+
+
+def test_edge_slot_slips_are_deterministic_and_counted():
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(seed=9, slot_slip_probability=0.5)
+    clock = SlotClock(t0=0, interval=1000, faults=plan, party="rx")
+    again = SlotClock(t0=0, interval=1000, faults=plan, party="rx")
+    edges = [clock.edge(i) for i in range(40)]
+    assert edges == [again.edge(i) for i in range(40)]
+    assert clock.slips == again.slips > 0
+    # A slipped arrival lands exactly one interval late; others are nominal.
+    assert all(e - i * 1000 in (0, 1000) for i, e in enumerate(edges))
+    # A different party draws an independent stream.
+    other = SlotClock(t0=0, interval=1000, faults=plan, party="tx")
+    assert [other.edge(i) for i in range(40)] != edges
+
+
+def test_zero_slip_plan_leaves_edges_nominal():
+    from repro.faults import FaultPlan
+
+    clock = SlotClock(t0=0, interval=1000, faults=FaultPlan(seed=1))
+    assert [clock.edge(i) for i in range(10)] == [i * 1000 for i in range(10)]
+    assert clock.slips == 0

@@ -122,6 +122,59 @@ class TestDeliveryRegressions:
         assert registry.counter("channel.bits.truncated").value == 3
 
 
+class TestTransportFaults:
+    def test_zero_plan_changes_nothing(self):
+        from repro.faults import FaultPlan
+
+        transport = ReliableTransport(_LoopbackChannel(), faults=FaultPlan())
+        delivery = transport.send(b"untouched", interval=1500)
+        assert delivery.ok and delivery.payload == b"untouched"
+        assert transport._fault_injector is None  # zero plan never perturbs
+
+    def test_small_bursts_are_absorbed_by_the_fec(self):
+        from repro.faults import FaultPlan
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        plan = FaultPlan(seed=1, bit_flip_probability=0.002, burst_length=3)
+        transport = ReliableTransport(
+            _LoopbackChannel(), metrics=registry, faults=plan
+        )
+        delivery = transport.send(b"resilient", interval=1500)
+        assert delivery.ok
+        assert delivery.channel_ber == 0.0  # faults post-date the channel
+        assert registry.counter("channel.faults.flips").value > 0
+
+    def test_dropped_frame_fails_delivery_and_counts(self):
+        from repro.faults import FaultPlan
+        from repro.obs import EventTrace, MetricsRegistry
+
+        registry = MetricsRegistry()
+        trace = EventTrace()
+        plan = FaultPlan(frame_drop_probability=1.0)
+        transport = ReliableTransport(
+            _LoopbackChannel(), metrics=registry, trace=trace, faults=plan
+        )
+        delivery = transport.send(b"gone", interval=1500)
+        assert not delivery.ok and delivery.payload is None
+        assert registry.counter("channel.faults.drops").value == 1
+        fault_events = [e for e in trace.events if e.name == "channel.faults"]
+        assert len(fault_events) == 1 and fault_events[0].fields["dropped"]
+
+    def test_fault_pattern_reproducible_but_varies_per_send(self):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=7, bit_flip_probability=0.01)
+
+        def outcomes():
+            transport = ReliableTransport(_LoopbackChannel(), faults=plan)
+            return [transport.send(b"x" * 8, interval=1500).ok
+                    for _ in range(6)]
+
+        first = outcomes()
+        assert first == outcomes()  # same plan, same send indices -> same fate
+
+
 class TestTransportMetrics:
     def test_send_counters_and_ber_histogram(self):
         from repro.obs import MetricsRegistry

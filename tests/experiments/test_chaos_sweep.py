@@ -1,0 +1,82 @@
+"""Tests for the chaos harness experiment."""
+
+import pytest
+
+from repro.experiments.chaos_sweep import ChaosSweepResult, run_chaos_sweep
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry
+from repro.sim.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def chaos():
+    registry = MetricsRegistry()
+    result = run_chaos_sweep(
+        lambda: Machine.skylake(seed=3), n_bits=8, payload_bytes=2,
+        fault_rates=(0.0, 0.02), metrics=registry,
+    )
+    return result, registry
+
+
+class TestRunnerAct:
+    def test_recoverable_chaos_is_bit_identical(self, chaos):
+        result, _ = chaos
+        assert result.runner_identical
+        assert result.runner_failures == 0
+        assert result.runner_retries > 0  # the crash plan actually bit
+        assert result.ok
+
+    def test_metrics_carry_the_same_story(self, chaos):
+        result, registry = chaos
+        counters = registry.as_dict("runner.")["counters"]
+        # The registry sees both acts; the result reports act 1 only (the
+        # cache-bypassed, deterministic half).
+        assert counters["runner.retries"] >= result.runner_retries
+        assert counters["runner.failures"] == 0
+
+
+class TestChannelAct:
+    def test_zero_rate_point_is_clean(self, chaos):
+        result, _ = chaos
+        clean = result.points[0]
+        assert clean.fault_rate == 0.0
+        assert clean.delivered
+        assert clean.flips == clean.slips == clean.drops == 0
+
+    def test_faulted_point_shows_injections(self, chaos):
+        result, _ = chaos
+        faulted = result.points[-1]
+        assert faulted.fault_rate == 0.02
+        assert faulted.flips + faulted.slips + faulted.drops > 0
+
+    def test_rows_render(self, chaos):
+        result, _ = chaos
+        rows = result.rows()
+        assert len(rows) == len(result.points) == 2
+        assert len(result.header()) == len(rows[0])
+
+
+class TestKnobs:
+    def test_ok_criterion(self):
+        good = ChaosSweepResult(platform="p", crash_probability=0.2, retries=3,
+                                runner_identical=True, runner_retries=2,
+                                runner_failures=0)
+        assert good.ok
+        assert not ChaosSweepResult(platform="p", crash_probability=0.2,
+                                    retries=3, runner_identical=False,
+                                    runner_retries=0, runner_failures=0).ok
+        assert not ChaosSweepResult(platform="p", crash_probability=0.2,
+                                    retries=3, runner_identical=True,
+                                    runner_retries=5, runner_failures=1).ok
+
+    def test_explicit_plan_seeds_the_streams(self):
+        result = run_chaos_sweep(
+            lambda: Machine.skylake(seed=3), n_bits=8, payload_bytes=2,
+            fault_rates=(0.0,), retries=4, plan=FaultPlan(seed=77),
+        )
+        again = run_chaos_sweep(
+            lambda: Machine.skylake(seed=3), n_bits=8, payload_bytes=2,
+            fault_rates=(0.0,), retries=4, plan=FaultPlan(seed=77),
+        )
+        assert result.runner_retries == again.runner_retries
+        assert result.runner_identical and again.runner_identical

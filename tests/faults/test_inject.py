@@ -1,0 +1,114 @@
+"""Tests for the fault injectors themselves."""
+
+import pytest
+
+from repro.faults import (
+    ChannelFaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    InjectedTimeout,
+    ShardFaultInjector,
+    TracePollution,
+)
+
+
+class TestShardFaultInjector:
+    def test_certain_crash_fires(self):
+        injector = ShardFaultInjector(FaultPlan(crash_probability=1.0))
+        with pytest.raises(InjectedCrash):
+            injector.check(0, 1)
+
+    def test_certain_timeout_fires(self):
+        injector = ShardFaultInjector(FaultPlan(timeout_probability=1.0))
+        with pytest.raises(InjectedTimeout):
+            injector.check(0, 1)
+
+    def test_decisions_keyed_by_shard_and_attempt(self):
+        plan = FaultPlan(seed=4, crash_probability=0.5)
+        injector = ShardFaultInjector(plan)
+
+        def fires(shard, attempt):
+            try:
+                injector.check(shard, attempt)
+                return False
+            except InjectedCrash:
+                return True
+
+        grid = {(s, a): fires(s, a) for s in range(16) for a in range(1, 4)}
+        assert grid == {(s, a): fires(s, a) for s in range(16) for a in range(1, 4)}
+        assert any(grid.values()) and not all(grid.values())
+        # With p=0.5 and 3 attempts, some shard must recover on a retry.
+        assert any(
+            grid[(s, 1)] and not all(grid[(s, a)] for a in range(1, 4))
+            for s in range(16)
+        )
+
+
+class TestChannelFaultInjector:
+    BITS = [0, 1] * 32
+
+    def test_zero_plan_passes_bits_through(self):
+        out, report = ChannelFaultInjector(FaultPlan()).perturb(self.BITS, 0)
+        assert out == self.BITS
+        assert not report.any
+
+    def test_burst_flips_come_in_bursts(self):
+        plan = FaultPlan(seed=2, bit_flip_probability=0.05, burst_length=4)
+        out, report = ChannelFaultInjector(plan).perturb([0] * 400, 0)
+        assert report.flips == sum(out) > 0
+        assert report.flips % 4 == 0 or report.flips > 4  # bursts, maybe clipped
+        # Flipped positions form runs of the burst length.
+        runs, current = [], 0
+        for bit in out + [0]:
+            if bit:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs and all(run >= 1 for run in runs)
+        assert max(runs) >= 4
+
+    def test_slips_delete_bits(self):
+        plan = FaultPlan(seed=5, slot_slip_probability=0.1)
+        out, report = ChannelFaultInjector(plan).perturb(self.BITS, 0)
+        assert report.slips > 0
+        assert len(out) == len(self.BITS) - report.slips
+
+    def test_frame_drop_loses_everything(self):
+        plan = FaultPlan(frame_drop_probability=1.0)
+        out, report = ChannelFaultInjector(plan).perturb(self.BITS, 0)
+        assert out == []
+        assert report.dropped and report.any
+
+    def test_context_separates_sends_reproducibly(self):
+        plan = FaultPlan(seed=8, bit_flip_probability=0.03)
+        injector = ChannelFaultInjector(plan)
+        first, _ = injector.perturb(self.BITS, 0)
+        second, _ = injector.perturb(self.BITS, 1)
+        assert first != second
+        assert (first, second) == (
+            injector.perturb(self.BITS, 0)[0],
+            injector.perturb(self.BITS, 1)[0],
+        )
+
+
+class TestTracePollution:
+    OPS = [("load", 0, i * 64) for i in range(64)]
+
+    def test_original_ops_pass_through_in_order(self):
+        plan = FaultPlan(seed=6, pollution_probability=0.25, pollution_burst=2)
+        pollution = TracePollution(plan, machine_seed=1, core=3)
+        out = list(pollution.wrap(self.OPS))
+        assert [op for op in out if op[1] != 3] == self.OPS
+        injected = [op for op in out if op[1] == 3]
+        assert len(injected) == pollution.injected > 0
+        assert len(injected) % 2 == 0  # whole bursts
+        assert all(op[0] == "load" and op[2] % 64 == 0 for op in injected)
+
+    def test_pollution_keyed_by_machine_seed(self):
+        plan = FaultPlan(seed=6, pollution_probability=0.25)
+        one = list(TracePollution(plan, machine_seed=1, core=3).wrap(self.OPS))
+        two = list(TracePollution(plan, machine_seed=2, core=3).wrap(self.OPS))
+        again = list(TracePollution(plan, machine_seed=1, core=3).wrap(self.OPS))
+        assert one == again
+        assert one != two

@@ -1,0 +1,98 @@
+"""Tests for the declarative fault plan: validation, JSON, determinism."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import NO_FAULTS, FaultPlan, site_seed
+
+
+class TestValidation:
+    def test_zero_plan_injects_nothing(self):
+        assert not NO_FAULTS.injects_runner_faults
+        assert not NO_FAULTS.injects_channel_faults
+        assert not NO_FAULTS.injects_cache_faults
+
+    @pytest.mark.parametrize("field", [
+        "crash_probability", "timeout_probability", "bit_flip_probability",
+        "slot_slip_probability", "frame_drop_probability",
+        "pollution_probability",
+    ])
+    def test_probabilities_bounded(self, field):
+        FaultPlan(**{field: 1.0})  # boundary is legal
+        with pytest.raises(ReproError):
+            FaultPlan(**{field: -0.1})
+        with pytest.raises(ReproError):
+            FaultPlan(**{field: 1.1})
+
+    def test_bursts_and_seed_validated(self):
+        with pytest.raises(ReproError):
+            FaultPlan(burst_length=0)
+        with pytest.raises(ReproError):
+            FaultPlan(pollution_burst=0)
+        with pytest.raises(ReproError):
+            FaultPlan(seed=-1)
+
+    def test_family_flags(self):
+        assert FaultPlan(crash_probability=0.1).injects_runner_faults
+        assert FaultPlan(timeout_probability=0.1).injects_runner_faults
+        assert FaultPlan(bit_flip_probability=0.1).injects_channel_faults
+        assert FaultPlan(slot_slip_probability=0.1).injects_channel_faults
+        assert FaultPlan(frame_drop_probability=0.1).injects_channel_faults
+        assert FaultPlan(pollution_probability=0.1).injects_cache_faults
+
+
+class TestSerialization:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(seed=5, crash_probability=0.25, burst_length=7,
+                         bit_flip_probability=0.01)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        path = plan.save(tmp_path / "plans" / "chaos.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ReproError, match="crash_probabilty"):
+            FaultPlan.from_dict({"crash_probabilty": 0.2})  # typo'd field
+
+    def test_non_object_and_bad_json_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(ReproError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ReproError):
+            FaultPlan.load(tmp_path / "missing.json")
+
+
+class TestDeterminism:
+    def test_site_seed_stable_and_distinct(self):
+        assert site_seed(0, "runner.crash", 3, 1) == site_seed(0, "runner.crash", 3, 1)
+        assert site_seed(0, "runner.crash", 3, 1) != site_seed(0, "runner.crash", 3, 2)
+        assert site_seed(0, "runner.crash", 3, 1) != site_seed(1, "runner.crash", 3, 1)
+        assert site_seed(0, "runner.crash", 3, 1) != site_seed(0, "runner.timeout", 3, 1)
+
+    def test_decide_is_order_independent(self):
+        plan = FaultPlan(seed=11, crash_probability=0.5)
+        coords = [(shard, attempt) for shard in range(20) for attempt in range(3)]
+        forward = [plan.decide("runner.crash", 0.5, s, a) for s, a in coords]
+        backward = [plan.decide("runner.crash", 0.5, s, a)
+                    for s, a in reversed(coords)]
+        assert forward == list(reversed(backward))
+        assert any(forward) and not all(forward)
+
+    def test_decide_degenerate_probabilities(self):
+        plan = FaultPlan(seed=0)
+        assert not plan.decide("x", 0.0, 1)
+        assert plan.decide("x", 1.0, 1)
+
+    def test_streams_are_independent_per_site(self):
+        plan = FaultPlan(seed=3)
+        a = [plan.stream("channel.flip", 0).random() for _ in range(4)]
+        b = [plan.stream("channel.flip", 1).random() for _ in range(4)]
+        assert a != b
+        assert a == [plan.stream("channel.flip", 0).random() for _ in range(4)]
+
+    def test_stream_is_a_reproducible_sequence(self):
+        plan = FaultPlan(seed=3)
+        first = plan.stream("machine.pollution", 9)
+        second = plan.stream("machine.pollution", 9)
+        assert [first.random() for _ in range(8)] \
+            == [second.random() for _ in range(8)]

@@ -89,3 +89,29 @@ def test_lines_in_foreign_page_rejected():
     space.alloc_pages(1)
     with pytest.raises(AddressError):
         space.lines_in_page(0xDEAD000)
+
+
+def test_near_exhaustion_allocates_every_frame():
+    # Regression: alloc_frame sampled frame numbers until it found a free
+    # one, so a nearly-full pool could spin unboundedly.  It now falls back
+    # to sampling the free set directly after a bounded number of attempts.
+    alloc = make_allocator(frames=64)
+    frames = [alloc.alloc_frame() for _ in range(64)]
+    assert len(set(frames)) == 64
+    with pytest.raises(AddressError):
+        alloc.alloc_frame()
+
+
+def test_near_exhaustion_is_deterministic():
+    a = make_allocator(frames=32, seed=9)
+    b = make_allocator(frames=32, seed=9)
+    assert [a.alloc_frame() for _ in range(32)] \
+        == [b.alloc_frame() for _ in range(32)]
+
+
+def test_sparse_pool_unaffected_by_fallback():
+    # The rejection-sampling fast path still serves non-degenerate pools;
+    # same seed, same draws, same frames as ever.
+    a = make_allocator(seed=4)
+    b = make_allocator(seed=4)
+    assert a.alloc_frames(500) == b.alloc_frames(500)

@@ -1,0 +1,173 @@
+"""The retry layer's contract: recoverable chaos is invisible in the output.
+
+ISSUE acceptance: ``run_shards`` under a recoverable fault plan (crash
+probability 0.2, retries 3) must return merged results **bit-identical**
+to a fault-free serial run, at any ``--jobs`` value, with the retries and
+failures visible in metrics; an unrecoverable shard must yield an error
+record in its slot, never a sweep abort.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultPlan, ShardFaultInjector
+from repro.obs import EventTrace, MetricsRegistry
+from repro.runner import (
+    ResultCache,
+    SHARD_ERROR_KEY,
+    Shard,
+    backoff_seconds,
+    is_error_record,
+    make_shards,
+    run_shards,
+)
+
+CRASH_PLAN = FaultPlan(seed=0, crash_probability=0.2)
+ALWAYS_CRASH = FaultPlan(seed=0, crash_probability=1.0)
+
+
+def _square_worker(shard: Shard) -> dict:
+    return {"index": shard.index, "square": shard.params["x"] ** 2}
+
+
+def _fragile_worker(shard: Shard) -> dict:
+    if shard.params["x"] == 2:
+        raise ValueError("worker bug")
+    return {"index": shard.index}
+
+
+def _shards(n=12, seed=0):
+    return make_shards(seed, [{"x": i} for i in range(n)])
+
+
+def _crashes_somewhere(plan, shards, retries):
+    injector = ShardFaultInjector(plan)
+    for shard in shards:
+        for attempt in range(retries + 1):
+            try:
+                injector.check(shard.index, attempt)
+            except Exception:
+                return True
+    return False
+
+
+class TestRecoverableChaos:
+    def test_bit_identical_to_fault_free_at_any_jobs(self):
+        shards = _shards()
+        baseline = run_shards(_square_worker, shards, jobs=1)
+        assert _crashes_somewhere(CRASH_PLAN, shards, 3)  # the plan does bite
+        for jobs in (1, 4):
+            chaotic = run_shards(
+                _square_worker, shards, jobs=jobs, faults=CRASH_PLAN, retries=3
+            )
+            assert chaotic == baseline
+
+    def test_retries_and_failures_visible_in_metrics(self):
+        registry = MetricsRegistry()
+        run_shards(_square_worker, _shards(), metrics=registry,
+                   faults=CRASH_PLAN, retries=3)
+        counters = registry.as_dict("runner.")["counters"]
+        assert counters["runner.retries"] > 0
+        assert counters["runner.failures"] == 0
+
+    def test_retry_counters_always_materialized(self):
+        registry = MetricsRegistry()
+        run_shards(_square_worker, _shards(4), metrics=registry)
+        counters = registry.as_dict("runner.")["counters"]
+        assert counters["runner.retries"] == 0
+        assert counters["runner.failures"] == 0
+
+    def test_retried_shard_cached_exactly_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        shards = _shards()
+        first = run_shards(_square_worker, shards, cache=cache, cache_tag="t",
+                           faults=CRASH_PLAN, retries=3)
+        assert (cache.hits, cache.misses) == (0, len(shards))
+        # Every shard (retried or not) is stored once; the rerun is all hits.
+        second = run_shards(_square_worker, shards, cache=cache, cache_tag="t",
+                            faults=CRASH_PLAN, retries=3)
+        assert second == first
+        assert cache.hits == len(shards)
+        assert cache.misses == len(shards)
+
+    def test_retry_trace_events(self):
+        trace = EventTrace()
+        run_shards(_square_worker, _shards(), trace=trace,
+                   faults=CRASH_PLAN, retries=3)
+        retried = [e for e in trace.events if e.name == "runner.shard.retried"]
+        assert retried and all(e.fields["recovered"] for e in retried)
+        sweep = trace.events[-1]
+        assert sweep.name == "runner.sweep"
+        assert sweep.fields["retries"] == sum(e.fields["retries"] for e in retried)
+        assert sweep.fields["failures"] == 0
+
+
+class TestUnrecoverableShards:
+    def test_error_record_not_abort(self):
+        registry = MetricsRegistry()
+        results = run_shards(_square_worker, _shards(4), metrics=registry,
+                             faults=ALWAYS_CRASH, retries=2)
+        assert all(is_error_record(r) for r in results)
+        for result in results:
+            failure = result[SHARD_ERROR_KEY]
+            assert failure["error"] == "InjectedCrash"
+            assert failure["attempts"] == 3
+        assert registry.as_dict("runner.")["counters"]["runner.failures"] == 4
+
+    def test_worker_exception_recorded_with_retries(self):
+        results = run_shards(_fragile_worker, _shards(4), retries=1)
+        failed = [r for r in results if is_error_record(r)]
+        assert len(failed) == 1
+        assert failed[0][SHARD_ERROR_KEY]["error"] == "ValueError"
+        assert failed[0][SHARD_ERROR_KEY]["attempts"] == 2
+
+    def test_on_error_raise_still_aborts(self):
+        with pytest.raises(ReproError, match="InjectedCrash"):
+            run_shards(_square_worker, _shards(4),
+                       faults=ALWAYS_CRASH, retries=1, on_error="raise")
+
+    def test_error_records_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        results = run_shards(_fragile_worker, _shards(4), cache=cache,
+                             cache_tag="t", retries=0, on_error="record")
+        assert sum(is_error_record(r) for r in results) == 1
+        # Rerunning fault-free must recompute (and now succeed on) the
+        # failed shard, not serve a cached error.
+        clean = run_shards(_square_worker, _shards(4), cache=cache, cache_tag="t")
+        assert not any(is_error_record(r) for r in clean)
+
+    def test_legacy_behavior_unchanged(self):
+        # No faults, no retries: worker exceptions propagate unwrapped.
+        with pytest.raises(ValueError, match="worker bug"):
+            run_shards(_fragile_worker, _shards(4))
+
+    def test_failed_trace_event(self):
+        trace = EventTrace()
+        run_shards(_fragile_worker, _shards(4), retries=0, on_error="record",
+                   trace=trace)
+        failed = [e for e in trace.events if e.name == "runner.shard.failed"]
+        assert len(failed) == 1
+        assert failed[0].fields["error"] == "ValueError"
+
+
+class TestValidationAndBackoff:
+    def test_duplicate_shard_index_rejected(self):
+        shards = _shards(3)
+        clash = Shard(index=1, seed=999, params={"x": 99})
+        with pytest.raises(ReproError, match="duplicate shard index 1"):
+            run_shards(_square_worker, list(shards) + [clash])
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ReproError):
+            run_shards(_square_worker, [], retries=-1)
+        with pytest.raises(ReproError):
+            run_shards(_square_worker, [], backoff_base=-0.1)
+        with pytest.raises(ReproError):
+            run_shards(_square_worker, [], on_error="explode")
+
+    def test_backoff_schedule(self):
+        assert backoff_seconds(0.0, 1) == 0.0
+        assert backoff_seconds(0.5, 1) == 0.5
+        assert backoff_seconds(0.5, 2) == 1.0
+        assert backoff_seconds(0.5, 3) == 2.0
+        assert backoff_seconds(0.5, 30) == 5.0  # capped

@@ -83,3 +83,49 @@ class TestHelpers:
         machine.reset_stats()
         assert machine.cores[0].memory_references == 0
         assert machine.hierarchy.llc.stats.accesses == 0
+
+
+class TestCachePollutionFaults:
+    TRACE = [("load", 0, i * 64) for i in range(256)]
+
+    def test_pollution_injects_counted_interfering_fills(self):
+        from repro.faults import FaultPlan
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        plan = FaultPlan(seed=2, pollution_probability=0.05, pollution_burst=4)
+        machine = Machine.skylake(seed=3, metrics=registry, faults=plan)
+        clean = Machine.skylake(seed=3)
+        executed = machine.run_trace(self.TRACE)
+        injected = registry.counter("engine.faults.pollution").value
+        assert injected == machine.pollution.injected > 0
+        assert injected % 4 == 0  # whole bursts
+        assert executed == len(self.TRACE) + injected
+        # The polluter is the machine's last core, and it left marks.
+        polluter = machine.cores[-1]
+        assert polluter.memory_references > 0
+        clean.run_trace(self.TRACE)
+        assert machine.hierarchy.llc.stats.accesses \
+            > clean.hierarchy.llc.stats.accesses
+
+    def test_pollution_is_reproducible(self):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=2, pollution_probability=0.05)
+        one = Machine.skylake(seed=3, faults=plan)
+        two = Machine.skylake(seed=3, faults=plan)
+        one.run_trace(self.TRACE)
+        two.run_trace(self.TRACE)
+        assert one.pollution.injected == two.pollution.injected
+        assert one.hierarchy.snapshot() == two.hierarchy.snapshot()
+
+    def test_zero_plan_leaves_trace_untouched(self):
+        from repro.faults import NO_FAULTS
+
+        faulted = Machine.skylake(seed=3, faults=NO_FAULTS)
+        clean = Machine.skylake(seed=3)
+        assert faulted.pollution is None
+        faulted.run_trace(self.TRACE)
+        clean.run_trace(self.TRACE)
+        assert faulted.hierarchy.snapshot() == clean.hierarchy.snapshot()
+        assert faulted.clock == clean.clock

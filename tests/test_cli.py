@@ -98,6 +98,39 @@ class TestCommands:
         assert "NTP+NTP" in out and "occupancy" in out
 
 
+class TestFaultInjection:
+    def test_chaos_smoke(self, capsys):
+        # ISSUE acceptance: a fault-injected sweep with retries completes
+        # with zero unrecovered failures and merges bit-identically.
+        assert main(["chaos", "--bits", "8", "--no-cache", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "0 unrecovered shard(s)" in out
+        assert "fault rate" in out
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.retries == 3  # chaos retries by default; sweeps don't
+        assert args.crash == 0.2
+        assert build_parser().parse_args(["fig8"]).retries == 0
+
+    def test_faults_plan_flag_loads_and_validates(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(FaultPlan(seed=1, crash_probability=0.2).to_json())
+        assert main(["noise", "--bits", "8", "--no-cache",
+                     "--faults", str(plan), "--retries", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "retried attempt(s)" in captured.err
+
+        plan.write_text('{"crash_probability": 2.0}')
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["noise", "--bits", "8", "--no-cache", "--faults", str(plan)])
+
+
 class TestObservability:
     def test_stats_json_emits_all_layers(self, capsys):
         import json
@@ -107,6 +140,8 @@ class TestObservability:
         counters = snapshot["counters"]
         assert counters["channel.sends.total"] == 1
         assert counters["runner.shards.total"] == 2
+        assert counters["runner.retries"] == 0  # materialized even fault-free
+        assert counters["runner.failures"] == 0
         assert any(name.startswith("engine.ops.") for name in counters)
         gauges = snapshot["gauges"]
         assert any(name.startswith("cache.LLC.") for name in gauges)
