@@ -55,7 +55,7 @@ from .cache import (
 )
 from .cpu import Core, TimedResult, TimingModel
 from .mem import AddressSpace, CacheSetMapping, PageAllocator, SliceHash
-from .sim import Machine, Scheduler, SimProcess
+from .sim import Machine, MachineCheckpoint, Scheduler, SimProcess
 
 __version__ = "1.0.0"
 
@@ -99,6 +99,7 @@ __all__ = [
     "CacheSetMapping",
     "SliceHash",
     "Machine",
+    "MachineCheckpoint",
     "Scheduler",
     "SimProcess",
 ]

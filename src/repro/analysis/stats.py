@@ -26,10 +26,12 @@ def cdf(samples: Sequence[float]) -> Tuple[List[float], List[float]]:
     """
     if len(samples) == 0:
         raise ReproError("cannot build a CDF of no samples")
-    xs = sorted(float(s) for s in samples)
-    n = len(xs)
-    ys = [(i + 1) / n for i in range(n)]
-    return xs, ys
+    arr = np.sort(np.asarray(samples, dtype=float))
+    n = len(arr)
+    # (i + 1) / n computed vectorized; identical IEEE results because both
+    # forms divide the exact integer i + 1 by the exact integer n.
+    ys = np.arange(1, n + 1, dtype=float) / n
+    return arr.tolist(), ys.tolist()
 
 
 @dataclass(frozen=True)
@@ -54,11 +56,12 @@ def summarize(samples: Sequence[float]) -> SampleSummary:
     if len(samples) == 0:
         raise ReproError("cannot summarize no samples")
     arr = np.asarray(samples, dtype=float)
+    p50, p95 = np.percentile(arr, (50, 95))
     return SampleSummary(
         count=len(arr),
         mean=float(arr.mean()),
-        p50=float(np.percentile(arr, 50)),
-        p95=float(np.percentile(arr, 95)),
+        p50=float(p50),
+        p95=float(p95),
         minimum=float(arr.min()),
         maximum=float(arr.max()),
     )

@@ -99,6 +99,19 @@ class NTPNTPChannel:
         )
         self.threshold = calibration.threshold
 
+    def reseed(self, seed: int) -> None:
+        """Reset per-transmission state to that of a freshly built channel.
+
+        Warm-started trials restore the machine from a checkpoint and call
+        this instead of re-running the constructor; both the transmit RNG
+        and the aux-line rotation restart from their post-construction
+        state, so a warm transmit is bit-identical to a cold one.  The
+        setups, aux lines, and threshold are pure functions of the machine
+        state the checkpoint restores, so they stay valid as built.
+        """
+        self._rng = random.Random(seed)
+        self._sender_aux_index = [0] * self.n_sets
+
     # -- slot schedule -------------------------------------------------------
 
     def _is_maintenance_slot(self, slot: int) -> Optional[int]:

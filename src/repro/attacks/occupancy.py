@@ -81,6 +81,12 @@ class OccupancyChannel:
         )
         self.threshold: int = 0
 
+    def reseed(self, seed: int) -> None:
+        """Reset per-transmission state to that of a freshly built channel
+        (see :meth:`NTPNTPChannel.reseed <repro.attacks.ntp_ntp.NTPNTPChannel.reseed>`)."""
+        self._rng = random.Random(seed)
+        self.threshold = 0
+
     # -- programs ----------------------------------------------------------
 
     def _walk(self, lines: Sequence[int]):

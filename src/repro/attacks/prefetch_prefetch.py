@@ -51,6 +51,11 @@ class PrefetchPrefetchChannel:
             machine, machine.cores[receiver_core]
         ).threshold
 
+    def reseed(self, seed: int) -> None:
+        """Reset per-transmission state to that of a freshly built channel
+        (see :meth:`NTPNTPChannel.reseed <repro.attacks.ntp_ntp.NTPNTPChannel.reseed>`)."""
+        self._rng = random.Random(seed)
+
     def _sender_program(self, bits: Sequence[int], clock: SlotClock):
         overhead = self.machine.config.sync.overhead_cycles
         for i, bit in enumerate(bits):

@@ -60,6 +60,12 @@ class PrimeProbeChannel:
         self.setups: List[ChannelSetup] = make_channel_setups(machine, n_sets)
         self.thresholds: List[int] = []
 
+    def reseed(self, seed: int) -> None:
+        """Reset per-transmission state to that of a freshly built channel
+        (see :meth:`NTPNTPChannel.reseed <repro.attacks.ntp_ntp.NTPNTPChannel.reseed>`)."""
+        self._rng = random.Random(seed)
+        self.thresholds = []
+
     # -- receiver building blocks -----------------------------------------
 
     def _walk(self, lines: Sequence[int]):

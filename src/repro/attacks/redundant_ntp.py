@@ -61,6 +61,11 @@ class RedundantNTPChannel:
             machine, machine.cores[receiver_core]
         ).threshold
 
+    def reseed(self, seed: int) -> None:
+        """Reset per-transmission state to that of a freshly built channel
+        (see :meth:`NTPNTPChannel.reseed <repro.attacks.ntp_ntp.NTPNTPChannel.reseed>`)."""
+        self._rng = random.Random(seed)
+
     # -- programs ----------------------------------------------------------
 
     def _sender_program(self, bits: Sequence[int], clock: SlotClock):

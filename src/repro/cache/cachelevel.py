@@ -175,6 +175,50 @@ class CacheLevel:
         """Drop every cached line (test helper)."""
         self._sets.clear()
 
+    # -- checkpointing ---------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Stats plus every live set's state, keyed by flat (slice, set).
+
+        Unlike :meth:`snapshot` this includes *empty* live sets: their
+        policy metadata (PLRU bits, LRU stacks) survives invalidation and
+        must replay after restore.  Keys are sorted so equal states capture
+        to equal tuples regardless of set-creation order.
+        """
+        return (
+            self.stats.as_tuple(),
+            tuple(
+                (key, cache_set.capture())
+                for key, cache_set in sorted(self._sets.items())
+            ),
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Restore :meth:`capture` output, dropping sets created since.
+
+        Existing ``CacheSet`` objects are reused (their policy objects come
+        from the same factory, so config is identical); sets absent from
+        the checkpoint are discarded so lazily-created post-checkpoint sets
+        cannot leak state into the restored machine.
+        """
+        stats_state, sets_state = state
+        (
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.fills,
+            self.stats.evictions,
+            self.stats.invalidations,
+        ) = stats_state
+        old_sets = self._sets
+        rebuilt: Dict[Tuple[int, int], CacheSet] = {}
+        for key, set_state in sets_state:
+            cache_set = old_sets.get(key)
+            if cache_set is None:
+                cache_set = CacheSet(self._policy_factory(self.geometry.ways))
+            cache_set.restore(set_state)
+            rebuilt[key] = cache_set
+        self._sets = rebuilt
+
     # -- state comparison (differential tests, result-cache keys) --------
 
     def snapshot(self) -> Dict[Tuple[int, int], List[Optional[Tuple[int, int]]]]:

@@ -104,6 +104,47 @@ class CacheSet:
         self._valid -= 1
         return True
 
+    # -- checkpointing --------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Flat snapshot of ways and policy metadata (no object graphs).
+
+        The way tuple preserves positions (``None`` for invalid ways), so
+        the leftmost-invalid fill preference and positional victim scans
+        replay identically after :meth:`restore`.
+        """
+        return (
+            tuple(
+                None
+                if line is None
+                else (line.tag, line.age, line.busy_until, line.prefetched)
+                for line in self.ways
+            ),
+            self.policy.capture(),
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Rebuild ways, tag index, and policy metadata from :meth:`capture`."""
+        way_states, policy_state = state
+        if len(way_states) != len(self.ways):
+            raise CacheStateError(
+                f"checkpoint has {len(way_states)} ways, set has {len(self.ways)}"
+            )
+        ways = self.ways
+        tag_way = self._tag_way
+        tag_way.clear()
+        valid = 0
+        for i, way_state in enumerate(way_states):
+            if way_state is None:
+                ways[i] = None
+            else:
+                tag, age, busy_until, prefetched = way_state
+                ways[i] = CacheLine(tag, age, busy_until, prefetched)
+                tag_way[tag] = i
+                valid += 1
+        self._valid = valid
+        self.policy.restore(policy_state)
+
     # -- introspection (ground truth for tests & experiments) ----------
 
     def eviction_candidate(self, now: int = 0) -> Optional[int]:

@@ -311,6 +311,24 @@ class CacheHierarchy:
         """Access counters of every level, for whole-machine comparisons."""
         return [(level.name, *level.stats.as_tuple()) for level in self.levels()]
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Every level's state in :meth:`levels` order (flat tuples)."""
+        return tuple(level.capture() for level in self.levels())
+
+    def restore(self, state: tuple) -> None:
+        """Restore a :meth:`capture` snapshot onto this hierarchy."""
+        levels = self.levels()
+        if len(state) != len(levels):
+            raise ConfigurationError(
+                f"checkpoint has {len(state)} levels, hierarchy has {len(levels)}"
+            )
+        for level, level_state in zip(levels, state):
+            level.restore(level_state)
+
     def reset_stats(self) -> None:
         for level in self.levels():
             level.stats.reset()

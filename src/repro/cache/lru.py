@@ -49,3 +49,9 @@ class TrueLRU(ReplacementPolicy):
     def on_invalidate(self, ways: Ways, way: int) -> None:
         if way in self._stack:
             self._stack.remove(way)
+
+    def capture(self) -> tuple:
+        return tuple(self._stack)
+
+    def restore(self, state: tuple) -> None:
+        self._stack = list(state)

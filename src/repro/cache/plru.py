@@ -70,6 +70,12 @@ class TreePLRU(ReplacementPolicy):
     def peek_victim(self, ways: Ways, now: int) -> Optional[int]:
         return self.select_victim(ways, now)  # selection is side-effect free
 
+    def capture(self) -> tuple:
+        return tuple(self._bits)
+
+    def restore(self, state: tuple) -> None:
+        self._bits = list(state)
+
 
 class BitPLRU(ReplacementPolicy):
     """MRU-bit pseudo-LRU (a.k.a. Bit-LRU).
@@ -109,3 +115,9 @@ class BitPLRU(ReplacementPolicy):
 
     def on_invalidate(self, ways: Ways, way: int) -> None:
         self._mru[way] = False
+
+    def capture(self) -> tuple:
+        return tuple(self._mru)
+
+    def restore(self, state: tuple) -> None:
+        self._mru = list(state)

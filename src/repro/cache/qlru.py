@@ -82,6 +82,14 @@ class QuadAgeLRU(ReplacementPolicy):
             # proven temporal locality after all.
             line.prefetched = False
 
+    def capture(self) -> tuple:
+        # Ages live on the lines; the aging-round counter is the only
+        # policy-object state.
+        return (self.age_promotions,)
+
+    def restore(self, state: tuple) -> None:
+        (self.age_promotions,) = state
+
     def peek_victim(self, ways: Ways, now: int) -> Optional[int]:
         # Peeks simulate the victim scan on copied lines; a peek must not
         # count aging rounds it immediately throws away.

@@ -56,3 +56,16 @@ class ReplacementPolicy(ABC):
 
     def on_invalidate(self, ways: Ways, way: int) -> None:
         """``ways[way]`` was flushed or back-invalidated (optional hook)."""
+
+    def capture(self) -> tuple:
+        """Flat, immutable snapshot of per-set policy metadata.
+
+        Policies whose state lives on the lines themselves (Quad-age ages,
+        SRRIP RRPVs) capture little or nothing here; the line state is
+        captured by :meth:`CacheSet.capture`.  The default covers stateless
+        policies.
+        """
+        return ()
+
+    def restore(self, state: tuple) -> None:
+        """Restore the metadata produced by :meth:`capture`."""

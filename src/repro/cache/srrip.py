@@ -18,7 +18,12 @@ MAX_RRPV = 3
 
 
 class SRRIP(ReplacementPolicy):
-    """2-bit SRRIP with hit-priority promotion."""
+    """2-bit SRRIP with hit-priority promotion.
+
+    RRPV counters are stored on the lines (``CacheLine.age``), so the base
+    ``capture()``/``restore()`` — which snapshot nothing — are exact here;
+    line state is checkpointed by :meth:`CacheSet.capture`.
+    """
 
     def __init__(self, n_ways: int, insert_rrpv: int = 2, hit_promotion: str = "hp"):
         super().__init__(n_ways)

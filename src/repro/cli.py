@@ -157,6 +157,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
             _machine_factory(args), channel, n_bits=args.bits, seed=args.seed,
             jobs=args.jobs, result_cache=cache, metrics=registry, trace=trace,
             faults=plan, retries=args.retries,
+            warm_start=not args.cold_start,
         )
         peak = sweep.peak
         rows.append(
@@ -181,6 +182,7 @@ def cmd_fig8(args: argparse.Namespace) -> int:
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
         faults=_fault_plan(args), retries=args.retries,
+        warm_start=not args.cold_start,
     )
     print(format_table(
         ("interval", "raw KB/s", "BER", "capacity KB/s"), sweep.rows(),
@@ -290,6 +292,7 @@ def cmd_noise(args: argparse.Namespace) -> int:
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
         faults=_fault_plan(args), retries=args.retries,
+        warm_start=not args.cold_start,
     )
     print(format_table(result.header(), result.rows(),
                        title="Section IV-B3 — BER vs noise intensity"))
@@ -306,6 +309,7 @@ def cmd_detect_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
         faults=_fault_plan(args), retries=args.retries,
+        warm_start=not args.cold_start,
     )
     print(format_table(result.header(), result.rows(),
                        title="Section V-A3 — FN rate vs victim period"))
@@ -328,6 +332,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
         faults=_fault_plan(args), retries=args.retries,
+        warm_start=not args.cold_start,
     )
     rows = [
         (f"{p.sync_scale:.2f}", f"{p.ntp_capacity:.0f}",
@@ -481,6 +486,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
         faults=_fault_plan(args), retries=args.retries,
+        warm_start=not args.cold_start,
     )
     print(format_table(ComparisonResult.HEADER, result.rows(),
                        title="Covert-channel design space"))
@@ -564,6 +570,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--retries", type=int, default=0, metavar="N",
                            help="retry budget per shard when faults strike "
                                 "(recoverable runs stay bit-identical)")
+            p.add_argument("--cold-start", action="store_true",
+                           help="rebuild the machine for every sweep point "
+                                "instead of warm-starting from a shared "
+                                "prefix checkpoint (same results, slower)")
 
     p = sub.add_parser("fig2", help="insertion policy (Property #1)")
     common(p, repetitions=100)

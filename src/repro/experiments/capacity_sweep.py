@@ -16,7 +16,15 @@ from ..attacks.ntp_ntp import NTPNTPChannel
 from ..attacks.prime_probe import PrimeProbeChannel
 from ..errors import ChannelError
 from ..faults import FaultPlan
-from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
+from ..runner import (
+    ResultCache,
+    Shard,
+    WarmStartPlan,
+    is_error_record,
+    make_shards,
+    run_shards,
+    run_warm_shards,
+)
 from ..sim.machine import Machine
 from ..victims.noise import NoiseConfig
 
@@ -72,15 +80,21 @@ def _message(n_bits: int, seed: int) -> List[int]:
     return [rng.randint(0, 1) for _ in range(n_bits)]
 
 
-def _capacity_point_worker(shard: Shard) -> dict:
-    """One Figure 8 point, rebuilt entirely from the shard (picklable)."""
-    p = shard.params
-    machine = Machine(p["config"], seed=p["machine_seed"])
-    bits = _message(p["n_bits"], p["seed"])
-    if p["channel"] == "ntp+ntp":
-        chan = NTPNTPChannel(machine, seed=p["seed"])
+def _capacity_setup(prefix: dict) -> tuple:
+    """Shared trial prefix: machine build + channel construction/calibration."""
+    machine = Machine(prefix["config"], seed=prefix["machine_seed"])
+    if prefix["channel"] == "ntp+ntp":
+        chan = NTPNTPChannel(machine, seed=prefix["seed"])
     else:
-        chan = PrimeProbeChannel(machine, seed=p["seed"])
+        chan = PrimeProbeChannel(machine, seed=prefix["seed"])
+    return machine, chan
+
+
+def _capacity_body(machine: Machine, chan, shard: Shard) -> dict:
+    """One Figure 8 point on a prepared (cold or restored) machine."""
+    p = shard.params
+    chan.reseed(p["seed"])
+    bits = _message(p["n_bits"], p["seed"])
     outcome = chan.transmit(bits, p["interval"], noise=p["noise"])
     return {
         "interval": p["interval"],
@@ -88,6 +102,30 @@ def _capacity_point_worker(shard: Shard) -> dict:
         "bit_error_rate": outcome.bit_error_rate,
         "capacity_kb_per_s": outcome.capacity_kb_per_s,
     }
+
+
+#: Shards agreeing on these params share one machine+channel prefix; only
+#: the interval varies across a sweep, so a whole curve shares one build.
+_CAPACITY_PREFIX_KEYS = ("config", "machine_seed", "channel", "seed")
+
+_CAPACITY_PLAN = WarmStartPlan(
+    setup=_capacity_setup, body=_capacity_body, prefix_keys=_CAPACITY_PREFIX_KEYS
+)
+
+
+def _capacity_point_worker(shard: Shard) -> dict:
+    """One Figure 8 point, rebuilt entirely from the shard (picklable).
+
+    The cold path is exactly setup + body on a fresh machine; the warm path
+    is setup once + checkpoint/restore + body per trial.  ``reseed`` on a
+    freshly built channel is an identity operation, which is what makes the
+    two paths structurally equivalent.
+    """
+    p = shard.params
+    machine, chan = _capacity_setup(
+        {key: p[key] for key in _CAPACITY_PREFIX_KEYS}
+    )
+    return _capacity_body(machine, chan, shard)
 
 
 def run_capacity_sweep(
@@ -103,6 +141,7 @@ def run_capacity_sweep(
     trace=None,
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
+    warm_start: bool = True,
 ) -> CapacitySweepResult:
     """Sweep one channel on one platform.
 
@@ -115,6 +154,11 @@ def run_capacity_sweep(
     ``faults``/``retries`` engage the runner's fault-injection and retry
     layer; a point whose shard exhausts its retries is dropped from the
     curve (visible in ``runner.failures``) rather than aborting the sweep.
+
+    With ``warm_start`` (the default) the machine+channel prefix shared by
+    every interval is built once and checkpointed, and each point restores
+    it instead of rebuilding — bit-identical to the cold path at any
+    ``jobs`` value (see :mod:`repro.runner.warmstart`).
     """
     if channel not in ("ntp+ntp", "prime+probe"):
         raise ChannelError(f"unknown channel {channel!r}")
@@ -135,11 +179,18 @@ def run_capacity_sweep(
         }
         for interval in intervals
     ])
-    rows = run_shards(
-        _capacity_point_worker, shards, jobs=jobs,
-        cache=result_cache, cache_tag="capacity_sweep/v1",
-        metrics=metrics, trace=trace, faults=faults, retries=retries,
-    )
+    if warm_start:
+        rows = run_warm_shards(
+            _CAPACITY_PLAN, shards, jobs=jobs,
+            cache=result_cache, cache_tag="capacity_sweep/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
+    else:
+        rows = run_shards(
+            _capacity_point_worker, shards, jobs=jobs,
+            cache=result_cache, cache_tag="capacity_sweep/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
     result = CapacitySweepResult(channel=channel, platform=probe.config.name)
     result.points.extend(
         CapacityPoint(**row) for row in rows if not is_error_record(row)

@@ -20,7 +20,15 @@ from ..attacks.prime_probe import PrimeProbeChannel
 from ..attacks.redundant_ntp import RedundantNTPChannel
 from ..errors import ChannelError
 from ..faults import FaultPlan
-from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
+from ..runner import (
+    ResultCache,
+    Shard,
+    WarmStartPlan,
+    is_error_record,
+    make_shards,
+    run_shards,
+    run_warm_shards,
+)
 from ..sim.machine import Machine
 
 #: The design space on one table: (name, kind, kwargs, interval, evsets,
@@ -93,33 +101,57 @@ def _measure(name, machine, channel, interval, bits, evsets, shared) -> ChannelP
     )
 
 
-def _comparison_worker(shard: Shard) -> dict:
-    """One channel's profile, rebuilt entirely from the shard."""
-    p = shard.params
-    seed = p["seed"]
-    rng = random.Random(seed)
-    bits = [rng.randint(0, 1) for _ in range(p["n_bits"])]
-    kind = p["kind"]
+def _comparison_setup(prefix: dict) -> tuple:
+    """Shared trial prefix: one channel's machine build + construction."""
+    seed = prefix["seed"]
+    kind = prefix["kind"]
     if kind == "occupancy":
         # The occupancy channel runs on its scaled-down demo machine; its
         # probe walks would dominate the simulation at full LLC size.
         machine = make_occupancy_demo_machine(seed=340)
-        channel = OccupancyChannel(machine, seed=seed, **p["kwargs"])
-        bits = bits[: max(16, p["n_bits"] // 4)]
+        channel = OccupancyChannel(machine, seed=seed, **prefix["kwargs"])
     else:
-        machine = Machine(p["config"], seed=p["machine_seed"])
+        machine = Machine(prefix["config"], seed=prefix["machine_seed"])
         cls = {
             "ntp": NTPNTPChannel,
             "redundant": RedundantNTPChannel,
             "pp": PrimeProbeChannel,
             "pf": PrefetchPrefetchChannel,
         }[kind]
-        channel = cls(machine, seed=seed, **p["kwargs"])
+        channel = cls(machine, seed=seed, **prefix["kwargs"])
+    return machine, channel
+
+
+def _comparison_body(machine: Machine, channel, shard: Shard) -> dict:
+    """One channel's profile on a prepared (cold or restored) machine."""
+    p = shard.params
+    channel.reseed(p["seed"])
+    rng = random.Random(p["seed"])
+    bits = [rng.randint(0, 1) for _ in range(p["n_bits"])]
+    if p["kind"] == "occupancy":
+        bits = bits[: max(16, p["n_bits"] // 4)]
     profile = _measure(
         p["name"], machine, channel, p["interval"], bits,
         evsets=p["evsets"], shared=p["shared"],
     )
     return dataclasses.asdict(profile)
+
+
+_COMPARISON_PREFIX_KEYS = ("config", "machine_seed", "kind", "kwargs", "seed")
+
+_COMPARISON_PLAN = WarmStartPlan(
+    setup=_comparison_setup, body=_comparison_body,
+    prefix_keys=_COMPARISON_PREFIX_KEYS,
+)
+
+
+def _comparison_worker(shard: Shard) -> dict:
+    """One channel's profile, rebuilt entirely from the shard."""
+    p = shard.params
+    machine, channel = _comparison_setup(
+        {key: p[key] for key in _COMPARISON_PREFIX_KEYS}
+    )
+    return _comparison_body(machine, channel, shard)
 
 
 def run_channel_comparison(
@@ -132,6 +164,7 @@ def run_channel_comparison(
     trace=None,
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
+    warm_start: bool = True,
 ) -> ComparisonResult:
     """Measure every channel class at a near-optimal operating point.
 
@@ -140,7 +173,9 @@ def run_channel_comparison(
     an independent shard; ``jobs > 1`` measures them on worker processes
     with bit-identical results.  ``faults``/``retries`` engage the runner's
     fault-injection and retry layer; an exhausted shard's profile is
-    dropped from the table.
+    dropped from the table.  Each channel is its own warm-start prefix
+    (like :func:`run_sensitivity_experiment`, the benefit is retries and
+    repeat runs; results are bit-identical warm or cold).
     """
     if machine_factory is None:
         machine_factory = lambda: Machine.skylake(seed=340)  # noqa: E731
@@ -160,11 +195,18 @@ def run_channel_comparison(
         }
         for name, kind, kwargs, interval, evsets, shared in CHANNEL_SPECS
     ])
-    rows = run_shards(
-        _comparison_worker, shards, jobs=jobs,
-        cache=result_cache, cache_tag="channel_comparison/v1",
-        metrics=metrics, trace=trace, faults=faults, retries=retries,
-    )
+    if warm_start:
+        rows = run_warm_shards(
+            _COMPARISON_PLAN, shards, jobs=jobs,
+            cache=result_cache, cache_tag="channel_comparison/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
+    else:
+        rows = run_shards(
+            _comparison_worker, shards, jobs=jobs,
+            cache=result_cache, cache_tag="channel_comparison/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
     result = ComparisonResult()
     result.profiles.extend(
         ChannelProfile(**row) for row in rows if not is_error_record(row)

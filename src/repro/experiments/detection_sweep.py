@@ -17,7 +17,15 @@ from typing import Callable, List, Optional, Sequence
 from ..attacks.prime_scope import PrimePrefetchScope, PrimeScope
 from ..errors import AttackError
 from ..faults import FaultPlan
-from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
+from ..runner import (
+    ResultCache,
+    Shard,
+    WarmStartPlan,
+    is_error_record,
+    make_shards,
+    run_shards,
+    run_warm_shards,
+)
 from ..sim.machine import Machine
 from .detection import run_detection_experiment
 
@@ -62,10 +70,14 @@ class DetectionSweepResult:
         return ("victim period", *sorted(self.curves))
 
 
-def _detection_point_worker(shard: Shard) -> dict:
-    """One (attack, period) point, rebuilt entirely from the shard."""
+def _detection_setup(prefix: dict) -> tuple:
+    """Shared trial prefix: just the machine build (attacks vary per shard)."""
+    return Machine(prefix["config"], seed=prefix["machine_seed"]), None
+
+
+def _detection_body(machine: Machine, context, shard: Shard) -> dict:
+    """One (attack, period) point on a prepared (cold or restored) machine."""
     p = shard.params
-    machine = Machine(p["config"], seed=p["machine_seed"])
     # An attacker expecting events every ~period cycles keeps scoping for
     # about two periods before re-priming.
     period = p["period"]
@@ -78,6 +90,23 @@ def _detection_point_worker(shard: Shard) -> dict:
             "false_negative_rate": outcome.false_negative_rate}
 
 
+_DETECTION_PREFIX_KEYS = ("config", "machine_seed")
+
+_DETECTION_PLAN = WarmStartPlan(
+    setup=_detection_setup, body=_detection_body,
+    prefix_keys=_DETECTION_PREFIX_KEYS,
+)
+
+
+def _detection_point_worker(shard: Shard) -> dict:
+    """One (attack, period) point, rebuilt entirely from the shard."""
+    p = shard.params
+    machine, context = _detection_setup(
+        {key: p[key] for key in _DETECTION_PREFIX_KEYS}
+    )
+    return _detection_body(machine, context, shard)
+
+
 def run_detection_sweep(
     machine_factory: Callable[[], Machine],
     periods: Sequence[int] = None,
@@ -88,13 +117,16 @@ def run_detection_sweep(
     trace=None,
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
+    warm_start: bool = True,
 ) -> DetectionSweepResult:
     """Measure FN rates for both attacks across victim periods.
 
     Each (attack, period) point is an independent shard; ``jobs > 1`` runs
     them on worker processes with bit-identical results.
     ``faults``/``retries`` engage the runner's fault-injection and retry
-    layer; an exhausted shard's point is dropped from its curve.
+    layer; an exhausted shard's point is dropped from its curve.  With
+    ``warm_start`` (the default) every point restores one shared machine
+    checkpoint instead of rebuilding the machine.
     """
     if periods is None:
         periods = DEFAULT_PERIODS
@@ -112,11 +144,18 @@ def run_detection_sweep(
         for name in _ATTACKS
         for period in periods
     ])
-    rows = run_shards(
-        _detection_point_worker, shards, jobs=jobs,
-        cache=result_cache, cache_tag="detection_sweep/v1",
-        metrics=metrics, trace=trace, faults=faults, retries=retries,
-    )
+    if warm_start:
+        rows = run_warm_shards(
+            _DETECTION_PLAN, shards, jobs=jobs,
+            cache=result_cache, cache_tag="detection_sweep/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
+    else:
+        rows = run_shards(
+            _detection_point_worker, shards, jobs=jobs,
+            cache=result_cache, cache_tag="detection_sweep/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
     rows = [row for row in rows if not is_error_record(row)]
     result = DetectionSweepResult()
     for name in _ATTACKS:

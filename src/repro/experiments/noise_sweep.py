@@ -19,7 +19,15 @@ from ..attacks.prime_probe import PrimeProbeChannel
 from ..attacks.redundant_ntp import RedundantNTPChannel
 from ..errors import ChannelError
 from ..faults import FaultPlan
-from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
+from ..runner import (
+    ResultCache,
+    Shard,
+    WarmStartPlan,
+    is_error_record,
+    make_shards,
+    run_shards,
+    run_warm_shards,
+)
 from ..sim.machine import Machine
 from ..victims.noise import NoiseConfig
 
@@ -84,17 +92,40 @@ def _build_channel(kind: str, machine: Machine, seed: int, kwargs: dict):
     raise ChannelError(f"unknown channel kind {kind!r}")
 
 
-def _noise_point_worker(shard: Shard) -> dict:
-    """One (variant, bias) point, rebuilt entirely from the shard."""
+def _noise_setup(prefix: dict) -> tuple:
+    """Shared trial prefix: machine build + one variant's channel."""
+    machine = Machine(prefix["config"], seed=prefix["machine_seed"])
+    channel = _build_channel(
+        prefix["kind"], machine, prefix["seed"], prefix["kwargs"]
+    )
+    return machine, channel
+
+
+def _noise_body(machine: Machine, channel, shard: Shard) -> dict:
+    """One (variant, bias) point on a prepared (cold or restored) machine."""
     p = shard.params
-    machine = Machine(p["config"], seed=p["machine_seed"])
-    channel = _build_channel(p["kind"], machine, p["seed"], p["kwargs"])
+    channel.reseed(p["seed"])
     bits = _message(p["n_bits"], p["seed"])
     bias = p["bias"]
     noise = None if bias == 0.0 else NoiseConfig(target_bias=bias)
     outcome = channel.transmit(bits, p["interval"], noise=noise)
     return {"name": p["name"], "bias": bias,
             "bit_error_rate": outcome.bit_error_rate}
+
+
+#: One prefix per channel variant; the bias levels share it.
+_NOISE_PREFIX_KEYS = ("config", "machine_seed", "kind", "kwargs", "seed")
+
+_NOISE_PLAN = WarmStartPlan(
+    setup=_noise_setup, body=_noise_body, prefix_keys=_NOISE_PREFIX_KEYS
+)
+
+
+def _noise_point_worker(shard: Shard) -> dict:
+    """One (variant, bias) point, rebuilt entirely from the shard."""
+    p = shard.params
+    machine, channel = _noise_setup({key: p[key] for key in _NOISE_PREFIX_KEYS})
+    return _noise_body(machine, channel, shard)
 
 
 def run_noise_sweep(
@@ -108,6 +139,7 @@ def run_noise_sweep(
     trace=None,
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
+    warm_start: bool = True,
 ) -> NoiseSweepResult:
     """Sweep noise intensity over the channel variants.
 
@@ -116,7 +148,9 @@ def run_noise_sweep(
     ``result_cache`` skips points computed by an earlier run.
     ``faults``/``retries`` engage the runner's fault-injection and retry
     layer; an exhausted shard's point is dropped from its curve rather
-    than aborting the sweep.
+    than aborting the sweep.  With ``warm_start`` (the default), each
+    variant's machine+channel prefix is built once and every bias level
+    restores its checkpoint (see :mod:`repro.runner.warmstart`).
     """
     if biases is None:
         biases = DEFAULT_BIASES
@@ -138,11 +172,18 @@ def run_noise_sweep(
         for name, kind, kwargs, interval in VARIANTS
         for bias in biases
     ])
-    rows = run_shards(
-        _noise_point_worker, shards, jobs=jobs,
-        cache=result_cache, cache_tag="noise_sweep/v1",
-        metrics=metrics, trace=trace, faults=faults, retries=retries,
-    )
+    if warm_start:
+        rows = run_warm_shards(
+            _NOISE_PLAN, shards, jobs=jobs,
+            cache=result_cache, cache_tag="noise_sweep/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
+    else:
+        rows = run_shards(
+            _noise_point_worker, shards, jobs=jobs,
+            cache=result_cache, cache_tag="noise_sweep/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
     rows = [row for row in rows if not is_error_record(row)]
     result = NoiseSweepResult()
     for name, _, _, _ in VARIANTS:

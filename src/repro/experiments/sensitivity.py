@@ -21,7 +21,15 @@ from ..attacks.prime_probe import PrimeProbeChannel
 from ..config import PlatformConfig, SyncProfile
 from ..errors import ReproError
 from ..faults import FaultPlan
-from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
+from ..runner import (
+    ResultCache,
+    Shard,
+    WarmStartPlan,
+    is_error_record,
+    make_shards,
+    run_shards,
+    run_warm_shards,
+)
 from ..sim.machine import Machine
 
 DEFAULT_SCALES = (0.8, 1.0, 1.2)
@@ -57,28 +65,57 @@ def _peak_capacity(machine: Machine, channel, intervals, bits) -> float:
     return best
 
 
-def _sensitivity_point_worker(shard: Shard) -> dict:
-    """One (scale, channel) peak measurement, rebuilt from the shard."""
-    p = shard.params
-    config: PlatformConfig = p["config"]
-    seed = p["seed"]
-    rng = random.Random(seed)
-    bits = [rng.randint(0, 1) for _ in range(p["n_bits"])]
+def _sensitivity_setup(prefix: dict) -> tuple:
+    """Shared trial prefix: scaled config, machine, channel, interval grid."""
+    config: PlatformConfig = prefix["config"]
+    seed = prefix["seed"]
     sync = SyncProfile(
-        overhead_cycles=int(config.sync.overhead_cycles * p["scale"]),
+        overhead_cycles=int(config.sync.overhead_cycles * prefix["scale"]),
         jitter_sigma=config.sync.jitter_sigma,
     )
     scaled = dataclasses.replace(config, sync=sync)
     base = int(sync.overhead_cycles)
     machine = Machine(scaled, seed=seed)
-    if p["channel"] == "ntp":
+    if prefix["channel"] == "ntp":
         channel = NTPNTPChannel(machine, seed=seed)
         intervals = [base + 170, base + 240, base + 340, base + 500]
     else:
         channel = PrimeProbeChannel(machine, seed=seed)
         intervals = [base + 7600, base + 8800, base + 10400]
+    return machine, (channel, intervals)
+
+
+def _sensitivity_body(machine: Machine, context, shard: Shard) -> dict:
+    """One peak measurement on a prepared (cold or restored) machine.
+
+    The intervals run *sequentially on one machine* — that cumulative
+    behaviour is this experiment's design, so the body keeps the whole
+    interval loop and the warm layer only elides the setup.
+    """
+    p = shard.params
+    channel, intervals = context
+    channel.reseed(p["seed"])
+    rng = random.Random(p["seed"])
+    bits = [rng.randint(0, 1) for _ in range(p["n_bits"])]
     peak = _peak_capacity(machine, channel, intervals, bits)
     return {"scale": p["scale"], "channel": p["channel"], "peak": peak}
+
+
+_SENSITIVITY_PREFIX_KEYS = ("config", "scale", "channel", "seed")
+
+_SENSITIVITY_PLAN = WarmStartPlan(
+    setup=_sensitivity_setup, body=_sensitivity_body,
+    prefix_keys=_SENSITIVITY_PREFIX_KEYS,
+)
+
+
+def _sensitivity_point_worker(shard: Shard) -> dict:
+    """One (scale, channel) peak measurement, rebuilt from the shard."""
+    p = shard.params
+    machine, context = _sensitivity_setup(
+        {key: p[key] for key in _SENSITIVITY_PREFIX_KEYS}
+    )
+    return _sensitivity_body(machine, context, shard)
 
 
 def run_sensitivity_experiment(
@@ -92,6 +129,7 @@ def run_sensitivity_experiment(
     trace=None,
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
+    warm_start: bool = True,
 ) -> SensitivityResult:
     """Scale the sync budget and re-measure both channels' peaks.
 
@@ -99,7 +137,10 @@ def run_sensitivity_experiment(
     fans them out to worker processes with bit-identical results.
     ``faults``/``retries`` engage the runner's fault-injection and retry
     layer; a scale whose ntp or pp shard exhausts its retries is dropped
-    as a *pair* (the rows are consumed positionally).
+    as a *pair* (the rows are consumed positionally).  Every (scale,
+    channel) pair is its own prefix here, so ``warm_start`` mainly buys
+    retries and repeat runs; it is kept on for uniformity with the other
+    sweeps (cold and warm are bit-identical either way).
     """
     if not scales:
         raise ReproError("need at least one scale factor")
@@ -109,11 +150,18 @@ def run_sensitivity_experiment(
         for scale in scales
         for channel in ("ntp", "pp")
     ])
-    rows = run_shards(
-        _sensitivity_point_worker, shards, jobs=jobs,
-        cache=result_cache, cache_tag="sensitivity/v1",
-        metrics=metrics, trace=trace, faults=faults, retries=retries,
-    )
+    if warm_start:
+        rows = run_warm_shards(
+            _SENSITIVITY_PLAN, shards, jobs=jobs,
+            cache=result_cache, cache_tag="sensitivity/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
+    else:
+        rows = run_shards(
+            _sensitivity_point_worker, shards, jobs=jobs,
+            cache=result_cache, cache_tag="sensitivity/v1",
+            metrics=metrics, trace=trace, faults=faults, retries=retries,
+        )
     result = SensitivityResult()
     for ntp_row, pp_row in zip(rows[0::2], rows[1::2]):
         if is_error_record(ntp_row) or is_error_record(pp_row):

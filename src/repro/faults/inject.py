@@ -145,6 +145,19 @@ class TracePollution:
         #: Total interfering fills injected so far (monotone).
         self.injected = 0
 
+    def capture(self) -> tuple:
+        """Snapshot the pollution stream position and fill counter.
+
+        Machine checkpoints include this so a warm-started trial draws the
+        same pollution decisions as a cold machine that replayed the prefix.
+        """
+        return (self._rng.getstate(), self.injected)
+
+    def restore(self, state: tuple) -> None:
+        rng_state, injected = state
+        self._rng.setstate(rng_state)
+        self.injected = injected
+
     def wrap(self, ops: Iterable[tuple]) -> Iterator[tuple]:
         """The polluted op stream (original ops all pass through, in order)."""
         rng = self._rng

@@ -73,6 +73,20 @@ class PageAllocator:
     def alloc_frames(self, count: int) -> List[int]:
         return [self.alloc_frame() for _ in range(count)]
 
+    def capture(self) -> tuple:
+        """Allocated frame numbers as a sorted tuple.
+
+        Sorted so equal pools capture equally regardless of set-iteration
+        order — the tuple feeds checkpoint digests, which must be stable
+        across processes.  (The allocator's RNG belongs to the machine and
+        is checkpointed there.)
+        """
+        return tuple(sorted(self._allocated))
+
+    def restore(self, state: tuple) -> None:
+        """Restore the frame pool from :meth:`capture` output."""
+        self._allocated = set(state)
+
     def alloc_huge_frame(self) -> int:
         """Allocate a 2 MiB-aligned, physically contiguous huge page.
 
@@ -196,8 +210,9 @@ class AddressSpace:
         if offset is None:
             offset = target & (PAGE_SIZE - 1) & ~(CACHE_LINE_SIZE - 1)
         found: List[int] = []
+        target_flat = mapping.flat_index(target)
         for line in self.candidate_lines(offset):
-            if line != target and mapping.congruent(line, target):
+            if line != target and mapping.flat_index(line) == target_flat:
                 found.append(line)
                 if len(found) == count:
                     return found

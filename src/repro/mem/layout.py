@@ -123,8 +123,14 @@ class CacheSetMapping:
         return flat
 
     def congruent(self, a: int, b: int) -> bool:
-        """True when two addresses map to the same slice and set."""
-        return self.index(a) == self.index(b)
+        """True when two addresses map to the same slice and set.
+
+        Goes through the :meth:`flat_index` memo: congruence scans (noise
+        working sets, eviction-set verification) test thousands of
+        candidates against a handful of targets, and the mapping function
+        is pure per mapping object.
+        """
+        return self.flat_index(a) == self.flat_index(b)
 
     def set_bits(self) -> int:
         """Number of address bits consumed by the set index."""

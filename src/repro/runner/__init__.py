@@ -22,8 +22,12 @@ Typical wiring, from an experiment module::
 from .cache import CACHE_DIR_ENV, ResultCache, default_cache_root
 from .pool import SHARD_ERROR_KEY, backoff_seconds, is_error_record, run_shards
 from .shard import Shard, canonical_json, derive_seed, make_shards
+from .warmstart import WarmStartPlan, clear_warm_states, run_warm_shards
 
 __all__ = [
+    "WarmStartPlan",
+    "clear_warm_states",
+    "run_warm_shards",
     "CACHE_DIR_ENV",
     "ResultCache",
     "SHARD_ERROR_KEY",

@@ -75,12 +75,27 @@ def backoff_seconds(base: float, attempt: int) -> float:
 
 
 def _cache_key(cache: ResultCache, worker: Worker, tag: Optional[str], shard: Shard) -> str:
-    return cache.key(
-        worker=f"{worker.__module__}.{worker.__qualname__}",
-        tag=tag,
-        seed=shard.seed,
-        params=shard.params,
-    )
+    """Content key for one shard's result.
+
+    Workers may customise their identity with two optional attributes:
+    ``cache_identity`` (a string naming the computation — required for
+    callables without a useful ``__qualname__``, e.g. class instances) and
+    ``cache_components(shard)`` (extra key components, e.g. the warm-start
+    checkpoint digest, merged into the key).
+    """
+    identity = getattr(worker, "cache_identity", None)
+    if identity is None:
+        identity = f"{worker.__module__}.{worker.__qualname__}"
+    components: Dict[str, Any] = {
+        "worker": identity,
+        "tag": tag,
+        "seed": shard.seed,
+        "params": shard.params,
+    }
+    extra = getattr(worker, "cache_components", None)
+    if extra is not None:
+        components.update(extra(shard))
+    return cache.key(**components)
 
 
 def _timed_call(worker: Worker, shard: Shard) -> _Outcome:

@@ -1,0 +1,226 @@
+"""Warm-start trial execution: pay each distinct setup prefix once.
+
+Every sweep trial used to rebuild a :class:`~repro.sim.Machine` from
+``(config, seed)`` and re-simulate the same warm-up/calibration prefix
+before the part that actually varies.  A :class:`WarmStartPlan` splits a
+trial into that shared **setup prefix** and a per-shard **body**; the
+executor runs each distinct prefix once, takes a
+:class:`~repro.sim.MachineCheckpoint`, and restores it before every body
+instead of rebuilding.
+
+The determinism contract is unchanged: because ``Machine.restore`` rewinds
+*all* mutable simulation state (clock, RNG, caches, policy metadata, PMU
+counters, allocator pool, fault streams), a warm trial is bit-identical to
+a cold trial at any ``jobs`` value — the restore runs before **every**
+body, including the first after a fresh setup and any fault-injected
+retry.  Checkpoint digests join the result-cache key, so warm and cold
+runs of the same computation never collide in the cache under a changed
+prefix.
+
+Worker processes keep a small per-process memo of built prefix states.  On
+fork-start platforms (Linux) children inherit the parent's memo, so a
+``jobs > 1`` sweep pays each prefix once in the parent and zero times in
+the pool; spawn-start platforms rebuild lazily per process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..faults import FaultPlan
+from ..obs import EventTrace, MetricsRegistry, get_registry
+from .cache import ResultCache
+from .pool import run_shards
+from .shard import Shard, canonical_json
+
+#: ``setup(prefix_params) -> (machine, context)``: build a machine and run
+#: the shared prefix (channel construction, calibration, priming).  Must be
+#: a top-level function — it pickles into pool workers.
+Setup = Callable[[Dict[str, Any]], Tuple[Any, Any]]
+
+#: ``body(machine, context, shard) -> result dict``: the varying part of a
+#: trial, run on a freshly restored machine.  Must derive all per-trial
+#: state from the shard (reseed channels, regenerate messages).
+Body = Callable[[Any, Any, Shard], Dict[str, Any]]
+
+#: Prefix-build histogram buckets (seconds).
+_PREFIX_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0)
+
+#: Per-process cap on memoized prefix states (machine + checkpoint each);
+#: evicted FIFO.  Sweeps group shards by prefix, so in practice a process
+#: only ever needs the handful of prefixes routed to it.
+_MAX_WARM_STATES = 16
+
+#: prefix key -> (machine, context, checkpoint), per process.
+_WARM_STATES: Dict[tuple, tuple] = {}
+
+
+def clear_warm_states() -> None:
+    """Drop this process's memoized prefix states (test isolation hook)."""
+    _WARM_STATES.clear()
+
+
+@dataclass(frozen=True)
+class WarmStartPlan:
+    """A trial split into a shared setup prefix and a varying body.
+
+    ``prefix_keys`` names the shard params that feed ``setup``; shards
+    agreeing on those params share one machine build + prefix execution.
+    Everything else about a trial must live in the body.
+    """
+
+    setup: Setup
+    body: Body
+    prefix_keys: Tuple[str, ...]
+
+    def prefix_of(self, shard: Shard) -> Dict[str, Any]:
+        """The shard's prefix params (the setup's input)."""
+        try:
+            return {key: shard.params[key] for key in self.prefix_keys}
+        except KeyError as missing:
+            raise ReproError(
+                f"shard {shard.index} is missing prefix param {missing} "
+                f"(plan expects {self.prefix_keys})"
+            ) from None
+
+    def identity(self) -> str:
+        """Stable name for cache keys and memo keys."""
+        return f"{self.body.__module__}.{self.body.__qualname__}"
+
+
+def _memo_put(key: tuple, state: tuple) -> None:
+    if len(_WARM_STATES) >= _MAX_WARM_STATES:
+        _WARM_STATES.pop(next(iter(_WARM_STATES)))
+    _WARM_STATES[key] = state
+
+
+def _warm_state(plan: WarmStartPlan, prefix: Dict[str, Any], memo_key: tuple) -> tuple:
+    """This process's (machine, context, checkpoint) for ``prefix``."""
+    state = _WARM_STATES.get(memo_key)
+    if state is None:
+        machine, context = plan.setup(prefix)
+        state = (machine, context, machine.checkpoint())
+        _memo_put(memo_key, state)
+    return state
+
+
+class _WarmWorker:
+    """Picklable shard worker that restores the prefix checkpoint per trial."""
+
+    def __init__(self, plan: WarmStartPlan, digests: Dict[str, str]):
+        self.plan = plan
+        self.digests = digests
+        #: Cache identity: the body function, like a cold worker's name.
+        self.cache_identity = plan.identity()
+
+    def cache_components(self, shard: Shard) -> Dict[str, Any]:
+        """Extra cache-key components: the prefix checkpoint digest."""
+        return {"checkpoint": self.digests[canonical_json(self.plan.prefix_of(shard))]}
+
+    def __call__(self, shard: Shard) -> Dict[str, Any]:
+        plan = self.plan
+        prefix = plan.prefix_of(shard)
+        prefix_json = canonical_json(prefix)
+        memo_key = (plan.identity(), prefix_json, self.digests[prefix_json])
+        machine, context, checkpoint = _warm_state(plan, prefix, memo_key)
+        # Restore before *every* body — first use and retries included — so
+        # execution never depends on what previously ran on this machine.
+        machine.restore(checkpoint)
+        return plan.body(machine, context, shard)
+
+
+def run_warm_shards(
+    plan: WarmStartPlan,
+    shards: Sequence[Shard],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_tag: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    trace: Optional[EventTrace] = None,
+    faults: Optional[FaultPlan] = None,
+    retries: int = 0,
+    backoff_base: float = 0.0,
+    on_error: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Run ``shards`` through ``plan`` with per-prefix warm starts.
+
+    Groups shards by their prefix params, builds each group's machine and
+    checkpoint once in the parent (seeding the worker memo — forked pool
+    children inherit it), then delegates to
+    :func:`~repro.runner.pool.run_shards` with a worker that restores the
+    checkpoint before every trial body.  All runner features compose
+    unchanged: result caching (the checkpoint digest is part of the key),
+    fault injection, retries, metrics, and tracing.
+
+    Note the parent builds every distinct prefix even when all shards are
+    cache hits — the digest is needed to *form* the keys.  A warm cache-hit
+    sweep therefore costs one prefix execution per distinct prefix; the
+    per-trial simulation is what the cache elides.
+    """
+    registry = metrics if metrics is not None else get_registry()
+    shards = list(shards)
+
+    # Group shards by canonical prefix (insertion order = shard order).
+    groups: Dict[str, Dict[str, Any]] = {}
+    group_sizes: Dict[str, int] = {}
+    for shard in shards:
+        prefix = plan.prefix_of(shard)
+        prefix_json = canonical_json(prefix)
+        groups.setdefault(prefix_json, prefix)
+        group_sizes[prefix_json] = group_sizes.get(prefix_json, 0) + 1
+
+    # Build each prefix once, checkpoint it, and record its digest.  The
+    # states land in this process's memo: inline runs (jobs <= 1) reuse
+    # them directly, forked pool children inherit them for free.
+    digests: Dict[str, str] = {}
+    capture_seconds = registry.histogram(
+        "runner.checkpoint.capture.seconds", _PREFIX_SECONDS_BUCKETS
+    )
+    saved_seconds = 0.0
+    for prefix_json, prefix in groups.items():
+        start = time.perf_counter()
+        machine, context = plan.setup(prefix)
+        checkpoint = machine.checkpoint()
+        elapsed = time.perf_counter() - start
+        digest = digests[prefix_json] = checkpoint.digest()
+        _memo_put((plan.identity(), prefix_json, digest), (machine, context, checkpoint))
+        registry.counter("runner.checkpoint.captures").inc()
+        registry.counter("runner.checkpoint.bytes").inc(checkpoint.approx_bytes)
+        capture_seconds.observe(elapsed)
+        # Each trial beyond the group's first would have re-run this prefix
+        # cold; count the avoided builds as the (estimated) time saved.
+        saved_seconds += elapsed * (group_sizes[prefix_json] - 1)
+        if trace is not None:
+            trace.emit(
+                "runner.checkpoint.capture",
+                prefix=prefix_json,
+                digest=digest,
+                seconds=elapsed,
+                trials=group_sizes[prefix_json],
+            )
+
+    worker = _WarmWorker(plan, digests)
+    computed_before = registry.counter("runner.shards.computed").value
+    results = run_shards(
+        worker,
+        shards,
+        jobs=jobs,
+        cache=cache,
+        cache_tag=cache_tag,
+        metrics=registry,
+        trace=trace,
+        faults=faults,
+        retries=retries,
+        backoff_base=backoff_base,
+        on_error=on_error,
+    )
+    # Every computed (non-cached) trial restored the checkpoint exactly once
+    # per successful attempt; retried attempts restore again, but those are
+    # already visible via runner.retries, so count one restore per compute.
+    computed = registry.counter("runner.shards.computed").value - computed_before
+    registry.counter("runner.checkpoint.restores").inc(computed)
+    registry.gauge("runner.checkpoint.saved_seconds").set(saved_seconds)
+    return results

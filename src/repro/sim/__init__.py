@@ -1,6 +1,6 @@
 """Simulation layer: machine assembly and the discrete-event scheduler."""
 
-from .machine import Machine
+from .machine import Machine, MachineCheckpoint
 from .process import (
     SimProcess,
     Load,
@@ -19,6 +19,7 @@ from .scheduler import Scheduler
 
 __all__ = [
     "Machine",
+    "MachineCheckpoint",
     "SimProcess",
     "Scheduler",
     "Load",

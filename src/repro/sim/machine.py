@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 import random
+from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..cache.hierarchy import CacheHierarchy, Level, MemOpResult
@@ -21,6 +23,55 @@ TraceOp = Tuple[str, int, int]
 
 _DRAM = Level.DRAM
 _LLC = Level.LLC
+
+
+@dataclass(frozen=True)
+class MachineCheckpoint:
+    """Compact snapshot of a :class:`Machine`'s mutable simulation state.
+
+    Everything is flat tuples of primitives — no shared references into the
+    machine — so one checkpoint can be restored any number of times and a
+    restored machine is bit-identical to a cold machine that replayed the
+    same prefix.  ``rng_state`` covers the timing model and the page
+    allocator too: both draw from the machine's single ``rng``.  Metrics
+    registries are deliberately *not* captured — they are observability,
+    not simulation state, and restoring must not rewind counters the
+    caller is accumulating across trials.
+    """
+
+    config_name: str
+    seed: int
+    clock: int
+    rng_state: tuple
+    cores: Tuple[Tuple[int, int, int, int], ...]
+    allocator: tuple
+    hierarchy: tuple
+    pollution: Optional[tuple]
+
+    def _material(self) -> bytes:
+        # repr of nested tuples of ints/bools/None is deterministic across
+        # processes (no hash-order containers anywhere in the state).
+        return repr(
+            (
+                self.config_name,
+                self.seed,
+                self.clock,
+                self.rng_state,
+                self.cores,
+                self.allocator,
+                self.hierarchy,
+                self.pollution,
+            )
+        ).encode()
+
+    def digest(self) -> str:
+        """Stable content hash, suitable for result-cache keys."""
+        return hashlib.sha256(self._material()).hexdigest()
+
+    @property
+    def approx_bytes(self) -> int:
+        """Serialized-size estimate, for the checkpoint byte metrics."""
+        return len(self._material())
 
 
 class Machine:
@@ -231,6 +282,66 @@ class Machine:
                     pollution.injected - injected_before
                 )
         return results if record else count
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint(self) -> MachineCheckpoint:
+        """Capture all mutable simulation state as a :class:`MachineCheckpoint`.
+
+        Captures the clock, the RNG stream (shared by the timing model and
+        the page allocator), per-core PMU counters, the allocated frame
+        pool, every cache level (lines, policy metadata, stats), and — when
+        a fault plan wired cache pollution — the pollution stream, so a
+        warm-started trial draws the same faults as a cold one.
+        """
+        return MachineCheckpoint(
+            config_name=self.config.name,
+            seed=self.seed,
+            clock=self.clock,
+            rng_state=self.rng.getstate(),
+            cores=tuple(
+                (c.memory_references, c.flushes, c.llc_references, c.llc_misses)
+                for c in self.cores
+            ),
+            allocator=self.allocator.capture(),
+            hierarchy=self.hierarchy.capture(),
+            pollution=None if self.pollution is None else self.pollution.capture(),
+        )
+
+    def restore(self, checkpoint: MachineCheckpoint) -> None:
+        """Rewind this machine to a :meth:`checkpoint` taken on it.
+
+        After restoring, execution replays bit-identically to a freshly
+        built machine that ran the same prefix; restore is idempotent, so
+        one checkpoint serves any number of trials.  The checkpoint must
+        come from a machine with the same config and fault wiring.
+        """
+        if checkpoint.config_name != self.config.name or len(
+            checkpoint.cores
+        ) != len(self.cores):
+            raise SimulationError(
+                f"checkpoint is for {checkpoint.config_name!r} "
+                f"({len(checkpoint.cores)} cores), machine is "
+                f"{self.config.name!r} ({len(self.cores)} cores)"
+            )
+        if (checkpoint.pollution is None) != (self.pollution is None):
+            raise SimulationError(
+                "checkpoint and machine disagree on cache-fault wiring "
+                "(one has TracePollution, the other does not)"
+            )
+        self.clock = checkpoint.clock
+        self.rng.setstate(checkpoint.rng_state)
+        for core, counters in zip(self.cores, checkpoint.cores):
+            (
+                core.memory_references,
+                core.flushes,
+                core.llc_references,
+                core.llc_misses,
+            ) = counters
+        self.allocator.restore(checkpoint.allocator)
+        self.hierarchy.restore(checkpoint.hierarchy)
+        if self.pollution is not None:
+            self.pollution.restore(checkpoint.pollution)
 
     # -- convenience ---------------------------------------------------------
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import SimulationError
 from .machine import Machine
@@ -40,6 +40,10 @@ class Scheduler:
     def __init__(self, machine: Machine):
         self.machine = machine
         self.processes: List[SimProcess] = []
+        # core id -> the process most recently spawned there; consulted (and
+        # lazily cleaned) by spawn so registering a process is O(1) instead
+        # of a scan over every process ever spawned on this scheduler.
+        self._core_owner: Dict[int, SimProcess] = {}
         self._counter = itertools.count()
 
     def spawn(
@@ -48,72 +52,104 @@ class Scheduler:
         """Register a process; cores may host at most one process at a time."""
         if not 0 <= core_id < len(self.machine.cores):
             raise SimulationError(f"core {core_id} out of range for {name!r}")
-        for proc in self.processes:
-            if proc.core_id == core_id and not proc.finished:
-                raise SimulationError(
-                    f"core {core_id} already busy with {proc.name!r}"
-                )
+        owner = self._core_owner.get(core_id)
+        if owner is not None and not owner.finished:
+            raise SimulationError(
+                f"core {core_id} already busy with {owner.name!r}"
+            )
         proc = SimProcess(name, core_id, program, start_time)
         self.processes.append(proc)
+        self._core_owner[core_id] = proc
         return proc
 
     # ------------------------------------------------------------------
+    # Op execution: one dict lookup dispatches each yielded op.  Exact-type
+    # dispatch is equivalent to the former isinstance ladder because the op
+    # types have no subclass relationships among them.
+
+    def _exec_load(self, proc: SimProcess, op: Load) -> Any:
+        result = self.machine.cores[proc.core_id].load(op.addr, at=proc.time)
+        proc.time += result.latency
+        return result
+
+    def _exec_timed_load(self, proc: SimProcess, op: TimedLoad) -> Any:
+        timed = self.machine.cores[proc.core_id].timed_load(op.addr, at=proc.time)
+        proc.time += timed.cycles
+        return timed
+
+    def _exec_prefetchnta(self, proc: SimProcess, op: PrefetchNTA) -> Any:
+        result = self.machine.cores[proc.core_id].prefetchnta(op.addr, at=proc.time)
+        # Non-blocking: the hint retires immediately; the fill is in
+        # flight until the line's busy_until.
+        proc.time += self.machine.config.latency.prefetch_issue
+        return result
+
+    def _exec_timed_prefetchnta(self, proc: SimProcess, op: TimedPrefetchNTA) -> Any:
+        timed = self.machine.cores[proc.core_id].timed_prefetchnta(
+            op.addr, at=proc.time
+        )
+        proc.time += timed.cycles
+        return timed
+
+    def _exec_prefetcht0(self, proc: SimProcess, op: PrefetchT0) -> Any:
+        result = self.machine.cores[proc.core_id].prefetcht0(op.addr, at=proc.time)
+        proc.time += result.latency
+        return result
+
+    def _exec_clflush(self, proc: SimProcess, op: Clflush) -> Any:
+        result = self.machine.cores[proc.core_id].clflush(op.addr, at=proc.time)
+        proc.time += result.latency
+        return result
+
+    def _exec_stream_clflush(self, proc: SimProcess, op: StreamClflush) -> Any:
+        result = self.machine.cores[proc.core_id].clflush(op.addr, at=proc.time)
+        mlp = max(1, self.machine.config.latency.stream_mlp)
+        proc.time += max(1, result.latency // mlp)
+        return result
+
+    def _exec_wait_until(self, proc: SimProcess, op: WaitUntil) -> Any:
+        proc.time = max(proc.time, op.time)
+        # Returning the arrival time gives programs a free lateness
+        # check (they learn whether the wait actually waited).
+        return proc.time
+
+    def _exec_stream_load(self, proc: SimProcess, op: StreamLoad) -> Any:
+        result = self.machine.cores[proc.core_id].load(op.addr, at=proc.time)
+        mlp = max(1, self.machine.config.latency.stream_mlp)
+        proc.time += max(1, result.latency // mlp)
+        return result
+
+    def _exec_read_tsc(self, proc: SimProcess, op: ReadTSC) -> Any:
+        stamp = proc.time
+        proc.time += self.machine.config.latency.measure_overhead // 2
+        return stamp
+
+    def _exec_sleep(self, proc: SimProcess, op: Sleep) -> Any:
+        if op.cycles < 0:
+            raise SimulationError(f"negative sleep from {proc.name!r}")
+        proc.time += op.cycles
+        return None
+
+    _DISPATCH = {
+        Load: _exec_load,
+        TimedLoad: _exec_timed_load,
+        PrefetchNTA: _exec_prefetchnta,
+        TimedPrefetchNTA: _exec_timed_prefetchnta,
+        PrefetchT0: _exec_prefetcht0,
+        Clflush: _exec_clflush,
+        StreamClflush: _exec_stream_clflush,
+        WaitUntil: _exec_wait_until,
+        StreamLoad: _exec_stream_load,
+        ReadTSC: _exec_read_tsc,
+        Sleep: _exec_sleep,
+    }
 
     def _execute(self, proc: SimProcess, op: Op) -> Any:
         """Execute ``op`` at ``proc.time``; advance the clock; return result."""
-        core = self.machine.cores[proc.core_id]
-        now = proc.time
-        if isinstance(op, Load):
-            result = core.load(op.addr, at=now)
-            proc.time += result.latency
-            return result
-        if isinstance(op, TimedLoad):
-            timed = core.timed_load(op.addr, at=now)
-            proc.time += timed.cycles
-            return timed
-        if isinstance(op, PrefetchNTA):
-            result = core.prefetchnta(op.addr, at=now)
-            # Non-blocking: the hint retires immediately; the fill is in
-            # flight until the line's busy_until.
-            proc.time += self.machine.config.latency.prefetch_issue
-            return result
-        if isinstance(op, TimedPrefetchNTA):
-            timed = core.timed_prefetchnta(op.addr, at=now)
-            proc.time += timed.cycles
-            return timed
-        if isinstance(op, PrefetchT0):
-            result = core.prefetcht0(op.addr, at=now)
-            proc.time += result.latency
-            return result
-        if isinstance(op, Clflush):
-            result = core.clflush(op.addr, at=now)
-            proc.time += result.latency
-            return result
-        if isinstance(op, StreamClflush):
-            result = core.clflush(op.addr, at=now)
-            mlp = max(1, self.machine.config.latency.stream_mlp)
-            proc.time += max(1, result.latency // mlp)
-            return result
-        if isinstance(op, WaitUntil):
-            proc.time = max(proc.time, op.time)
-            # Returning the arrival time gives programs a free lateness
-            # check (they learn whether the wait actually waited).
-            return proc.time
-        if isinstance(op, StreamLoad):
-            result = core.load(op.addr, at=now)
-            mlp = max(1, self.machine.config.latency.stream_mlp)
-            proc.time += max(1, result.latency // mlp)
-            return result
-        if isinstance(op, ReadTSC):
-            stamp = proc.time
-            proc.time += self.machine.config.latency.measure_overhead // 2
-            return stamp
-        if isinstance(op, Sleep):
-            if op.cycles < 0:
-                raise SimulationError(f"negative sleep from {proc.name!r}")
-            proc.time += op.cycles
-            return None
-        raise SimulationError(f"{proc.name!r} yielded unknown op {op!r}")
+        handler = self._DISPATCH.get(type(op))
+        if handler is None:
+            raise SimulationError(f"{proc.name!r} yielded unknown op {op!r}")
+        return handler(self, proc, op)
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until every process finishes (or the time horizon passes).
@@ -121,6 +157,7 @@ class Scheduler:
         ``until`` bounds simulated time: a process whose clock passes the
         horizon is suspended permanently (its generator is closed).
         """
+        execute = self._execute
         heap: List[tuple] = []
         for proc in self.processes:
             if not proc.finished:
@@ -137,7 +174,7 @@ class Scheduler:
                 proc.finished = True
                 proc.result = stop.value
                 continue
-            result = self._execute(proc, op)
+            result = execute(proc, op)
             heapq.heappush(heap, (proc.time, next(self._counter), proc, result))
         # Keep the sequential clock monotone with the simulated world so a
         # later non-scheduled experiment on the same machine starts "after".

@@ -1,0 +1,238 @@
+"""Checkpoint/restore: a restored machine IS the cold machine, bit for bit.
+
+The warm-start runner's whole correctness argument rests on one property:
+``restore(checkpoint)`` puts a machine into exactly the state a cold
+machine reaches by replaying the checkpointed prefix.  These tests pin
+that property directly — against the production engine, against the
+frozen reference engine, under fault-plan pollution, and (via hypothesis)
+across arbitrary op sequences, replacement policies, and both platforms.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.plru import TreePLRU
+from repro.cache.qlru import QuadAgeLRU
+from repro.cache.reference import ReferenceHierarchy
+from repro.cache.srrip import SRRIP
+from repro.config import KABY_LAKE, SKYLAKE, CacheGeometry, PlatformConfig
+from repro.errors import SimulationError
+from repro.faults import FaultPlan
+from repro.sim.machine import Machine, MachineCheckpoint
+
+TINY = PlatformConfig(
+    name="tiny-ckpt",
+    microarchitecture="test",
+    cores=2,
+    frequency_hz=1e9,
+    l1=CacheGeometry(sets=4, ways=2),
+    l2=CacheGeometry(sets=8, ways=2),
+    llc=CacheGeometry(sets=8, ways=4, slices=2),
+)
+
+OPS = ("load", "prefetchnta", "prefetcht0", "prefetcht1", "clflush")
+
+
+def mixed_trace(seed, length, cores=2, n_lines=96):
+    rng = random.Random(seed)
+    lines = [i * 64 for i in range(n_lines)]
+    return [
+        (rng.choice(OPS), rng.randrange(cores), rng.choice(lines))
+        for _ in range(length)
+    ]
+
+
+def machine_state(machine):
+    """Everything a checkpoint must cover, in comparable form."""
+    return (
+        machine.clock,
+        machine.rng.getstate(),
+        machine.hierarchy.snapshot(),
+        machine.hierarchy.stats_tuple(),
+        [
+            (c.memory_references, c.flushes, c.llc_references, c.llc_misses)
+            for c in machine.cores
+        ],
+        sorted(machine.allocator.capture()),
+    )
+
+
+def test_restore_equals_cold_replay():
+    prefix = mixed_trace(1, 600)
+    body = mixed_trace(2, 400)
+    divergence = mixed_trace(3, 500)
+
+    cold = Machine(TINY, seed=7)
+    cold.run_trace(prefix)
+    cold_results = cold.run_trace(body, record=True)
+
+    warm = Machine(TINY, seed=7)
+    warm.run_trace(prefix)
+    ckpt = warm.checkpoint()
+    warm.run_trace(divergence)  # trash the state past the checkpoint
+    warm.restore(ckpt)
+    warm_results = warm.run_trace(body, record=True)
+
+    assert warm_results == cold_results
+    assert machine_state(warm) == machine_state(cold)
+
+
+def test_one_checkpoint_restores_many_times():
+    prefix = mixed_trace(4, 300)
+    body = mixed_trace(5, 200)
+    machine = Machine(TINY, seed=3)
+    machine.run_trace(prefix)
+    ckpt = machine.checkpoint()
+    runs = []
+    for _ in range(3):
+        machine.restore(ckpt)
+        runs.append((machine.run_trace(body, record=True), machine_state(machine)))
+    assert runs[0] == runs[1] == runs[2]
+
+
+def test_digest_stable_across_builds_and_sensitive_to_state():
+    def built():
+        machine = Machine(TINY, seed=9)
+        machine.run_trace(mixed_trace(6, 250))
+        return machine
+
+    a, b = built().checkpoint(), built().checkpoint()
+    assert a.digest() == b.digest()
+    assert a.approx_bytes > 0
+
+    diverged = built()
+    diverged.run_trace(mixed_trace(7, 10))
+    assert diverged.checkpoint().digest() != a.digest()
+
+
+def test_restore_rejects_wrong_config():
+    ckpt = Machine(TINY, seed=0).checkpoint()
+    with pytest.raises(SimulationError):
+        Machine(SKYLAKE, seed=0).restore(ckpt)
+
+
+def test_restore_rejects_pollution_wiring_mismatch():
+    plan = FaultPlan(seed=0, pollution_probability=0.5)
+    polluted = Machine(TINY, seed=0, faults=plan)
+    plain = Machine(TINY, seed=0)
+    with pytest.raises(SimulationError):
+        plain.restore(polluted.checkpoint())
+    with pytest.raises(SimulationError):
+        polluted.restore(plain.checkpoint())
+
+
+def test_pollution_stream_identical_warm_and_cold():
+    """A restored machine's fault-injection stream replays exactly."""
+    plan = FaultPlan(seed=11, pollution_probability=0.3)
+    prefix = mixed_trace(8, 400)
+    body = mixed_trace(9, 400)
+
+    cold = Machine(TINY, seed=2, faults=plan)
+    cold.run_trace(prefix)
+    cold_results = cold.run_trace(body, record=True)
+    assert cold.pollution.injected > 0  # the plan does bite
+
+    warm = Machine(TINY, seed=2, faults=plan)
+    warm.run_trace(prefix)
+    ckpt = warm.checkpoint()
+    warm.run_trace(mixed_trace(10, 300))
+    warm.restore(ckpt)
+    warm_results = warm.run_trace(body, record=True)
+
+    assert warm_results == cold_results
+    assert warm.pollution.injected == cold.pollution.injected
+    assert machine_state(warm) == machine_state(cold)
+
+
+def _replay(hierarchy, trace, now=0):
+    outcomes = []
+    for op, core, addr in trace:
+        if op == "clflush":
+            result = hierarchy.clflush(addr, now)
+        else:
+            result = getattr(hierarchy, op)(core, addr, now)
+        outcomes.append((result.level, result.latency))
+        now += result.latency
+    return outcomes, now
+
+
+def test_hierarchy_restore_differential_vs_reference():
+    """Restore + body replay matches the frozen reference engine cold."""
+    prefix = mixed_trace(12, 1500)
+    body = mixed_trace(13, 1000)
+
+    reference = ReferenceHierarchy(TINY)
+    ref_prefix, now = _replay(reference, prefix)
+    ref_body, _ = _replay(reference, body, now)
+
+    production = CacheHierarchy(TINY)
+    prod_prefix, now = _replay(production, prefix)
+    ckpt = production.capture()
+    _replay(production, mixed_trace(14, 800), now)  # diverge past the capture
+    production.restore(ckpt)
+    prod_body, _ = _replay(production, body, now)
+
+    assert prod_prefix == ref_prefix
+    assert prod_body == ref_body
+    assert production.snapshot() == reference.snapshot()
+    assert production.stats_tuple() == reference.stats_tuple()
+
+
+# -- hypothesis: the property holds for arbitrary traces, policies, platforms
+
+_POLICIES = {
+    "qlru": QuadAgeLRU,
+    "plru": TreePLRU,
+    "srrip": SRRIP,
+}
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(OPS),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=63).map(lambda i: i * 64),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    prefix=_ops,
+    body=_ops,
+    divergence=_ops,
+    policy=st.sampled_from(sorted(_POLICIES)),
+    config=st.sampled_from([SKYLAKE, KABY_LAKE]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_checkpoint_replay_property(prefix, body, divergence, policy, config, seed):
+    factory = _POLICIES[policy]
+
+    cold = Machine(config, seed=seed, llc_policy_factory=factory)
+    cold.run_trace(prefix)
+    cold_results = cold.run_trace(body, record=True)
+
+    warm = Machine(config, seed=seed, llc_policy_factory=factory)
+    warm.run_trace(prefix)
+    ckpt = warm.checkpoint()
+    warm.run_trace(divergence)
+    warm.restore(ckpt)
+    warm_results = warm.run_trace(body, record=True)
+
+    assert warm_results == cold_results
+    assert machine_state(warm) == machine_state(cold)
+
+
+def test_checkpoint_is_a_dataclass_of_primitives():
+    ckpt = Machine(TINY, seed=1).checkpoint()
+    assert isinstance(ckpt, MachineCheckpoint)
+
+    def flat(value):
+        if isinstance(value, tuple):
+            return all(flat(v) for v in value)
+        return value is None or isinstance(value, (int, float, str, bool))
+
+    assert flat(ckpt.cores) and flat(ckpt.allocator) and flat(ckpt.hierarchy)
