@@ -43,7 +43,7 @@ class Level(enum.Enum):
     DRAM = "DRAM"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemOpResult:
     """Outcome of one memory operation."""
 

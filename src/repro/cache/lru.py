@@ -15,6 +15,8 @@ class TrueLRU(ReplacementPolicy):
     pseudo-LRU variants real LLCs use.
     """
 
+    __slots__ = ("_stack",)
+
     def __init__(self, n_ways: int):
         super().__init__(n_ways)
         self._stack: List[int] = []

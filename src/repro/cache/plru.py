@@ -21,6 +21,8 @@ class TreePLRU(ReplacementPolicy):
     flipped to point *away* from the touched way.
     """
 
+    __slots__ = ("_bits",)
+
     def __init__(self, n_ways: int):
         super().__init__(n_ways)
         if n_ways & (n_ways - 1):
@@ -83,6 +85,8 @@ class BitPLRU(ReplacementPolicy):
     One MRU bit per way; set on access.  When all bits would become set,
     the others are cleared.  Victim = first way with a clear bit.
     """
+
+    __slots__ = ("_mru",)
 
     def __init__(self, n_ways: int):
         super().__init__(n_ways)

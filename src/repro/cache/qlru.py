@@ -44,6 +44,8 @@ class QuadAgeLRU(ReplacementPolicy):
         paper's parts (Property #2).
     """
 
+    __slots__ = ("load_insert_age", "prefetch_insert_age", "prefetch_hit_updates", "age_promotions")
+
     def __init__(
         self,
         n_ways: int,

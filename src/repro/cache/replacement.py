@@ -20,6 +20,8 @@ Ways = List[Optional[CacheLine]]
 class ReplacementPolicy(ABC):
     """Per-set replacement policy."""
 
+    __slots__ = ("n_ways",)
+
     def __init__(self, n_ways: int):
         self.n_ways = n_ways
 

@@ -25,6 +25,8 @@ class SRRIP(ReplacementPolicy):
     line state is checkpointed by :meth:`CacheSet.capture`.
     """
 
+    __slots__ = ("insert_rrpv", "hit_promotion")
+
     def __init__(self, n_ways: int, insert_rrpv: int = 2, hit_promotion: str = "hp"):
         super().__init__(n_ways)
         if not 0 <= insert_rrpv <= MAX_RRPV:

@@ -33,13 +33,15 @@ _PLATFORMS: Dict[str, PlatformConfig] = {
 
 
 def _machine(args: argparse.Namespace) -> Machine:
-    return Machine(_PLATFORMS[args.platform], seed=args.seed)
+    return Machine(_PLATFORMS[args.platform], seed=args.seed,
+                   backend=getattr(args, "engine", None))
 
 
 def _machine_factory(args: argparse.Namespace) -> Callable[[], Machine]:
     platform = _PLATFORMS[args.platform]
     seed = args.seed
-    return lambda: Machine(platform, seed=seed)
+    engine = getattr(args, "engine", None)
+    return lambda: Machine(platform, seed=seed, backend=engine)
 
 
 def _result_cache(args: argparse.Namespace):
@@ -329,6 +331,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
     registry, trace = _sweep_obs(args)
     result = run_sensitivity_experiment(
         _PLATFORMS[args.platform], n_bits=args.bits, seed=args.seed,
+        engine=getattr(args, "engine", None),
         jobs=args.jobs, result_cache=_result_cache(args),
         metrics=registry, trace=trace,
         faults=_fault_plan(args), retries=args.retries,
@@ -552,6 +555,9 @@ def build_parser() -> argparse.ArgumentParser:
                runner: bool = False):
         p.add_argument("--platform", choices=sorted(_PLATFORMS), default="skylake")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--engine", choices=("object", "soa"), default=None,
+                       help="trace-execution backend (default: REPRO_ENGINE "
+                            "env var, else object; results are bit-identical)")
         if repetitions is not None:
             p.add_argument("--repetitions", type=int, default=repetitions)
         if runner:

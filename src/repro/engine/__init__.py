@@ -1,0 +1,69 @@
+"""Selectable trace-execution backends for :meth:`Machine.run_trace`.
+
+Two backends execute batched memory-op traces with bit-identical results:
+
+``object``
+    The default: per-op dispatch through the ``CacheHierarchy`` object
+    graph.  Supports every policy/mapping combination.
+
+``soa``
+    The struct-of-arrays batch engine (:mod:`repro.engine.soa`): the
+    hierarchy is flattened into per-level index arrays, traces are
+    pre-compiled into NumPy index vectors
+    (:mod:`repro.engine.compile`), and one monolithic loop executes the
+    batch with no per-op allocation or method dispatch.  Falls back to
+    ``object`` for machines with unsupported (non-stock) replacement
+    policies unless the caller demanded it explicitly.
+
+The process-wide default comes from the ``REPRO_ENGINE`` environment
+variable (CI runs the whole test suite a second time with
+``REPRO_ENGINE=soa`` as a backend-equivalence check); per-machine and
+per-call selection go through ``Machine(..., backend=...)`` and
+``Machine.run_trace(..., backend=...)``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .compile import CompiledTrace, OP_NAMES, compile_trace
+from .soa import execute, hierarchy_arrays, pmu_vectors, supports
+
+#: Recognised backend names.
+BACKENDS = ("object", "soa")
+
+#: Environment variable selecting the process-wide default backend.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def default_backend() -> str:
+    """The process-wide default backend (``REPRO_ENGINE`` or ``object``)."""
+    return resolve_backend(None)
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate an explicit backend name, or resolve the env default."""
+    if backend is None:
+        backend = os.environ.get(ENGINE_ENV_VAR) or "object"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown engine backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+__all__ = [
+    "BACKENDS",
+    "CompiledTrace",
+    "ENGINE_ENV_VAR",
+    "OP_NAMES",
+    "compile_trace",
+    "default_backend",
+    "execute",
+    "hierarchy_arrays",
+    "pmu_vectors",
+    "resolve_backend",
+    "supports",
+]

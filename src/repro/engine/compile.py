@@ -1,0 +1,196 @@
+"""Trace pre-compilation for the struct-of-arrays batch backend.
+
+A trace is a sequence of ``(op, core, addr)`` tuples.  Executing one op
+touches up to three cache levels, and resolving *where* it lands — the
+(slice, set) pair per level — is pure per line address.  The object engine
+memoizes that resolution per level (:meth:`CacheSetMapping.flat_index`);
+this module folds the same decomposition into flat **index arrays** once,
+so replaying a trace (sweep trials, prime/probe loops, throughput
+benchmarks) pays zero address arithmetic per op.
+
+A :class:`CompiledTrace` holds parallel NumPy arrays::
+
+    opcodes[i]   -- small int, one per op name
+    cores[i]     -- issuing core id
+    tags[i]      -- line address (the tag stored in the caches)
+    l1_base[i]   -- flat way-array base of the op's L1 set: (slice*sets + set) * ways
+    l2_base[i]   -- same for L2
+    llc_base[i]  -- same for the LLC
+
+The bases are *dense* indices into the struct-of-arrays planes of
+:mod:`repro.engine.soa` — every ``(slice, set, way)`` slot of a level maps
+to ``base + way`` in its flat arrays.
+
+Compilation validates every op up front (op name, core range, address
+range), so a compiled trace always executes to completion; the object
+engine raises mid-batch instead, after executing the valid prefix.  That
+is the one observable semantic difference of the batch-compile path — see
+``docs/performance.md``.
+
+A compiled trace is valid for any machine with the same platform config
+and set mappings (e.g. every shard machine of a sweep built from the same
+``(config, seed)``), and may be passed directly to
+:meth:`Machine.run_trace` under either backend.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..mem.address import LINE_OFFSET_BITS
+
+#: Op-name -> opcode.  ``prefetcht2`` keeps its own opcode (it executes
+#: exactly like ``prefetcht1`` but is counted separately by the
+#: ``engine.ops.*`` metrics, matching the object engine).
+OP_LOAD, OP_NTA, OP_T0, OP_T1, OP_T2, OP_FLUSH = range(6)
+
+#: Interned so op-name dict lookups and comparisons on the hot paths
+#: short-circuit on pointer identity.
+OP_NAMES: Tuple[str, ...] = tuple(
+    sys.intern(name)
+    for name in (
+        "load", "prefetchnta", "prefetcht0", "prefetcht1", "prefetcht2",
+        "clflush",
+    )
+)
+
+_OPCODES = {name: code for code, name in enumerate(OP_NAMES)}
+
+
+class CompiledTrace:
+    """An op list pre-resolved to flat set indices (see module docstring)."""
+
+    __slots__ = (
+        "config_name", "length", "opcodes", "cores", "tags",
+        "l1_base", "l2_base", "llc_base", "op_counts", "_rows",
+    )
+
+    def __init__(
+        self,
+        config_name: str,
+        opcodes: np.ndarray,
+        cores: np.ndarray,
+        tags: np.ndarray,
+        l1_base: np.ndarray,
+        l2_base: np.ndarray,
+        llc_base: np.ndarray,
+        op_counts: Tuple[int, ...],
+    ):
+        self.config_name = config_name
+        self.length = len(opcodes)
+        self.opcodes = opcodes
+        self.cores = cores
+        self.tags = tags
+        self.l1_base = l1_base
+        self.l2_base = l2_base
+        self.llc_base = llc_base
+        #: Executed-op tally per opcode, precomputed so metrics flushing
+        #: costs nothing per op.
+        self.op_counts = op_counts
+        self._rows = None
+
+    def __len__(self) -> int:
+        return self.length
+
+    def rows(self) -> list:
+        """The trace as a list of ``(code, core, tag, b1, b2, b3)`` tuples.
+
+        CPython iterates plain tuples faster than ndarray rows, and the
+        zip is materialized once: replays of the same compiled trace
+        (sweep trials, benchmark rounds) skip the per-op tuple allocation
+        entirely.  The arrays are treated as immutable after compile.
+        """
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = list(
+                zip(
+                    self.opcodes.tolist(), self.cores.tolist(),
+                    self.tags.tolist(), self.l1_base.tolist(),
+                    self.l2_base.tolist(), self.llc_base.tolist(),
+                )
+            )
+        return rows
+
+    def ops(self) -> Iterator[Tuple[str, int, int]]:
+        """Reconstruct the ``(op, core, addr)`` stream.
+
+        Addresses come back as line addresses (offset bits zeroed); cache
+        behaviour is line-granular, so replaying them through the object
+        engine is bit-identical to replaying the original trace.
+        """
+        names = OP_NAMES
+        for code, core, tag in zip(
+            self.opcodes.tolist(), self.cores.tolist(), self.tags.tolist()
+        ):
+            yield names[code], core, tag
+
+
+def compile_trace(machine, ops: Iterable[Tuple[str, int, int]]) -> CompiledTrace:
+    """Pre-resolve a trace against ``machine``'s config and set mappings.
+
+    The per-line decomposition is memoized on the machine (the working set
+    of any experiment is a bounded set of lines), so recompiling related
+    traces — or the same trace with fresh pollution interleaved — costs one
+    dict hit per op.
+    """
+    hierarchy = machine.hierarchy
+    l1_map = hierarchy.l1_mapping
+    l2_map = hierarchy.l2_mapping
+    llc_map = hierarchy.llc_mapping
+    l1_geo = machine.config.l1
+    l2_geo = machine.config.l2
+    llc_geo = machine.config.llc
+    n_cores = machine.config.cores
+    try:
+        memo = machine._compile_memo
+    except AttributeError:
+        memo = machine._compile_memo = {}
+    memo_get = memo.get
+    opcode_get = _OPCODES.get
+
+    codes = []
+    cores = []
+    tags = []
+    b1s = []
+    b2s = []
+    b3s = []
+    op_counts = [0] * len(OP_NAMES)
+    for op, core, addr in ops:
+        code = opcode_get(op)
+        if code is None:
+            raise SimulationError(f"unknown trace op {op!r}")
+        if not 0 <= core < n_cores:
+            raise SimulationError(
+                f"core {core} out of range for {n_cores}-core machine"
+            )
+        entry = memo_get(addr)
+        if entry is None:
+            sl, si = l1_map.flat_index(addr)
+            b1 = (sl * l1_geo.sets + si) * l1_geo.ways
+            sl, si = l2_map.flat_index(addr)
+            b2 = (sl * l2_geo.sets + si) * l2_geo.ways
+            sl, si = llc_map.flat_index(addr)
+            b3 = (sl * llc_geo.sets + si) * llc_geo.ways
+            tag = (addr >> LINE_OFFSET_BITS) << LINE_OFFSET_BITS
+            entry = memo[addr] = (tag, b1, b2, b3)
+        codes.append(code)
+        cores.append(core)
+        tags.append(entry[0])
+        b1s.append(entry[1])
+        b2s.append(entry[2])
+        b3s.append(entry[3])
+        op_counts[code] += 1
+    return CompiledTrace(
+        config_name=machine.config.name,
+        opcodes=np.asarray(codes, dtype=np.int64),
+        cores=np.asarray(cores, dtype=np.int64),
+        tags=np.asarray(tags, dtype=np.int64),
+        l1_base=np.asarray(b1s, dtype=np.int64),
+        l2_base=np.asarray(b2s, dtype=np.int64),
+        llc_base=np.asarray(b3s, dtype=np.int64),
+        op_counts=tuple(op_counts),
+    )

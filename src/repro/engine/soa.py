@@ -1,0 +1,880 @@
+"""Struct-of-arrays batch execution of memory-op traces.
+
+The object engine walks each op through ``CacheHierarchy`` →
+``CacheLevel`` → ``CacheSet`` → per-line ``ReplacementPolicy`` calls.  This
+module executes the same semantics over flat per-level **planes** — parallel
+arrays indexed by ``(slice * sets + set) * ways + way`` — in one monolithic
+loop with no per-op object allocation and no per-op method dispatch:
+
+* ``tags[slot]``   line address stored in the way, ``-1`` when invalid
+* ``ages[slot]``   Quad-age / RRPV age (0 for policies that ignore it)
+* ``busy[slot]``   fill-completion cycle (in-flight lines are unevictable)
+* ``pref[slot]``   PREFETCHNTA-fill marker
+* per-set arrays   valid-way counts, Quad-age promotion counters,
+                   packed Tree-PLRU state ints (one per set, driven by
+                   precomputed transition tables), Bit-PLRU MRU bits,
+                   LRU stacks
+* per-core vectors PMU-analog counter deltas
+
+The object hierarchy stays authoritative *between* batches: ``execute``
+imports live cache state into the planes, runs the compiled trace, and
+writes state, statistics, and PMU deltas back.  That sync-in/sync-out
+contract is what makes the backend bit-identical to the object engine —
+and makes PR-4 checkpoints interoperate for free, because
+``capture()``/``restore()`` always see fully synchronized object state.
+
+Plane storage is allocated once per machine and reset incrementally (only
+sets dirtied by the previous batch), so small batches don't pay for the
+8192-set LLC.  The mutable hot-path planes are flat Python buffers —
+CPython scalar indexing on lists beats ndarray scalar indexing — while the
+compiled traces (:mod:`repro.engine.compile`) and the public
+:func:`hierarchy_arrays` / :func:`pmu_vectors` views are NumPy arrays.
+
+Supported configurations: Tree-PLRU private levels (the only private
+policy :class:`~repro.cache.hierarchy.CacheHierarchy` installs) and any of
+the five stock LLC policies (Quad-age LRU, TrueLRU, Tree-PLRU, Bit-PLRU,
+SRRIP) constructed with their stock classes.  Machines with exotic policy
+subclasses fall back to the object engine (or raise, when the caller
+demanded ``backend="soa"`` explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cache.cacheset import CacheSet
+from ..cache.lru import TrueLRU
+from ..cache.plru import BitPLRU, TreePLRU
+from ..cache.qlru import QuadAgeLRU
+from ..cache.srrip import SRRIP
+from ..errors import SimulationError
+from .compile import OP_NAMES, CompiledTrace
+
+#: LLC policy kinds the flat executor implements.
+KIND_QLRU, KIND_TRUELRU, KIND_TREEPLRU, KIND_BITPLRU, KIND_SRRIP = range(5)
+
+_MAX_AGE = 3  # == qlru.MAX_AGE == srrip.MAX_RRPV
+
+#: Per-associativity Tree-PLRU lookup tables (see :func:`_plru_tables`).
+_PLRU_TABLES: Dict[int, Tuple[List[int], List[int], List[int]]] = {}
+
+
+def _plru_tables(ways: int) -> Tuple[List[int], List[int], List[int]]:
+    """Precomputed Tree-PLRU transition tables for one associativity.
+
+    A set's whole PLRU tree packs into one ``ways - 1``-bit int (bit ``i``
+    = tree node ``i``), which turns the per-op tree walks into table
+    lookups:
+
+    * touch(way):  ``state = state & and_mask[way] | or_mask[way]``
+    * victim():    ``victim[state]``  (walk every reachable state once,
+      at table-build time)
+
+    Bit semantics match :class:`~repro.cache.plru.TreePLRU`: walking
+    *right* writes 0, walking *left* writes 1; following the tree goes
+    right on 1 and left on 0.
+    """
+    entry = _PLRU_TABLES.get(ways)
+    if entry is not None:
+        return entry
+    full = (1 << (ways - 1)) - 1
+    and_masks: List[int] = []
+    or_masks: List[int] = []
+    for way in range(ways):
+        am, om = full, 0
+        node, low, size = 0, 0, ways
+        while size > 1:
+            half = size >> 1
+            am &= full ^ (1 << node)
+            if way >= low + half:
+                node += node + 2
+                low += half
+            else:
+                om |= 1 << node
+                node += node + 1
+            size = half
+        and_masks.append(am)
+        or_masks.append(om)
+    victims: List[int] = []
+    for state in range(1 << (ways - 1)):
+        node, low, size = 0, 0, ways
+        while size > 1:
+            half = size >> 1
+            if (state >> node) & 1:
+                node += node + 2
+                low += half
+            else:
+                node += node + 1
+            size = half
+        victims.append(low)
+    entry = _PLRU_TABLES[ways] = (and_masks, or_masks, victims)
+    return entry
+
+
+def _llc_kind(level) -> Optional[tuple]:
+    """Kind tuple for a level's policy factory, or None if unsupported.
+
+    Instantiates one probe policy: factories close over their parameters,
+    so a fresh instance carries the exact configuration every per-set
+    instance will get.
+    """
+    try:
+        probe = level._policy_factory(level.geometry.ways)
+    except Exception:
+        return None
+    t = type(probe)
+    if t is QuadAgeLRU:
+        return (
+            KIND_QLRU,
+            probe.load_insert_age,
+            probe.prefetch_insert_age,
+            probe.prefetch_hit_updates,
+        )
+    if t is TrueLRU:
+        return (KIND_TRUELRU,)
+    if t is TreePLRU:
+        return (KIND_TREEPLRU,)
+    if t is BitPLRU:
+        return (KIND_BITPLRU,)
+    if t is SRRIP:
+        return (KIND_SRRIP, probe.insert_rrpv, probe.hit_promotion)
+    return None
+
+
+def supports(machine) -> bool:
+    """Whether the SoA backend can execute traces for ``machine``.
+
+    The answer is a pure function of the machine's policy factories, so it
+    is computed once and cached on the machine.
+    """
+    try:
+        return machine._soa_supported
+    except AttributeError:
+        pass
+    hierarchy = machine.hierarchy
+    ok = (
+        _llc_kind(hierarchy.l1s[0]) == (KIND_TREEPLRU,)
+        and _llc_kind(hierarchy.l2s[0]) == (KIND_TREEPLRU,)
+    )
+    llc = _llc_kind(hierarchy.llc) if ok else None
+    machine._soa_llc_kind = llc
+    machine._soa_supported = ok = ok and llc is not None
+    return ok
+
+
+class _Plane:
+    """Flat mutable state of one cache level (see module docstring)."""
+
+    __slots__ = (
+        "ways", "way_shift", "way_mask", "sets_per_slice",
+        "tags", "ages", "busy", "pref", "nvalid", "bits", "mru", "promo",
+        "stacks", "present", "live", "dirty",
+    )
+
+    def __init__(self, geometry, kind: int):
+        ways = geometry.ways
+        size = geometry.slices * geometry.sets * ways
+        n_sets = geometry.slices * geometry.sets
+        self.ways = ways
+        # Power-of-two associativity gets shift/mask slot decomposition;
+        # Tree-PLRU guarantees it for the levels that need it.
+        if ways & (ways - 1) == 0:
+            self.way_shift = ways.bit_length() - 1
+            self.way_mask = ways - 1
+        else:
+            self.way_shift = -1
+            self.way_mask = 0
+        self.sets_per_slice = geometry.sets
+        self.tags = [-1] * size
+        self.ages = [0] * size
+        self.busy = [0] * size
+        self.pref = [False] * size
+        self.nvalid = [0] * n_sets
+        #: One packed Tree-PLRU state int per set (see _plru_tables).
+        self.bits = [0] * n_sets if kind == KIND_TREEPLRU else None
+        self.mru = [False] * size if kind == KIND_BITPLRU else None
+        self.promo = [0] * n_sets if kind == KIND_QLRU else None
+        self.stacks: Dict[int, List[int]] = {}
+        self.present: Dict[int, int] = {}
+        #: base -> flat (slice, set) key, or None for sets first touched by
+        #: this batch (resolved lazily at sync-out).
+        self.live: Dict[int, Optional[Tuple[int, int]]] = {}
+        #: bases written by the previous batch, still to be reset.
+        self.dirty: List[int] = []
+
+    # -- batch sync --------------------------------------------------------
+
+    def sync_in(self, level) -> None:
+        """Reset previously dirtied sets, then import the level's live state."""
+        ways = self.ways
+        tags = self.tags
+        nvalid = self.nvalid
+        bits = self.bits
+        mru = self.mru
+        promo = self.promo
+        for base in self.dirty:
+            for slot in range(base, base + ways):
+                tags[slot] = -1
+            s = base // ways
+            nvalid[s] = 0
+            if bits is not None:
+                bits[s] = 0
+            if mru is not None:
+                for slot in range(base, base + ways):
+                    mru[slot] = False
+            if promo is not None:
+                promo[s] = 0
+        self.dirty = []
+        self.stacks.clear()
+        self.present.clear()
+        self.live.clear()
+        ages = self.ages
+        busy = self.busy
+        pref = self.pref
+        present = self.present
+        live = self.live
+        sps = self.sets_per_slice
+        for key, cache_set in level._sets.items():
+            s = key[0] * sps + key[1]
+            base = s * ways
+            live[base] = key
+            nvalid[s] = cache_set._valid
+            for w, line in enumerate(cache_set.ways):
+                if line is not None:
+                    slot = base + w
+                    tags[slot] = line.tag
+                    ages[slot] = line.age
+                    busy[slot] = line.busy_until
+                    pref[slot] = line.prefetched
+                    present[line.tag] = slot
+            policy = cache_set.policy
+            if bits is not None:
+                b = 0
+                for i, v in enumerate(policy._bits):
+                    if v:
+                        b |= 1 << i
+                bits[s] = b
+            elif mru is not None:
+                mru[base : base + ways] = policy._mru
+            elif promo is not None:
+                promo[s] = policy.age_promotions
+            elif isinstance(policy, TrueLRU):
+                self.stacks[base] = list(policy._stack)
+
+    def sync_out(self, level, stats_delta: List[int]) -> None:
+        """Write plane state and accumulated statistics back into the level."""
+        stats = level.stats
+        stats.hits += stats_delta[0]
+        stats.misses += stats_delta[1]
+        stats.fills += stats_delta[2]
+        stats.evictions += stats_delta[3]
+        stats.invalidations += stats_delta[4]
+        ways = self.ways
+        tags = self.tags
+        ages = self.ages
+        busy = self.busy
+        pref = self.pref
+        bits = self.bits
+        mru = self.mru
+        promo = self.promo
+        stacks = self.stacks
+        stride = ways - 1
+        sps = self.sets_per_slice
+        sets = level._sets
+        factory = level._policy_factory
+        for base, key in self.live.items():
+            s = base // ways
+            if key is None:
+                key = (s // sps, s % sps)
+            cache_set = sets.get(key)
+            if cache_set is None:
+                cache_set = sets[key] = CacheSet(factory(ways))
+            way_states = tuple(
+                None
+                if tags[slot] == -1
+                else (tags[slot], ages[slot], busy[slot], pref[slot])
+                for slot in range(base, base + ways)
+            )
+            if bits is not None:
+                b = bits[s]
+                policy_state: tuple = tuple((b >> i) & 1 for i in range(stride))
+            elif mru is not None:
+                policy_state = tuple(mru[base : base + ways])
+            elif promo is not None:
+                policy_state = (promo[s],)
+            elif isinstance(cache_set.policy, TrueLRU):
+                policy_state = tuple(stacks.get(base, ()))
+            else:
+                policy_state = ()
+            cache_set.restore((way_states, policy_state))
+        # Everything this batch touched must be reset before the next one.
+        self.dirty = list(self.live)
+
+
+def _planes(machine) -> tuple:
+    """The machine's cached plane set, allocating on first use."""
+    try:
+        return machine._soa_planes
+    except AttributeError:
+        pass
+    config = machine.config
+    llc_kind = machine._soa_llc_kind[0]
+    planes = (
+        [_Plane(config.l1, KIND_TREEPLRU) for _ in range(config.cores)],
+        [_Plane(config.l2, KIND_TREEPLRU) for _ in range(config.cores)],
+        _Plane(config.llc, llc_kind),
+    )
+    machine._soa_planes = planes
+    return planes
+
+
+def execute(machine, compiled: CompiledTrace, record: bool = False):
+    """Run a compiled trace on the SoA planes; returns the result list or None.
+
+    Mutates the machine exactly as the object engine's ``run_trace`` loop
+    would: cache state, level statistics, per-core PMU counters, and the
+    sequential clock.  Callers (``Machine.run_trace``) own metrics flushing
+    and pollution wiring.
+    """
+    if not supports(machine):
+        raise SimulationError(
+            "SoA backend does not support this machine's replacement policies"
+        )
+    if compiled.config_name != machine.config.name:
+        raise SimulationError(
+            f"compiled trace is for config {compiled.config_name!r}, "
+            f"machine is {machine.config.name!r}"
+        )
+    hierarchy = machine.hierarchy
+    config = machine.config
+    n_cores = config.cores
+    l1_planes, l2_planes, llc = _planes(machine)
+    for c in range(n_cores):
+        l1_planes[c].sync_in(hierarchy.l1s[c])
+        l2_planes[c].sync_in(hierarchy.l2s[c])
+    llc.sync_in(hierarchy.llc)
+
+    lat = config.latency
+    LAT_L1 = lat.l1_hit
+    LAT_L2 = lat.l2_hit
+    LAT_LLC = lat.llc_hit
+    LAT_DRAM = lat.dram
+    LAT_PREF = lat.prefetch_issue
+    LAT_FLUSH = lat.clflush
+    LAT_FLUSH_CACHED = lat.clflush + lat.clflush_cached_extra
+    R_L1_LOAD = hierarchy._r_l1_load
+    R_L1_PREF = hierarchy._r_l1_prefetch
+    R_L2_LOAD = hierarchy._r_l2_load
+    R_L2_PREF = hierarchy._r_l2_prefetch
+    R_LLC = hierarchy._r_llc
+    R_DRAM = hierarchy._r_dram
+    R_FLUSH = hierarchy._r_flush
+    R_FLUSH_CACHED = hierarchy._r_flush_cached
+
+    # Private-level geometry (power of two: Tree-PLRU enforces it).
+    W1 = config.l1.ways
+    W1_SHIFT = W1.bit_length() - 1
+    W1_M1 = W1 - 1
+    W2 = config.l2.ways
+    W2_SHIFT = W2.bit_length() - 1
+    W2_M1 = W2 - 1
+    W3 = config.llc.ways
+
+    llc_kind = machine._soa_llc_kind
+    LKIND = llc_kind[0]
+    if LKIND == KIND_QLRU:
+        LOAD_AGE, PREF_AGE, PHU = llc_kind[1], llc_kind[2], llc_kind[3]
+    elif LKIND == KIND_SRRIP:
+        INSERT_RRPV, HIT_HP = llc_kind[1], llc_kind[2] == "hp"
+
+    # Hot-loop local bindings of plane buffers.
+    l1_tags = [p.tags for p in l1_planes]
+    l1_bits = [p.bits for p in l1_planes]
+    l1_nval = [p.nvalid for p in l1_planes]
+    l1_present = [p.present for p in l1_planes]
+    l2_tags = [p.tags for p in l2_planes]
+    l2_bits = [p.bits for p in l2_planes]
+    l2_nval = [p.nvalid for p in l2_planes]
+    l2_present = [p.present for p in l2_planes]
+    ltags = llc.tags
+    lages = llc.ages
+    lbusy = llc.busy
+    lpref = llc.pref
+    lnval = llc.nvalid
+    lbits = llc.bits
+    lmru = llc.mru
+    lpromo = llc.promo
+    lstacks = llc.stacks
+    lpresent = llc.present
+    llive = llc.live
+
+    # Per-plane LevelStats deltas: [hits, misses, fills, evictions, invals].
+    l1_stats = [[0] * 5 for _ in range(n_cores)]
+    l2_stats = [[0] * 5 for _ in range(n_cores)]
+    llc_stats = [0] * 5
+    # Per-core PMU deltas.
+    d_refs = [0] * n_cores
+    d_flush = [0] * n_cores
+    d_llc_ref = [0] * n_cores
+    d_llc_miss = [0] * n_cores
+
+    core_range = range(n_cores)
+
+    def _make_priv_fill(plane, W, WSHIFT, stats):
+        """Build a per-core fill closure mirroring CacheSet.fill on a
+        Tree-PLRU private plane.
+
+        Every plane buffer is closure-bound, so a fill is a single call
+        with no attribute loads; the Tree-PLRU victim walk and touch are
+        the precomputed table lookups of :func:`_plru_tables`.  Dropped
+        fills (every way in flight — only possible for pathological
+        imported state; private fills never set ``busy``) account
+        nothing, matching the object engine.
+        """
+        tags = plane.tags
+        ages = plane.ages
+        busy = plane.busy
+        pref = plane.pref
+        bits = plane.bits
+        nval = plane.nvalid
+        present = plane.present
+        live = plane.live
+        t_and, t_or, t_vict = _plru_tables(W)
+
+        def fill(base, tag, now):
+            if base not in live:
+                live[base] = None
+            s = base >> WSHIFT
+            n = nval[s]
+            if n < W:
+                slot = tags.index(-1, base, base + W)
+                way = slot - base
+                nval[s] = n + 1
+            else:
+                way = t_vict[bits[s]]
+                slot = base + way
+                if busy[slot] > now:
+                    slot = -1
+                    for cand in range(base, base + W):
+                        if busy[cand] <= now:
+                            slot = cand
+                            break
+                    if slot < 0:
+                        return
+                    way = slot - base
+                del present[tags[slot]]
+                stats[3] += 1
+            tags[slot] = tag
+            ages[slot] = 0
+            busy[slot] = 0
+            pref[slot] = False
+            present[tag] = slot
+            stats[2] += 1
+            bits[s] = bits[s] & t_and[way] | t_or[way]  # on_fill touch
+
+        return fill
+
+    l1_fill = [
+        _make_priv_fill(l1_planes[c], W1, W1_SHIFT, l1_stats[c])
+        for c in core_range
+    ]
+    l2_fill = [
+        _make_priv_fill(l2_planes[c], W2, W2_SHIFT, l2_stats[c])
+        for c in core_range
+    ]
+
+    # Tree-PLRU transition tables for the hit-path touches.
+    T1_AND, T1_OR, _ = _plru_tables(W1)
+    T2_AND, T2_OR, _ = _plru_tables(W2)
+    if LKIND == KIND_TREEPLRU:
+        T3_AND, T3_OR, T3_VICT = _plru_tables(W3)
+
+    def _llc_hit(slot, is_pref):
+        """Mirror of the LLC policy's on_hit."""
+        if LKIND == KIND_QLRU:
+            if is_pref and not PHU:
+                return
+            a = lages[slot]
+            if a > 0:
+                lages[slot] = a - 1
+            if not is_pref:
+                lpref[slot] = False
+        elif LKIND == KIND_SRRIP:
+            if HIT_HP:
+                lages[slot] = 0
+            else:
+                a = lages[slot]
+                if a > 0:
+                    lages[slot] = a - 1
+        elif LKIND == KIND_TREEPLRU:
+            s = slot // W3
+            way = slot - s * W3
+            lbits[s] = lbits[s] & T3_AND[way] | T3_OR[way]
+        elif LKIND == KIND_BITPLRU:
+            _bitplru_mark(slot)
+        else:  # KIND_TRUELRU
+            base = (slot // W3) * W3
+            stack = lstacks.get(base)
+            if stack is None:
+                stack = lstacks[base] = []
+            way = slot - base
+            if way in stack:
+                stack.remove(way)
+            stack.insert(0, way)
+
+    def _bitplru_mark(slot):
+        lmru[slot] = True
+        base = (slot // W3) * W3
+        for i in range(base, base + W3):
+            if not lmru[i]:
+                return
+        for i in range(base, base + W3):
+            lmru[i] = False
+        lmru[slot] = True
+
+    def _fill_llc(base, tag, is_pref, now, busy_until):
+        """Mirror of CacheLevel.fill on the LLC plane.
+
+        Returns ``(evicted_tag, inserted)`` with ``-1`` for "nothing
+        evicted"; accounts fills/evictions in ``llc_stats``.
+        """
+        if base not in llive:
+            llive[base] = None
+        s = base // W3
+        n = lnval[s]
+        evicted = -1
+        if n < W3:
+            slot = ltags.index(-1, base, base + W3)
+            lnval[s] = n + 1
+        else:
+            slot = -1
+            if LKIND == KIND_QLRU or LKIND == KIND_SRRIP:
+                # Fast path: the first evictable way (way order) already at
+                # max age — identical to the object engine's first scan
+                # round, without materializing the evictable list.
+                for i in range(base, base + W3):
+                    if lages[i] == _MAX_AGE and lbusy[i] <= now:
+                        slot = i
+                        break
+                if slot < 0:
+                    evictable = [
+                        i for i in range(base, base + W3) if lbusy[i] <= now
+                    ]
+                    if not evictable:
+                        return -1, False
+                    for _ in range(_MAX_AGE):
+                        aged = 0
+                        for i in evictable:
+                            if lages[i] < _MAX_AGE:
+                                lages[i] += 1
+                                aged += 1
+                        if LKIND == KIND_QLRU:
+                            lpromo[s] += aged
+                        for i in evictable:
+                            if lages[i] == _MAX_AGE:
+                                slot = i
+                                break
+                        if slot >= 0:
+                            break
+            elif LKIND == KIND_TREEPLRU:
+                slot = base + T3_VICT[lbits[s]]
+                if lbusy[slot] > now:
+                    slot = -1
+                    for i in range(base, base + W3):
+                        if lbusy[i] <= now:
+                            slot = i
+                            break
+                    if slot < 0:
+                        return -1, False
+            elif LKIND == KIND_BITPLRU:
+                for i in range(base, base + W3):
+                    if not lmru[i] and lbusy[i] <= now:
+                        slot = i
+                        break
+                if slot < 0:
+                    for i in range(base, base + W3):
+                        if lbusy[i] <= now:
+                            slot = i
+                            break
+                    if slot < 0:
+                        return -1, False
+                lmru[slot] = False  # on_invalidate of the victim
+            else:  # KIND_TRUELRU
+                stack = lstacks.get(base)
+                if stack is None:
+                    stack = lstacks[base] = []
+                for way in reversed(stack):
+                    i = base + way
+                    if ltags[i] != -1 and lbusy[i] <= now:
+                        slot = i
+                        break
+                if slot < 0:
+                    for way in range(W3):
+                        i = base + way
+                        if ltags[i] != -1 and lbusy[i] <= now and way not in stack:
+                            slot = i
+                            break
+                    if slot < 0:
+                        return -1, False
+                way = slot - base
+                if way in stack:  # on_invalidate of the victim
+                    stack.remove(way)
+            evicted = ltags[slot]
+            del lpresent[evicted]
+            llc_stats[3] += 1
+        ltags[slot] = tag
+        lbusy[slot] = busy_until
+        lpref[slot] = is_pref
+        lpresent[tag] = slot
+        # on_fill per policy kind.
+        if LKIND == KIND_QLRU:
+            lages[slot] = PREF_AGE if is_pref else LOAD_AGE
+        elif LKIND == KIND_SRRIP:
+            lages[slot] = _MAX_AGE if is_pref else INSERT_RRPV
+        elif LKIND == KIND_TREEPLRU:
+            lages[slot] = 0
+            way = slot - base
+            lbits[s] = lbits[s] & T3_AND[way] | T3_OR[way]
+        elif LKIND == KIND_BITPLRU:
+            lages[slot] = 0
+            _bitplru_mark(slot)
+        else:  # KIND_TRUELRU
+            lages[slot] = 0
+            stack = lstacks.get(base)
+            if stack is None:
+                stack = lstacks[base] = []
+            way = slot - base
+            if way in stack:
+                stack.remove(way)
+            stack.insert(0, way)
+        llc_stats[2] += 1
+        return evicted, True
+
+    def _back_inval(tag):
+        """Inclusion: purge every private copy of an evicted/flushed tag."""
+        for c in core_range:
+            slot = l1_present[c].pop(tag, None)
+            if slot is not None:
+                l1_tags[c][slot] = -1
+                l1_nval[c][slot >> W1_SHIFT] -= 1
+                l1_stats[c][4] += 1
+        for c in core_range:
+            slot = l2_present[c].pop(tag, None)
+            if slot is not None:
+                l2_tags[c][slot] = -1
+                l2_nval[c][slot >> W2_SHIFT] -= 1
+                l2_stats[c][4] += 1
+
+    results: Optional[List] = [] if record else None
+    rappend = results.append if record else None
+    clock = machine.clock
+
+    for code, core, tag, b1, b2, b3 in compiled.rows():
+        if code <= 2:  # load / prefetchnta / prefetcht0 all probe L1 first
+            d_refs[core] += 1
+            slot = l1_present[core].get(tag)
+            stats = l1_stats[core]
+            if slot is not None:
+                stats[0] += 1
+                bits = l1_bits[core]
+                s = slot >> W1_SHIFT
+                way = slot & W1_M1
+                bits[s] = bits[s] & T1_AND[way] | T1_OR[way]
+                if code == 0:
+                    clock += LAT_L1
+                    if record:
+                        rappend(R_L1_LOAD)
+                else:  # prefetchnta / prefetcht0 report the issue cost
+                    clock += LAT_PREF
+                    if record:
+                        rappend(R_L1_PREF)
+                continue
+            stats[1] += 1
+            slot = l2_present[core].get(tag)
+            stats = l2_stats[core]
+            if slot is not None:
+                stats[0] += 1
+                bits = l2_bits[core]
+                s = slot >> W2_SHIFT
+                way = slot & W2_M1
+                bits[s] = bits[s] & T2_AND[way] | T2_OR[way]
+                l1_fill[core](b1, tag, clock)
+                clock += LAT_L2
+                if record:
+                    rappend(R_L2_LOAD)
+                continue
+            stats[1] += 1
+            is_nta = code == 1
+            slot = lpresent.get(tag)
+            if slot is not None:
+                llc_stats[0] += 1
+                # Property #2: a PREFETCHNTA hit does not refresh the age.
+                _llc_hit(slot, is_nta)
+                if not is_nta:
+                    l2_fill[core](b2, tag, clock)
+                l1_fill[core](b1, tag, clock)
+                d_llc_ref[core] += 1
+                clock += LAT_LLC
+                if record:
+                    rappend(R_LLC)
+                continue
+            llc_stats[1] += 1
+            # Property #1: a PREFETCHNTA miss installs the eviction candidate.
+            evicted, inserted = _fill_llc(b3, tag, is_nta, clock, clock + LAT_DRAM)
+            if evicted != -1:
+                _back_inval(evicted)
+            if inserted:
+                if not is_nta:
+                    l2_fill[core](b2, tag, clock)
+                l1_fill[core](b1, tag, clock)
+            d_llc_ref[core] += 1
+            d_llc_miss[core] += 1
+            clock += LAT_DRAM
+            if record:
+                rappend(R_DRAM)
+        elif code == 5:  # clflush
+            d_flush[core] += 1
+            slot = lpresent.pop(tag, None)
+            if slot is not None:
+                if LKIND == KIND_TRUELRU:
+                    base = (slot // W3) * W3
+                    stack = lstacks.get(base)
+                    way = slot - base
+                    if stack is not None and way in stack:
+                        stack.remove(way)
+                elif LKIND == KIND_BITPLRU:
+                    lmru[slot] = False
+                ltags[slot] = -1
+                lnval[slot // W3] -= 1
+                llc_stats[4] += 1
+                was_cached = True
+            else:
+                was_cached = False
+            _back_inval(tag)
+            if was_cached:
+                clock += LAT_FLUSH_CACHED
+                if record:
+                    rappend(R_FLUSH_CACHED)
+            else:
+                clock += LAT_FLUSH
+                if record:
+                    rappend(R_FLUSH)
+        else:  # prefetcht1 / prefetcht2
+            d_refs[core] += 1
+            if tag in l1_present[core]:  # presence check only: no stats
+                clock += LAT_PREF
+                if record:
+                    rappend(R_L1_PREF)
+                continue
+            slot = l2_present[core].get(tag)
+            stats = l2_stats[core]
+            if slot is not None:
+                stats[0] += 1
+                bits = l2_bits[core]
+                s = slot >> W2_SHIFT
+                way = slot & W2_M1
+                bits[s] = bits[s] & T2_AND[way] | T2_OR[way]
+                clock += LAT_PREF
+                if record:
+                    rappend(R_L2_PREF)
+                continue
+            stats[1] += 1
+            slot = lpresent.get(tag)
+            if slot is not None:
+                llc_stats[0] += 1
+                _llc_hit(slot, False)  # demand-age treatment: not leaky
+                l2_fill[core](b2, tag, clock)
+                d_llc_ref[core] += 1
+                clock += LAT_LLC
+                if record:
+                    rappend(R_LLC)
+                continue
+            llc_stats[1] += 1
+            evicted, inserted = _fill_llc(b3, tag, False, clock, clock + LAT_DRAM)
+            if evicted != -1:
+                _back_inval(evicted)
+            if inserted:
+                l2_fill[core](b2, tag, clock)
+            d_llc_ref[core] += 1
+            d_llc_miss[core] += 1
+            clock += LAT_DRAM
+            if record:
+                rappend(R_DRAM)
+
+    # -- sync-out ----------------------------------------------------------
+    machine.clock = clock
+    for c in core_range:
+        core = machine.cores[c]
+        core.memory_references += d_refs[c]
+        core.flushes += d_flush[c]
+        core.llc_references += d_llc_ref[c]
+        core.llc_misses += d_llc_miss[c]
+        l1_planes[c].sync_out(hierarchy.l1s[c], l1_stats[c])
+        l2_planes[c].sync_out(hierarchy.l2s[c], l2_stats[c])
+    llc.sync_out(hierarchy.llc, llc_stats)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Public NumPy views (introspection, tests, docs examples)
+# ----------------------------------------------------------------------
+
+def hierarchy_arrays(machine) -> Dict[str, Dict[str, np.ndarray]]:
+    """The hierarchy's current state as ``[set, way]``-shaped NumPy planes.
+
+    One entry per level (``L1[0]``, …, ``LLC``) with ``tags`` (``-1`` =
+    invalid), ``ages``, ``valid``, ``busy``, and ``prefetched`` arrays.
+    Built fresh from the object state, so it reflects the ground truth
+    under either backend.
+    """
+    out: Dict[str, Dict[str, np.ndarray]] = {}
+    for level in machine.hierarchy.levels():
+        geo = level.geometry
+        n_sets = geo.slices * geo.sets
+        ways = geo.ways
+        tags = np.full((n_sets, ways), -1, dtype=np.int64)
+        ages = np.zeros((n_sets, ways), dtype=np.int64)
+        busy = np.zeros((n_sets, ways), dtype=np.int64)
+        valid = np.zeros((n_sets, ways), dtype=bool)
+        pref = np.zeros((n_sets, ways), dtype=bool)
+        for (sl, si), cache_set in level._sets.items():
+            s = sl * geo.sets + si
+            for w, line in enumerate(cache_set.ways):
+                if line is not None:
+                    tags[s, w] = line.tag
+                    ages[s, w] = line.age
+                    busy[s, w] = line.busy_until
+                    valid[s, w] = True
+                    pref[s, w] = line.prefetched
+        out[level.name] = {
+            "tags": tags, "ages": ages, "valid": valid,
+            "busy": busy, "prefetched": pref,
+        }
+    return out
+
+
+def pmu_vectors(machine) -> Dict[str, np.ndarray]:
+    """Per-core PMU-analog counters as NumPy vectors (index = core id)."""
+    cores = machine.cores
+    return {
+        "memory_references": np.array(
+            [c.memory_references for c in cores], dtype=np.int64
+        ),
+        "flushes": np.array([c.flushes for c in cores], dtype=np.int64),
+        "llc_references": np.array(
+            [c.llc_references for c in cores], dtype=np.int64
+        ),
+        "llc_misses": np.array([c.llc_misses for c in cores], dtype=np.int64),
+    }
+
+
+__all__ = [
+    "CompiledTrace",
+    "OP_NAMES",
+    "execute",
+    "hierarchy_arrays",
+    "pmu_vectors",
+    "supports",
+]

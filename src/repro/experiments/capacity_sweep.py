@@ -25,6 +25,7 @@ from ..runner import (
     run_shards,
     run_warm_shards,
 )
+from ..engine import resolve_backend
 from ..sim.machine import Machine
 from ..victims.noise import NoiseConfig
 
@@ -82,7 +83,10 @@ def _message(n_bits: int, seed: int) -> List[int]:
 
 def _capacity_setup(prefix: dict) -> tuple:
     """Shared trial prefix: machine build + channel construction/calibration."""
-    machine = Machine(prefix["config"], seed=prefix["machine_seed"])
+    machine = Machine(
+        prefix["config"], seed=prefix["machine_seed"],
+        backend=prefix.get("engine"),
+    )
     if prefix["channel"] == "ntp+ntp":
         chan = NTPNTPChannel(machine, seed=prefix["seed"])
     else:
@@ -106,7 +110,7 @@ def _capacity_body(machine: Machine, chan, shard: Shard) -> dict:
 
 #: Shards agreeing on these params share one machine+channel prefix; only
 #: the interval varies across a sweep, so a whole curve shares one build.
-_CAPACITY_PREFIX_KEYS = ("config", "machine_seed", "channel", "seed")
+_CAPACITY_PREFIX_KEYS = ("config", "machine_seed", "channel", "seed", "engine")
 
 _CAPACITY_PLAN = WarmStartPlan(
     setup=_capacity_setup, body=_capacity_body, prefix_keys=_CAPACITY_PREFIX_KEYS
@@ -142,6 +146,7 @@ def run_capacity_sweep(
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
     warm_start: bool = True,
+    engine: Optional[str] = None,
 ) -> CapacitySweepResult:
     """Sweep one channel on one platform.
 
@@ -155,6 +160,11 @@ def run_capacity_sweep(
     layer; a point whose shard exhausts its retries is dropped from the
     curve (visible in ``runner.failures``) rather than aborting the sweep.
 
+    ``engine`` selects the trace-execution backend for every shard machine
+    (``object`` or ``soa``; default: the probe machine's preference, which
+    itself honours ``REPRO_ENGINE``) and is part of each shard's cache and
+    warm-start identity.
+
     With ``warm_start`` (the default) the machine+channel prefix shared by
     every interval is built once and checkpointed, and each point restores
     it instead of rebuilding — bit-identical to the cold path at any
@@ -167,10 +177,12 @@ def run_capacity_sweep(
     if intervals is None:
         intervals = NTP_NTP_INTERVALS if channel == "ntp+ntp" else PRIME_PROBE_INTERVALS
     probe: Machine = machine_factory()
+    engine = resolve_backend(engine) if engine is not None else probe.backend
     shards = make_shards(seed, [
         {
             "config": probe.config,
             "machine_seed": probe.seed,
+            "engine": engine,
             "channel": channel,
             "interval": interval,
             "n_bits": n_bits,

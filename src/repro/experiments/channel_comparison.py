@@ -29,6 +29,7 @@ from ..runner import (
     run_shards,
     run_warm_shards,
 )
+from ..engine import resolve_backend
 from ..sim.machine import Machine
 
 #: The design space on one table: (name, kind, kwargs, interval, evsets,
@@ -109,9 +110,15 @@ def _comparison_setup(prefix: dict) -> tuple:
         # The occupancy channel runs on its scaled-down demo machine; its
         # probe walks would dominate the simulation at full LLC size.
         machine = make_occupancy_demo_machine(seed=340)
+        engine = prefix.get("engine")
+        if engine is not None:
+            machine.backend = engine
         channel = OccupancyChannel(machine, seed=seed, **prefix["kwargs"])
     else:
-        machine = Machine(prefix["config"], seed=prefix["machine_seed"])
+        machine = Machine(
+            prefix["config"], seed=prefix["machine_seed"],
+            backend=prefix.get("engine"),
+        )
         cls = {
             "ntp": NTPNTPChannel,
             "redundant": RedundantNTPChannel,
@@ -137,7 +144,7 @@ def _comparison_body(machine: Machine, channel, shard: Shard) -> dict:
     return dataclasses.asdict(profile)
 
 
-_COMPARISON_PREFIX_KEYS = ("config", "machine_seed", "kind", "kwargs", "seed")
+_COMPARISON_PREFIX_KEYS = ("config", "machine_seed", "kind", "kwargs", "seed", "engine")
 
 _COMPARISON_PLAN = WarmStartPlan(
     setup=_comparison_setup, body=_comparison_body,
@@ -165,6 +172,7 @@ def run_channel_comparison(
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
     warm_start: bool = True,
+    engine: Optional[str] = None,
 ) -> ComparisonResult:
     """Measure every channel class at a near-optimal operating point.
 
@@ -180,10 +188,12 @@ def run_channel_comparison(
     if machine_factory is None:
         machine_factory = lambda: Machine.skylake(seed=340)  # noqa: E731
     probe = machine_factory()
+    engine = resolve_backend(engine) if engine is not None else probe.backend
     shards = make_shards(seed, [
         {
             "config": probe.config,
             "machine_seed": probe.seed,
+            "engine": engine,
             "name": name,
             "kind": kind,
             "kwargs": kwargs,

@@ -29,6 +29,7 @@ from ..channel.transport import ReliableTransport
 from ..faults import FaultPlan
 from ..obs import MetricsRegistry
 from ..runner import ResultCache, Shard, is_error_record, make_shards, run_shards
+from ..engine import resolve_backend
 from ..sim.machine import Machine
 from ..victims.noise import NoiseConfig
 from .capacity_sweep import _capacity_point_worker
@@ -100,7 +101,9 @@ def _payload(n_bytes: int, seed: int) -> bytes:
 def _chaos_channel_worker(shard: Shard) -> dict:
     """One faulted transport send, rebuilt entirely from the shard."""
     p = shard.params
-    machine = Machine(p["config"], seed=p["machine_seed"])
+    machine = Machine(
+        p["config"], seed=p["machine_seed"], backend=p.get("engine")
+    )
     channel = NTPNTPChannel(machine, seed=p["seed"])
     registry = MetricsRegistry()
     transport = ReliableTransport(
@@ -133,6 +136,7 @@ def run_chaos_sweep(
     metrics: Optional[MetricsRegistry] = None,
     trace=None,
     plan: Optional[FaultPlan] = None,
+    engine: Optional[str] = None,
 ) -> ChaosSweepResult:
     """Run both chaos acts and score them.
 
@@ -149,6 +153,7 @@ def run_chaos_sweep(
     base_plan = plan if plan is not None else FaultPlan(seed=seed)
     registry = metrics if metrics is not None else MetricsRegistry()
     probe = machine_factory()
+    engine = resolve_backend(engine) if engine is not None else probe.backend
     crash_plan = replace(base_plan, crash_probability=crash_probability)
 
     # Act 1 — determinism under runner chaos.
@@ -156,6 +161,7 @@ def run_chaos_sweep(
         {
             "config": probe.config,
             "machine_seed": probe.seed,
+            "engine": engine,
             "channel": "ntp+ntp",
             "interval": interval,
             "n_bits": n_bits,
@@ -181,6 +187,7 @@ def run_chaos_sweep(
         {
             "config": probe.config,
             "machine_seed": probe.seed,
+            "engine": engine,
             "seed": seed,
             "interval": 1500,
             "payload_bytes": payload_bytes,

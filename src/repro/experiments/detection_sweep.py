@@ -26,6 +26,7 @@ from ..runner import (
     run_shards,
     run_warm_shards,
 )
+from ..engine import resolve_backend
 from ..sim.machine import Machine
 from .detection import run_detection_experiment
 
@@ -72,7 +73,13 @@ class DetectionSweepResult:
 
 def _detection_setup(prefix: dict) -> tuple:
     """Shared trial prefix: just the machine build (attacks vary per shard)."""
-    return Machine(prefix["config"], seed=prefix["machine_seed"]), None
+    return (
+        Machine(
+            prefix["config"], seed=prefix["machine_seed"],
+            backend=prefix.get("engine"),
+        ),
+        None,
+    )
 
 
 def _detection_body(machine: Machine, context, shard: Shard) -> dict:
@@ -90,7 +97,7 @@ def _detection_body(machine: Machine, context, shard: Shard) -> dict:
             "false_negative_rate": outcome.false_negative_rate}
 
 
-_DETECTION_PREFIX_KEYS = ("config", "machine_seed")
+_DETECTION_PREFIX_KEYS = ("config", "machine_seed", "engine")
 
 _DETECTION_PLAN = WarmStartPlan(
     setup=_detection_setup, body=_detection_body,
@@ -118,6 +125,7 @@ def run_detection_sweep(
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
     warm_start: bool = True,
+    engine: Optional[str] = None,
 ) -> DetectionSweepResult:
     """Measure FN rates for both attacks across victim periods.
 
@@ -133,10 +141,12 @@ def run_detection_sweep(
     if not periods:
         raise AttackError("need at least one victim period")
     probe = machine_factory()
+    engine = resolve_backend(engine) if engine is not None else probe.backend
     shards = make_shards(probe.seed, [
         {
             "config": probe.config,
             "machine_seed": probe.seed,
+            "engine": engine,
             "attack": name,
             "period": period,
             "duration": duration,

@@ -28,6 +28,7 @@ from ..runner import (
     run_shards,
     run_warm_shards,
 )
+from ..engine import resolve_backend
 from ..sim.machine import Machine
 from ..victims.noise import NoiseConfig
 
@@ -94,7 +95,10 @@ def _build_channel(kind: str, machine: Machine, seed: int, kwargs: dict):
 
 def _noise_setup(prefix: dict) -> tuple:
     """Shared trial prefix: machine build + one variant's channel."""
-    machine = Machine(prefix["config"], seed=prefix["machine_seed"])
+    machine = Machine(
+        prefix["config"], seed=prefix["machine_seed"],
+        backend=prefix.get("engine"),
+    )
     channel = _build_channel(
         prefix["kind"], machine, prefix["seed"], prefix["kwargs"]
     )
@@ -114,7 +118,7 @@ def _noise_body(machine: Machine, channel, shard: Shard) -> dict:
 
 
 #: One prefix per channel variant; the bias levels share it.
-_NOISE_PREFIX_KEYS = ("config", "machine_seed", "kind", "kwargs", "seed")
+_NOISE_PREFIX_KEYS = ("config", "machine_seed", "kind", "kwargs", "seed", "engine")
 
 _NOISE_PLAN = WarmStartPlan(
     setup=_noise_setup, body=_noise_body, prefix_keys=_NOISE_PREFIX_KEYS
@@ -140,6 +144,7 @@ def run_noise_sweep(
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
     warm_start: bool = True,
+    engine: Optional[str] = None,
 ) -> NoiseSweepResult:
     """Sweep noise intensity over the channel variants.
 
@@ -157,10 +162,12 @@ def run_noise_sweep(
     if not biases:
         raise ChannelError("need at least one noise level")
     probe = machine_factory()
+    engine = resolve_backend(engine) if engine is not None else probe.backend
     shards = make_shards(seed, [
         {
             "config": probe.config,
             "machine_seed": probe.seed,
+            "engine": engine,
             "name": name,
             "kind": kind,
             "kwargs": kwargs,

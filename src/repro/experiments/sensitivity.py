@@ -30,6 +30,7 @@ from ..runner import (
     run_shards,
     run_warm_shards,
 )
+from ..engine import resolve_backend
 from ..sim.machine import Machine
 
 DEFAULT_SCALES = (0.8, 1.0, 1.2)
@@ -75,7 +76,7 @@ def _sensitivity_setup(prefix: dict) -> tuple:
     )
     scaled = dataclasses.replace(config, sync=sync)
     base = int(sync.overhead_cycles)
-    machine = Machine(scaled, seed=seed)
+    machine = Machine(scaled, seed=seed, backend=prefix.get("engine"))
     if prefix["channel"] == "ntp":
         channel = NTPNTPChannel(machine, seed=seed)
         intervals = [base + 170, base + 240, base + 340, base + 500]
@@ -101,7 +102,7 @@ def _sensitivity_body(machine: Machine, context, shard: Shard) -> dict:
     return {"scale": p["scale"], "channel": p["channel"], "peak": peak}
 
 
-_SENSITIVITY_PREFIX_KEYS = ("config", "scale", "channel", "seed")
+_SENSITIVITY_PREFIX_KEYS = ("config", "scale", "channel", "seed", "engine")
 
 _SENSITIVITY_PLAN = WarmStartPlan(
     setup=_sensitivity_setup, body=_sensitivity_body,
@@ -130,6 +131,7 @@ def run_sensitivity_experiment(
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
     warm_start: bool = True,
+    engine: Optional[str] = None,
 ) -> SensitivityResult:
     """Scale the sync budget and re-measure both channels' peaks.
 
@@ -144,9 +146,10 @@ def run_sensitivity_experiment(
     """
     if not scales:
         raise ReproError("need at least one scale factor")
+    engine = resolve_backend(engine)
     shards = make_shards(seed, [
         {"config": config, "scale": scale, "channel": channel,
-         "n_bits": n_bits, "seed": seed}
+         "n_bits": n_bits, "seed": seed, "engine": engine}
         for scale in scales
         for channel in ("ntp", "pp")
     ])

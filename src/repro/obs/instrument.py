@@ -50,21 +50,46 @@ class MachineMetrics:
     def __init__(self, machine: "Machine", registry: Optional[MetricsRegistry] = None):
         self.machine = machine
         self.registry = registry if registry is not None else MetricsRegistry()
+        # Instrument handles are resolved once here — not per publish() —
+        # so refreshing at sampling cadence (once per trace batch in the
+        # detector loop) costs gauge.set calls only, no name formatting or
+        # registry lookups.  Level/core/stats objects are stable for the
+        # machine's lifetime (checkpoint restore mutates them in place).
+        gauge = self.registry.gauge
+        self._level_handles = [
+            (
+                level.stats,
+                [
+                    (gauge(f"cache.{level.name}.{field}"), field)
+                    for field in _LEVEL_FIELDS + ("hit_rate",)
+                ],
+            )
+            for level in machine.hierarchy.levels()
+        ]
+        self._core_handles = [
+            (
+                core,
+                [
+                    (gauge(f"core.{core.core_id}.{field}"), field)
+                    for field in _CORE_FIELDS
+                ],
+            )
+            for core in machine.cores
+        ]
+        self._promotions_gauge = gauge("cache.LLC.age_promotions")
+        self._live_sets_gauge = gauge("cache.LLC.live_sets")
 
     def publish(self) -> MetricsRegistry:
         """Refresh every mirrored gauge; returns the registry for chaining."""
-        registry = self.registry
-        for level in self.machine.hierarchy.levels():
-            stats = level.stats
-            for field in _LEVEL_FIELDS:
-                registry.gauge(f"cache.{level.name}.{field}").set(getattr(stats, field))
-            registry.gauge(f"cache.{level.name}.hit_rate").set(stats.hit_rate)
-        registry.gauge("cache.LLC.age_promotions").set(llc_age_promotions(self.machine))
-        registry.gauge("cache.LLC.live_sets").set(self.machine.hierarchy.llc.live_sets)
-        for core in self.machine.cores:
-            for field in _CORE_FIELDS:
-                registry.gauge(f"core.{core.core_id}.{field}").set(getattr(core, field))
-        return registry
+        for stats, handles in self._level_handles:
+            for g, field in handles:
+                g.set(getattr(stats, field))
+        self._promotions_gauge.set(llc_age_promotions(self.machine))
+        self._live_sets_gauge.set(self.machine.hierarchy.llc.live_sets)
+        for core, handles in self._core_handles:
+            for g, field in handles:
+                g.set(getattr(core, field))
+        return self.registry
 
     def core_counters(self, core_id: int) -> tuple:
         """(llc_references, llc_misses, flushes) as last published."""

@@ -117,8 +117,20 @@ class _WarmWorker:
         self.cache_identity = plan.identity()
 
     def cache_components(self, shard: Shard) -> Dict[str, Any]:
-        """Extra cache-key components: the prefix checkpoint digest."""
-        return {"checkpoint": self.digests[canonical_json(self.plan.prefix_of(shard))]}
+        """Extra cache-key components: prefix checkpoint digest + backend.
+
+        The engine backend is folded in explicitly (falling back to the
+        process default when the shard does not carry one) so cached rows
+        are never replayed across backends silently — backends are proven
+        bit-identical by the differential suites, but a cache hit must
+        not be the mechanism enforcing that.
+        """
+        from ..engine import default_backend
+
+        return {
+            "checkpoint": self.digests[canonical_json(self.plan.prefix_of(shard))],
+            "engine": shard.params.get("engine") or default_backend(),
+        }
 
     def __call__(self, shard: Shard) -> Dict[str, Any]:
         plan = self.plan

@@ -12,6 +12,8 @@ from ..cache.replacement import ReplacementPolicy
 from ..config import PlatformConfig, SKYLAKE, KABY_LAKE
 from ..cpu.core import Core
 from ..cpu.timing import TimingModel
+from ..engine import CompiledTrace, OP_NAMES, compile_trace, resolve_backend
+from ..engine import soa as _soa
 from ..errors import ConfigurationError, SimulationError
 from ..faults import FaultPlan, TracePollution
 from ..mem.allocator import AddressSpace, PageAllocator
@@ -95,8 +97,19 @@ class Machine:
         llc_mapping: Optional[CacheSetMapping] = None,
         metrics: Optional[MetricsRegistry] = None,
         faults: Optional[FaultPlan] = None,
+        backend: Optional[str] = None,
     ):
         self.config = config
+        #: Trace-execution backend preference for :meth:`run_trace`
+        #: (``object`` or ``soa``); ``None`` reads the ``REPRO_ENGINE``
+        #: environment variable.  A machine-level preference of ``soa``
+        #: silently falls back to the object engine when the machine's
+        #: policies are unsupported; the per-call ``backend=`` argument of
+        #: :meth:`run_trace` is strict instead.
+        self.backend = resolve_backend(backend)
+        #: Cached metric-counter handles for batch flushing (built lazily;
+        #: the registry is fixed at construction, so handles never go stale).
+        self._engine_counters = None
         #: Metrics sink for batch execution; the default null sink keeps the
         #: hot path at a single boolean check per operation (the <5% gate in
         #: ``benchmarks/test_engine_throughput.py`` covers the enabled case).
@@ -185,18 +198,98 @@ class Machine:
 
     # -- batch execution -----------------------------------------------------
 
+    def _batch_counters(self) -> dict:
+        """Metric-counter handles used by batch flushing, fetched once.
+
+        Instrument handles are resolved through name formatting and a
+        registry dict lookup; caching them per machine keeps enabled-metrics
+        batches at one attribute read per flushed counter instead of
+        re-resolving every name on every batch.
+        """
+        handles = self._engine_counters
+        if handles is None:
+            counter = self.metrics.counter
+            handles = self._engine_counters = {
+                "ops": {name: counter(f"engine.ops.{name}") for name in OP_NAMES},
+                "served": {
+                    name: counter(f"engine.served.{name}")
+                    for name in ("L1", "L2", "LLC", "DRAM")
+                },
+                "pollution": counter("engine.faults.pollution"),
+            }
+        return handles
+
+    def _run_trace_soa(self, ops, record: bool) -> "List[MemOpResult] | int":
+        """The ``soa`` backend of :meth:`run_trace` (see there)."""
+        pollution = self.pollution
+        injected_before = pollution.injected if pollution is not None else 0
+        if isinstance(ops, CompiledTrace) and pollution is None:
+            compiled = ops
+        else:
+            # Pollution draws one RNG decision per original op, so the
+            # polluted stream must be materialised into a fresh compile;
+            # feeding a pre-compiled trace back through ``ops()`` keeps the
+            # draw sequence identical to the object engine's.
+            source = ops.ops() if isinstance(ops, CompiledTrace) else ops
+            if pollution is not None:
+                source = pollution.wrap(source)
+            compiled = compile_trace(self, source)
+        observe = self.metrics.enabled
+        hierarchy = self.hierarchy
+        if observe:
+            l1_hits0 = sum(l.stats.hits for l in hierarchy.l1s)
+            l2_hits0 = sum(l.stats.hits for l in hierarchy.l2s)
+            llc_hits0 = hierarchy.llc.stats.hits
+            llc_misses0 = hierarchy.llc.stats.misses
+        results = _soa.execute(self, compiled, record)
+        if observe:
+            handles = self._batch_counters()
+            op_handles = handles["ops"]
+            for name, n in zip(OP_NAMES, compiled.op_counts):
+                if n:
+                    op_handles[name].inc(n)
+            served_handles = handles["served"]
+            served = (
+                ("L1", sum(l.stats.hits for l in hierarchy.l1s) - l1_hits0),
+                ("L2", sum(l.stats.hits for l in hierarchy.l2s) - l2_hits0),
+                ("LLC", hierarchy.llc.stats.hits - llc_hits0),
+                ("DRAM", hierarchy.llc.stats.misses - llc_misses0),
+            )
+            for name, n in served:
+                if n:
+                    served_handles[name].inc(n)
+            if pollution is not None and pollution.injected != injected_before:
+                handles["pollution"].inc(pollution.injected - injected_before)
+        return results if record else compiled.length
+
     def run_trace(
-        self, ops: Iterable[TraceOp], record: bool = False
+        self,
+        ops: "Iterable[TraceOp] | CompiledTrace",
+        record: bool = False,
+        backend: Optional[str] = None,
     ) -> "List[MemOpResult] | int":
         """Execute a batch of memory operations on the sequential clock.
 
         ``ops`` yields ``(op, core, addr)`` tuples with ``op`` one of
         ``load``, ``prefetchnta``, ``prefetcht0``, ``prefetcht1``,
-        ``prefetcht2``, or ``clflush``.  Counters, statistics, and the
+        ``prefetcht2``, or ``clflush`` — or a pre-compiled
+        :class:`~repro.engine.CompiledTrace`, which either backend replays
+        without re-resolving addresses.  Counters, statistics, and the
         clock advance exactly as if each operation had been issued through
         ``machine.cores[core]`` individually; the batch form exists so
         experiments replaying long traces pay one Python call per *batch*
         instead of several per *operation*.
+
+        ``backend`` selects the execution engine for this call (``object``
+        or ``soa``); the default is the machine's :attr:`backend`
+        preference.  The ``soa`` engine (:mod:`repro.engine.soa`) executes
+        the batch over flat struct-of-arrays planes with bit-identical
+        results; an explicit ``backend="soa"`` raises
+        :class:`SimulationError` when the machine's policies are
+        unsupported, while the machine-level preference falls back to the
+        object engine.  The SoA path validates the whole trace at compile
+        time, so a bad op raises *before* any state changes; the object
+        path raises mid-batch after executing the valid prefix.
 
         Returns the per-op :class:`MemOpResult` list when ``record`` is
         true, else the number of operations executed (recording a
@@ -208,6 +301,17 @@ class Machine:
         :class:`repro.faults.TracePollution`); the injected loads execute —
         and are counted — like any other op.
         """
+        engine = self.backend if backend is None else resolve_backend(backend)
+        if engine == "soa":
+            if _soa.supports(self):
+                return self._run_trace_soa(ops, record)
+            if backend is not None:
+                raise SimulationError(
+                    "backend='soa' requested but this machine's replacement "
+                    "policies are not supported by the SoA engine"
+                )
+        if isinstance(ops, CompiledTrace):
+            ops = ops.ops()
         hierarchy = self.hierarchy
         cores = self.cores
         dispatch = {
@@ -264,10 +368,12 @@ class Machine:
                 results.append(result)
         self.clock = clock
         if observe:
-            metrics = self.metrics
+            handles = self._batch_counters()
+            op_handles = handles["ops"]
             for op, n in op_counts.items():
                 if n:
-                    metrics.counter(f"engine.ops.{op}").inc(n)
+                    op_handles[op].inc(n)
+            served_handles = handles["served"]
             served = (
                 ("L1", sum(l.stats.hits for l in hierarchy.l1s) - l1_hits0),
                 ("L2", sum(l.stats.hits for l in hierarchy.l2s) - l2_hits0),
@@ -276,11 +382,9 @@ class Machine:
             )
             for name, n in served:
                 if n:
-                    metrics.counter(f"engine.served.{name}").inc(n)
+                    served_handles[name].inc(n)
             if pollution is not None and pollution.injected != injected_before:
-                metrics.counter("engine.faults.pollution").inc(
-                    pollution.injected - injected_before
-                )
+                handles["pollution"].inc(pollution.injected - injected_before)
         return results if record else count
 
     # -- checkpointing -------------------------------------------------------

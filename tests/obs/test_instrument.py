@@ -70,6 +70,64 @@ class TestMachineMetrics:
         assert llc_age_promotions(machine) == before
 
 
+class TestCachedHandles:
+    """publish() reuses instrument handles resolved once at construction.
+
+    The detector loop publishes at trace-batch cadence; re-resolving every
+    dotted gauge name per batch was the dominant publish cost.  These pin
+    the fix: no registry lookups during publish, and the cached handles
+    stay correct across further batches, checkpoint restore, and the SoA
+    backend (whose batches bypass the object per-op paths entirely).
+    """
+
+    def test_publish_resolves_no_instruments(self):
+        machine = Machine(SKYLAKE, seed=0)
+        registry = MetricsRegistry()
+        metrics = MachineMetrics(machine, registry)
+        lookups = []
+        original = registry.gauge
+        registry.gauge = lambda name: lookups.append(name) or original(name)
+        try:
+            machine.run_trace(_mixed_trace())
+            metrics.publish()
+        finally:
+            registry.gauge = original
+        assert lookups == []
+        assert registry.as_dict()["gauges"]["cache.LLC.hits"] > 0
+
+    def test_handles_track_state_across_batches_and_restore(self):
+        machine = Machine(SKYLAKE, seed=0)
+        metrics = MachineMetrics(machine, MetricsRegistry())
+        machine.run_trace(_mixed_trace())
+        checkpoint = machine.checkpoint()
+        hits_at_checkpoint = machine.hierarchy.llc.stats.hits
+        machine.run_trace(_mixed_trace(lines=96))
+        gauges = metrics.publish().as_dict()["gauges"]
+        assert gauges["cache.LLC.hits"] == machine.hierarchy.llc.stats.hits
+        assert gauges["cache.LLC.hits"] > hits_at_checkpoint
+        # Restore mutates the stats objects in place; the cached handles
+        # must see the rewound values, not the pre-restore ones.
+        machine.restore(checkpoint)
+        gauges = metrics.publish().as_dict()["gauges"]
+        assert gauges["cache.LLC.hits"] == hits_at_checkpoint
+        assert metrics.core_counters(0) == (
+            machine.cores[0].llc_references,
+            machine.cores[0].llc_misses,
+            machine.cores[0].flushes,
+        )
+
+    def test_publish_identical_under_soa_backend(self):
+        trace = _mixed_trace()
+        published = {}
+        for backend in ("object", "soa"):
+            machine = Machine(SKYLAKE, seed=0, backend=backend)
+            machine.run_trace(trace)
+            published[backend] = (
+                MachineMetrics(machine, MetricsRegistry()).publish().as_dict()
+            )
+        assert published["object"] == published["soa"]
+
+
 class TestRunTraceCounters:
     def test_op_and_service_counters(self):
         registry = MetricsRegistry()
