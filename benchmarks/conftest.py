@@ -13,6 +13,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.results_io import save_result
+from repro.engine import default_backend
 
 #: Machine-readable copies of benchmark results land here.
 ARTIFACT_DIR = Path(__file__).parent / "bench_artifacts"
@@ -25,7 +26,17 @@ def report(title: str, body: str) -> None:
 
 
 def artifact(name: str, result) -> None:
-    """Persist one experiment result as a JSON artifact (best effort)."""
+    """Persist one experiment result as a JSON artifact (best effort).
+
+    Every dict artifact is stamped with the engine backend the run
+    defaulted to and its trial-batch width, so numbers from different
+    backends (e.g. a ``REPRO_ENGINE=batch`` CI leg) never get compared
+    as like-for-like by accident.  Benchmarks that pin these explicitly
+    keep their own values.
+    """
+    if isinstance(result, dict):
+        result.setdefault("engine_backend", default_backend())
+        result.setdefault("trial_batch_size", 1)
     try:
         save_result(result, ARTIFACT_DIR / f"{name}.json")
     except Exception as error:  # pragma: no cover - artifacts are optional

@@ -80,17 +80,21 @@ def _compare() -> dict:
     _reference_ops_per_sec(trace[:5000])
     _fast_ops_per_sec(trace[:5000])
     _fast_ops_per_sec(trace[:5000], backend="soa")
+    _fast_ops_per_sec(trace[:5000], backend="batch")
     reference = _reference_ops_per_sec(trace)
     fast = _fast_ops_per_sec(trace)
     soa = _fast_ops_per_sec(trace, backend="soa")
+    batch = _fast_ops_per_sec(trace, backend="batch")
     return {
         "trace_length": TRACE_LENGTH,
         "reference_ops_per_sec": reference,
         "fast_ops_per_sec": fast,
         "soa_ops_per_sec": soa,
+        "batch_ops_per_sec": batch,
         "speedup": fast / reference,
         "soa_speedup_vs_reference": soa / reference,
         "soa_speedup_vs_object": soa / fast,
+        "batch_speedup_vs_reference": batch / reference,
     }
 
 
@@ -109,8 +113,8 @@ def _instrumentation_overhead(backend=None) -> dict:
     # object engine, so a single batch per sample sits too close to the
     # timer-noise floor for a 5% gate; batch more runs per sample (and take
     # more samples) to keep every sample's duration comparable.
-    repeats = 4 if backend == "soa" else 1
-    rounds = 16 if backend == "soa" else 12
+    repeats = 1 if backend in (None, "object") else 4
+    rounds = 12 if backend in (None, "object") else 16
     slice_length = 40_000
     trace = _mixed_trace(7, slice_length)
     _fast_elapsed(trace[:5000], backend=backend)
@@ -169,13 +173,16 @@ def test_engine_throughput(once):
         f"({result['speedup']:.2f}x reference)\n"
         f"soa:         {result['soa_ops_per_sec']:,.0f} ops/s "
         f"({result['soa_speedup_vs_reference']:.2f}x reference, "
-        f"{result['soa_speedup_vs_object']:.2f}x object)",
+        f"{result['soa_speedup_vs_object']:.2f}x object)\n"
+        f"batch (T=1): {result['batch_ops_per_sec']:,.0f} ops/s "
+        f"({result['batch_speedup_vs_reference']:.2f}x reference)",
     )
     assert result["speedup"] >= 2.0
     assert result["soa_speedup_vs_reference"] >= 2.0
+    assert result["batch_speedup_vs_reference"] >= 2.0
 
 
-@pytest.mark.parametrize("backend", ["object", "soa"])
+@pytest.mark.parametrize("backend", ["object", "soa", "batch"])
 def test_instrumentation_overhead(once, backend):
     result = once(_instrumentation_overhead, backend)
     artifact(f"instrumentation_overhead_{backend}", result)

@@ -194,6 +194,31 @@ def cmd_fig8(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fig2_sweep(args: argparse.Namespace) -> int:
+    from .experiments.insertion_sweep import run_insertion_sweep
+
+    registry, trace = _sweep_obs(args)
+    sweep = run_insertion_sweep(
+        _machine_factory(args), trials=args.trials, seed=args.seed,
+        jobs=args.jobs, result_cache=_result_cache(args),
+        metrics=registry, trace=trace,
+        faults=_fault_plan(args), retries=args.retries,
+        engine=getattr(args, "engine", None),
+        batch_size=args.batch_size,
+    )
+    rows = [
+        (str(a), f"{sweep.evicted_fraction[a]*100:.0f}%")
+        for a in sorted(sweep.evicted_fraction)
+    ]
+    print(format_table(
+        ("position", "evicted"), rows,
+        title=f"Figure 2 sweep — {sweep.platform} via {sweep.engine} engine "
+              "(paper: evicted at every position)",
+    ))
+    _finish_sweep_obs(args, registry, trace)
+    return 0
+
+
 def cmd_fig11(args: argparse.Namespace) -> int:
     from .experiments.prep_latency import run_prep_latency_experiment
 
@@ -555,7 +580,8 @@ def build_parser() -> argparse.ArgumentParser:
                runner: bool = False):
         p.add_argument("--platform", choices=sorted(_PLATFORMS), default="skylake")
         p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--engine", choices=("object", "soa"), default=None,
+        p.add_argument("--engine", choices=("object", "soa", "batch"),
+                       default=None,
                        help="trace-execution backend (default: REPRO_ENGINE "
                             "env var, else object; results are bit-identical)")
         if repetitions is not None:
@@ -611,6 +637,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--channel", choices=("ntp+ntp", "prime+probe"), default="ntp+ntp")
     p.add_argument("--bits", type=int, default=256)
     p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser("fig2-sweep", help="insertion sweep, trial-batched")
+    common(p, runner=True)
+    p.add_argument("--trials", type=int, default=32,
+                   help="trials per insertion position")
+    p.add_argument("--batch-size", type=int, default=64, metavar="N",
+                   help="trials per array program under --engine batch")
+    p.set_defaults(func=cmd_fig2_sweep)
 
     p = sub.add_parser("fig11", help="Prime+Scope prep latency")
     common(p, repetitions=200)

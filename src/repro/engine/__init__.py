@@ -1,6 +1,6 @@
 """Selectable trace-execution backends for :meth:`Machine.run_trace`.
 
-Two backends execute batched memory-op traces with bit-identical results:
+Three backends execute batched memory-op traces with bit-identical results:
 
 ``object``
     The default: per-op dispatch through the ``CacheHierarchy`` object
@@ -15,10 +15,19 @@ Two backends execute batched memory-op traces with bit-identical results:
     ``object`` for machines with unsupported (non-stock) replacement
     policies unless the caller demanded it explicitly.
 
+``batch``
+    The trial-batched engine (:mod:`repro.engine.batch`): N independent
+    trials execute as one array program over the SoA planes extended
+    with a leading trial axis (shared coherent rows plus per-set
+    copy-on-diverge overlays).  :meth:`Machine.run_trace` treats it as a
+    one-trial batch; the multi-trial entry points are
+    :func:`run_trace_batch` and :class:`BatchMachine`.  Support and
+    fallback rules are exactly the SoA ones.
+
 The process-wide default comes from the ``REPRO_ENGINE`` environment
-variable (CI runs the whole test suite a second time with
-``REPRO_ENGINE=soa`` as a backend-equivalence check); per-machine and
-per-call selection go through ``Machine(..., backend=...)`` and
+variable (CI runs the whole test suite again with ``REPRO_ENGINE=soa``
+and ``REPRO_ENGINE=batch`` as backend-equivalence checks); per-machine
+and per-call selection go through ``Machine(..., backend=...)`` and
 ``Machine.run_trace(..., backend=...)``.
 """
 
@@ -28,11 +37,12 @@ import os
 from typing import Optional
 
 from ..errors import ConfigurationError
+from .batch import BatchMachine, BatchResult, run_trace_batch
 from .compile import CompiledTrace, OP_NAMES, compile_trace
 from .soa import execute, hierarchy_arrays, pmu_vectors, supports
 
 #: Recognised backend names.
-BACKENDS = ("object", "soa")
+BACKENDS = ("object", "soa", "batch")
 
 #: Environment variable selecting the process-wide default backend.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
@@ -44,9 +54,23 @@ def default_backend() -> str:
 
 
 def resolve_backend(backend: Optional[str]) -> str:
-    """Validate an explicit backend name, or resolve the env default."""
+    """Validate an explicit backend name, or resolve the env default.
+
+    Raises :class:`ConfigurationError` eagerly — callers
+    (:class:`Machine` construction included) surface a bad name or a bad
+    ``REPRO_ENGINE`` value immediately, naming the offending source,
+    instead of failing deep inside the first ``run_trace``.
+    """
     if backend is None:
-        backend = os.environ.get(ENGINE_ENV_VAR) or "object"
+        env = os.environ.get(ENGINE_ENV_VAR)
+        if not env:
+            return "object"
+        if env not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown engine backend {env!r} from the {ENGINE_ENV_VAR} "
+                f"environment variable; expected one of {BACKENDS}"
+            )
+        return env
     if backend not in BACKENDS:
         raise ConfigurationError(
             f"unknown engine backend {backend!r}; expected one of {BACKENDS}"
@@ -56,6 +80,8 @@ def resolve_backend(backend: Optional[str]) -> str:
 
 __all__ = [
     "BACKENDS",
+    "BatchMachine",
+    "BatchResult",
     "CompiledTrace",
     "ENGINE_ENV_VAR",
     "OP_NAMES",
@@ -65,5 +91,6 @@ __all__ = [
     "hierarchy_arrays",
     "pmu_vectors",
     "resolve_backend",
+    "run_trace_batch",
     "supports",
 ]

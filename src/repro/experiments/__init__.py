@@ -4,6 +4,7 @@
 Module                         Paper artifact
 =============================  ====================================
 :mod:`.insertion`              Figure 2, Figure 3 (Property #1)
+:mod:`.insertion_sweep`        Figure 2 as a sharded/batched sweep
 :mod:`.updating`               Figure 4 (Property #2)
 :mod:`.timing_variance`        Figure 5 (Property #3)
 :mod:`.capacity_sweep`         Figure 8, Table II
@@ -21,6 +22,7 @@ from .insertion import (
     run_insertion_age_experiment,
     run_insertion_experiment,
 )
+from .insertion_sweep import InsertionSweepResult, run_insertion_sweep
 from .updating import UpdatingResult, run_updating_experiment
 from .timing_variance import TimingVarianceResult, run_timing_variance_experiment
 from .capacity_sweep import CapacityPoint, CapacitySweepResult, run_capacity_sweep
@@ -57,6 +59,8 @@ __all__ = [
     "InsertionAgeResult",
     "run_insertion_experiment",
     "run_insertion_age_experiment",
+    "InsertionSweepResult",
+    "run_insertion_sweep",
     "UpdatingResult",
     "run_updating_experiment",
     "TimingVarianceResult",

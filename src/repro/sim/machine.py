@@ -13,6 +13,7 @@ from ..config import PlatformConfig, SKYLAKE, KABY_LAKE
 from ..cpu.core import Core
 from ..cpu.timing import TimingModel
 from ..engine import CompiledTrace, OP_NAMES, compile_trace, resolve_backend
+from ..engine import batch as _batch
 from ..engine import soa as _soa
 from ..errors import ConfigurationError, SimulationError
 from ..faults import FaultPlan, TracePollution
@@ -101,11 +102,12 @@ class Machine:
     ):
         self.config = config
         #: Trace-execution backend preference for :meth:`run_trace`
-        #: (``object`` or ``soa``); ``None`` reads the ``REPRO_ENGINE``
-        #: environment variable.  A machine-level preference of ``soa``
-        #: silently falls back to the object engine when the machine's
-        #: policies are unsupported; the per-call ``backend=`` argument of
-        #: :meth:`run_trace` is strict instead.
+        #: (``object``, ``soa``, or ``batch``); ``None`` reads the
+        #: ``REPRO_ENGINE`` environment variable.  A machine-level
+        #: preference of ``soa`` or ``batch`` silently falls back to the
+        #: object engine when the machine's policies are unsupported; the
+        #: per-call ``backend=`` argument of :meth:`run_trace` is strict
+        #: instead.
         self.backend = resolve_backend(backend)
         #: Cached metric-counter handles for batch flushing (built lazily;
         #: the registry is fixed at construction, so handles never go stale).
@@ -262,6 +264,18 @@ class Machine:
                 handles["pollution"].inc(pollution.injected - injected_before)
         return results if record else compiled.length
 
+    def _run_trace_batch(self, ops, record: bool) -> "List[MemOpResult] | int":
+        """The ``batch`` backend of :meth:`run_trace`: a one-trial batch.
+
+        Exists so ``REPRO_ENGINE=batch`` exercises the trial-batched
+        engine (:mod:`repro.engine.batch`) across the whole test suite;
+        multi-trial execution goes through
+        :func:`repro.engine.run_trace_batch` directly.
+        """
+        result = _batch.run_trace_batch(self, [ops], record=record)
+        result.apply(0)
+        return result.results(0) if record else result.length(0)
+
     def run_trace(
         self,
         ops: "Iterable[TraceOp] | CompiledTrace",
@@ -280,16 +294,19 @@ class Machine:
         experiments replaying long traces pay one Python call per *batch*
         instead of several per *operation*.
 
-        ``backend`` selects the execution engine for this call (``object``
-        or ``soa``); the default is the machine's :attr:`backend`
-        preference.  The ``soa`` engine (:mod:`repro.engine.soa`) executes
-        the batch over flat struct-of-arrays planes with bit-identical
-        results; an explicit ``backend="soa"`` raises
+        ``backend`` selects the execution engine for this call (``object``,
+        ``soa``, or ``batch``); the default is the machine's
+        :attr:`backend` preference.  The ``soa`` engine
+        (:mod:`repro.engine.soa`) executes the batch over flat
+        struct-of-arrays planes with bit-identical results; ``batch``
+        (:mod:`repro.engine.batch`) runs the trace as a one-trial batch of
+        the trial-batched engine, again bit-identical.  An explicit
+        ``backend="soa"`` / ``backend="batch"`` raises
         :class:`SimulationError` when the machine's policies are
         unsupported, while the machine-level preference falls back to the
-        object engine.  The SoA path validates the whole trace at compile
-        time, so a bad op raises *before* any state changes; the object
-        path raises mid-batch after executing the valid prefix.
+        object engine.  Both compiled paths validate the whole trace at
+        compile time, so a bad op raises *before* any state changes; the
+        object path raises mid-batch after executing the valid prefix.
 
         Returns the per-op :class:`MemOpResult` list when ``record`` is
         true, else the number of operations executed (recording a
@@ -309,6 +326,14 @@ class Machine:
                 raise SimulationError(
                     "backend='soa' requested but this machine's replacement "
                     "policies are not supported by the SoA engine"
+                )
+        elif engine == "batch":
+            if _soa.supports(self):
+                return self._run_trace_batch(ops, record)
+            if backend is not None:
+                raise SimulationError(
+                    "backend='batch' requested but this machine's replacement "
+                    "policies are not supported by the batch engine"
                 )
         if isinstance(ops, CompiledTrace):
             ops = ops.ops()

@@ -88,8 +88,31 @@ class TestResolution:
         assert Machine(TINY, seed=0, backend="object").backend == "object"
 
     def test_backends_tuple(self):
-        assert BACKENDS == ("object", "soa")
+        assert BACKENDS == ("object", "soa", "batch")
         assert len(OP_NAMES) == 6
+
+    def test_batch_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "batch")
+        assert default_backend() == "batch"
+        assert Machine(TINY, seed=0).backend == "batch"
+
+    def test_bad_env_value_names_the_source(self, monkeypatch):
+        """The eager ConfigurationError points at REPRO_ENGINE, not the
+        argument, when the bad name came from the environment."""
+        monkeypatch.setenv(ENGINE_ENV_VAR, "simd")
+        with pytest.raises(ConfigurationError, match=ENGINE_ENV_VAR):
+            Machine(TINY, seed=0)
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_backend("simd")
+        assert ENGINE_ENV_VAR not in str(excinfo.value)
+        for name in BACKENDS:
+            assert name in str(excinfo.value)
+
+    def test_machine_construction_rejects_bad_argument_eagerly(self):
+        """An unknown backend= argument fails at Machine construction,
+        before any run_trace, listing the valid backends."""
+        with pytest.raises(ConfigurationError, match="object.*soa.*batch"):
+            Machine(TINY, seed=0, backend="simd")
 
 
 # ---------------------------------------------------------------------------
@@ -101,13 +124,17 @@ class TestUnsupportedPolicies:
         assert supports(Machine(TINY, seed=0))
         assert not supports(Machine(TINY, seed=0, llc_policy_factory=_ExoticLRU))
 
-    def test_explicit_soa_call_raises(self):
+    @pytest.mark.parametrize("backend", ["soa", "batch"])
+    def test_explicit_compiled_backend_call_raises(self, backend):
         machine = Machine(TINY, seed=0, llc_policy_factory=_ExoticLRU)
         with pytest.raises(SimulationError):
-            machine.run_trace(mixed_trace(1, 10), backend="soa")
+            machine.run_trace(mixed_trace(1, 10), backend=backend)
 
-    def test_machine_preference_falls_back_silently(self):
-        preferred = Machine(TINY, seed=0, llc_policy_factory=_ExoticLRU, backend="soa")
+    @pytest.mark.parametrize("backend", ["soa", "batch"])
+    def test_machine_preference_falls_back_silently(self, backend):
+        preferred = Machine(
+            TINY, seed=0, llc_policy_factory=_ExoticLRU, backend=backend
+        )
         plain = Machine(TINY, seed=0, llc_policy_factory=_ExoticLRU)
         trace = mixed_trace(2, 400)
         assert preferred.run_trace(trace, record=True) == plain.run_trace(
@@ -132,10 +159,11 @@ class TestCompiledTrace:
             backend: machine.run_trace(compiled, record=True)
             for backend, machine in machines.items()
         }
-        assert results["object"] == results["soa"]
+        assert results["object"] == results["soa"] == results["batch"]
         assert (
             machines["object"].hierarchy.snapshot()
             == machines["soa"].hierarchy.snapshot()
+            == machines["batch"].hierarchy.snapshot()
         )
         # Replaying the compiled form == replaying the original tuples.
         fresh = Machine(TINY, seed=0)
