@@ -8,15 +8,31 @@ crossovers fall), not cycle-exact equality.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.results_io import save_result
-from repro.engine import default_backend
+from repro.store import CampaignStore, STORE_ENV, record_artifact, stamp_artifact
 
 #: Machine-readable copies of benchmark results land here.
 ARTIFACT_DIR = Path(__file__).parent / "bench_artifacts"
+
+#: Benchmark runs always record into a campaign store: ``$REPRO_STORE``
+#: when set, else a database next to the JSON artifacts.  Fail-soft — an
+#: unopenable store costs the history entry, never the benchmark.
+def _bench_store():
+    env = os.environ.get(STORE_ENV)
+    if env is not None and env.lower() in ("", "0", "off", "none"):
+        return None
+    try:
+        return CampaignStore(env or ARTIFACT_DIR / "campaigns.sqlite")
+    except Exception:  # pragma: no cover - storage health must not gate benches
+        return None
+
+
+_STORE = _bench_store()
 
 
 def report(title: str, body: str) -> None:
@@ -32,15 +48,19 @@ def artifact(name: str, result) -> None:
     defaulted to and its trial-batch width, so numbers from different
     backends (e.g. a ``REPRO_ENGINE=batch`` CI leg) never get compared
     as like-for-like by accident.  Benchmarks that pin these explicitly
-    keep their own values.
+    keep their own values.  Stamping happens on a *copy*: callers assert
+    against the dicts they hand in, so the input is never mutated.
+
+    Each artifact also lands in the campaign store (``campaigns.sqlite``
+    beside the JSON files, or ``$REPRO_STORE``), which is what feeds the
+    ``python -m repro report`` perf trajectory.
     """
-    if isinstance(result, dict):
-        result.setdefault("engine_backend", default_backend())
-        result.setdefault("trial_batch_size", 1)
+    result = stamp_artifact(result)
     try:
         save_result(result, ARTIFACT_DIR / f"{name}.json")
     except Exception as error:  # pragma: no cover - artifacts are optional
         print(f"(artifact {name} not saved: {error})")
+    record_artifact(name, result, store=_STORE)
 
 
 @pytest.fixture

@@ -6,6 +6,19 @@ from .histogram import ascii_cdf, ascii_histogram
 from .setviz import SetWatcher
 from .results_io import load_result, result_to_dict, save_result
 
+# reports keeps its repro.store import type-checking-only: the store
+# imports results_io from this package, so an eager import would cycle.
+from .reports import (
+    Regression,
+    Report,
+    RunDiff,
+    capacity_data,
+    diff_latest_runs,
+    fig2_data,
+    generate_report,
+    trajectory_data,
+)
+
 __all__ = [
     "SampleSummary",
     "cdf",
@@ -19,4 +32,12 @@ __all__ = [
     "save_result",
     "load_result",
     "result_to_dict",
+    "Regression",
+    "Report",
+    "RunDiff",
+    "capacity_data",
+    "diff_latest_runs",
+    "fig2_data",
+    "generate_report",
+    "trajectory_data",
 ]

@@ -11,6 +11,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import math
+import os
 from pathlib import Path
 from typing import Any, Union
 
@@ -31,7 +33,18 @@ def _encode(value: Any) -> Any:
         return {str(key): _encode(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_encode(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    if isinstance(value, float):
+        # ``json.dumps`` would happily emit ``NaN``/``Infinity`` — tokens
+        # that are not JSON and that ``load_result``, sqlite's JSON
+        # functions, and strict parsers all reject.  A NaN measurement
+        # ("no data at this point") canonicalizes to null; an infinity is
+        # a computation bug and is rejected loudly.
+        if math.isnan(value):
+            return None
+        if math.isinf(value):
+            raise ReproError("cannot serialize non-finite float into a result artifact")
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
         return value
     if isinstance(value, enum.Enum):
         # Strictly enums: a ``hasattr(value, "value")`` duck test would
@@ -50,10 +63,22 @@ def result_to_dict(result: Any) -> dict:
 
 
 def save_result(result: Any, path: Union[str, Path]) -> Path:
-    """Write one experiment result as pretty-printed JSON."""
+    """Write one experiment result as pretty-printed JSON (atomically).
+
+    The text lands in a sibling temp file first and is renamed into place,
+    so a crash mid-write can never leave a torn artifact where a previous
+    (valid) one stood — the same pattern ``ResultCache.put`` uses.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+    text = json.dumps(result_to_dict(result), indent=2, sort_keys=True, allow_nan=False)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        tmp.replace(path)
+    finally:
+        if tmp.exists():  # a failed write or rename must not leave litter
+            tmp.unlink()
     return path
 
 

@@ -7,8 +7,12 @@ Examples::
     python -m repro send "hello world"   # ship a message over NTP+NTP
     python -m repro detect --duration 500000
     python -m repro evset --size 12 --platform kaby-lake
+    python -m repro report --store runs.sqlite   # regression report
 
 Every command accepts ``--platform`` (skylake / kaby-lake) and ``--seed``.
+Sweep commands also take ``--store DB`` / ``--no-store`` to control which
+campaign store records the run (default: ``$REPRO_STORE``); ``report`` and
+``campaigns`` read that history back without re-running anything.
 """
 
 from __future__ import annotations
@@ -61,6 +65,36 @@ def _fault_plan(args: argparse.Namespace):
     from .faults import FaultPlan
 
     return FaultPlan.load(path)
+
+
+def _sweep_store_scope(args: argparse.Namespace):
+    """The default-store scope a command runs under.
+
+    ``--store DB`` installs that file as the process default for the
+    command's duration; ``--no-store`` installs the DISABLED sentinel
+    (overriding ``$REPRO_STORE``); with neither, env resolution applies
+    untouched.  Commands without runner flags get a no-op scope.
+    """
+    from contextlib import nullcontext
+
+    if not hasattr(args, "no_store"):
+        return nullcontext()
+    from .store import DISABLED, CampaignStore, use_default_store
+
+    if args.no_store:
+        return use_default_store(DISABLED)
+    if args.store:
+        return use_default_store(CampaignStore(args.store))
+    return nullcontext()
+
+
+def _open_store(args: argparse.Namespace):
+    """The store a read-only command (report/campaigns) queries, or None."""
+    from .store import CampaignStore, get_default_store
+
+    if getattr(args, "store", None):
+        return CampaignStore(args.store)
+    return get_default_store()
 
 
 def _sweep_obs(args: argparse.Namespace):
@@ -543,6 +577,58 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_campaigns(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    store = _open_store(args)
+    if store is None:
+        print("no campaign store: pass --store DB or set $REPRO_STORE",
+              file=sys.stderr)
+        return 2
+    summaries = store.campaigns()
+    rows = [
+        (
+            s.name, s.runs, s.last_run_id,
+            time_module.strftime("%Y-%m-%d %H:%M",
+                                 time_module.localtime(s.last_started_at)),
+            s.last_fingerprint[:12],
+        )
+        for s in summaries
+    ]
+    print(format_table(
+        ("campaign", "runs", "last run", "when", "fingerprint"), rows,
+        title=f"Campaign store {store.path}",
+    ))
+    names = store.artifact_names()
+    if names:
+        print(f"{len(names)} benchmark artifact serie(s): {', '.join(names)}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.reports import generate_report
+
+    store = _open_store(args)
+    if store is None:
+        print("no campaign store: pass --store DB or set $REPRO_STORE",
+              file=sys.stderr)
+        return 2
+    report = generate_report(store)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(report.text)
+        print(f"[report] -> {args.output}", file=sys.stderr)
+    else:
+        print(report.text)
+    if report.regressions:
+        for regression in report.regressions:
+            print(f"[regression] {regression}", file=sys.stderr)
+        if not args.no_gate:
+            return 1
+    return 0
+
+
 def cmd_send(args: argparse.Namespace) -> int:
     machine = _machine(args)
     channel = NTPNTPChannel(
@@ -606,6 +692,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="rebuild the machine for every sweep point "
                                 "instead of warm-starting from a shared "
                                 "prefix checkpoint (same results, slower)")
+            p.add_argument("--store", metavar="DB", default=None,
+                           help="record the run into this campaign store "
+                                "sqlite file (default: $REPRO_STORE)")
+            p.add_argument("--no-store", action="store_true",
+                           help="record the run in no campaign store, even "
+                                "if $REPRO_STORE is set")
 
     p = sub.add_parser("fig2", help="insertion policy (Property #1)")
     common(p, repetitions=100)
@@ -726,6 +818,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "runner-determinism act")
     p.set_defaults(func=cmd_chaos, retries=3)
 
+    p = sub.add_parser("campaigns", help="list recorded sweep campaigns")
+    p.add_argument("--store", metavar="DB", default=None,
+                   help="campaign store to read (default: $REPRO_STORE)")
+    p.set_defaults(func=cmd_campaigns)
+
+    p = sub.add_parser(
+        "report",
+        help="regenerate result tables + regression diff from the store",
+    )
+    p.add_argument("--store", metavar="DB", default=None,
+                   help="campaign store to read (default: $REPRO_STORE)")
+    p.add_argument("-o", "--output", metavar="FILE", default=None,
+                   help="write the markdown report here instead of stdout")
+    p.add_argument("--no-gate", action="store_true",
+                   help="exit 0 even when gated regressions are found")
+    p.set_defaults(func=cmd_report)
+
     p = sub.add_parser("send", help="ship a text message over NTP+NTP")
     common(p)
     p.add_argument("message")
@@ -740,7 +849,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    with _sweep_store_scope(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -147,6 +147,8 @@ def run_capacity_sweep(
     retries: int = 0,
     warm_start: bool = True,
     engine: Optional[str] = None,
+    store=None,
+    campaign: Optional[str] = None,
 ) -> CapacitySweepResult:
     """Sweep one channel on one platform.
 
@@ -169,6 +171,11 @@ def run_capacity_sweep(
     every interval is built once and checkpointed, and each point restores
     it instead of rebuilding — bit-identical to the cold path at any
     ``jobs`` value (see :mod:`repro.runner.warmstart`).
+
+    ``store``/``campaign`` record the run in a campaign store (default:
+    the process default / ``$REPRO_STORE``); the campaign name carries the
+    channel and platform (``capacity_sweep/ntp+ntp/Core i7-6700``) so the
+    regression reporter always diffs like-for-like curves.
     """
     if channel not in ("ntp+ntp", "prime+probe"):
         raise ChannelError(f"unknown channel {channel!r}")
@@ -191,17 +198,21 @@ def run_capacity_sweep(
         }
         for interval in intervals
     ])
+    if campaign is None:
+        campaign = f"capacity_sweep/{channel}/{probe.config.name}"
     if warm_start:
         rows = run_warm_shards(
             _CAPACITY_PLAN, shards, jobs=jobs,
             cache=result_cache, cache_tag="capacity_sweep/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign,
         )
     else:
         rows = run_shards(
             _capacity_point_worker, shards, jobs=jobs,
             cache=result_cache, cache_tag="capacity_sweep/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign,
         )
     result = CapacitySweepResult(channel=channel, platform=probe.config.name)
     result.points.extend(

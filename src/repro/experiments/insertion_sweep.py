@@ -183,6 +183,8 @@ def run_insertion_sweep(
     retries: int = 0,
     engine: Optional[str] = None,
     batch_size: int = 64,
+    store=None,
+    campaign: Optional[str] = None,
 ) -> InsertionSweepResult:
     """Sweep insertion positions × trials, batching trials when possible.
 
@@ -209,9 +211,14 @@ def run_insertion_sweep(
         for position in positions
         for trial in range(trials)
     ])
+    if campaign is None:
+        # The engine is deliberately absent: every backend produces
+        # bit-identical rows, so their runs belong to one history.
+        campaign = f"insertion_sweep/{probe.config.name}"
     common = dict(
         jobs=jobs, cache=result_cache, cache_tag="insertion_sweep/v1",
         metrics=metrics, trace=trace, faults=faults, retries=retries,
+        store=store, campaign=campaign,
     )
     if engine == "batch":
         rows = run_batch_shards(

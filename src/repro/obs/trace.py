@@ -73,11 +73,20 @@ class EventTrace:
                 record = json.loads(line)
                 name = record.pop("name")
                 t = record.pop("t")
-            except (ValueError, KeyError) as error:
+            except (ValueError, KeyError, AttributeError, TypeError) as error:
                 raise ReproError(
                     f"{path}:{line_number}: not a trace event: {error}"
                 ) from error
-            trace.events.append(TraceEvent(name=name, t=t, fields=record))
+            # A present-but-non-numeric ``t`` (e.g. a string timestamp from
+            # foreign tooling) would round-trip silently and only explode
+            # later, inside time-ordered queries.  Reject it here, with the
+            # file:line context the analyst needs.
+            if isinstance(t, bool) or not isinstance(t, (int, float)):
+                raise ReproError(
+                    f"{path}:{line_number}: trace event 't' must be a number, "
+                    f"got {type(t).__name__}: {t!r}"
+                )
+            trace.events.append(TraceEvent(name=name, t=float(t), fields=record))
         return trace
 
 

@@ -28,7 +28,10 @@ contract is preserved bit-for-bit:
   shards yield error records in their merge slots;
 * ``jobs > 1`` delegates to the process pool with a scalar one-trial
   worker — process isolation already parallelizes across trials, so the
-  trial axis adds nothing there, and the cache keys stay identical.
+  trial axis adds nothing there, and the cache keys stay identical;
+* with a campaign store configured, the merged run is recorded once (as
+  executor ``"batch"`` with its batch width and checkpoint digests) on
+  either path — see :mod:`repro.store.ingest`.
 """
 
 from __future__ import annotations
@@ -165,6 +168,8 @@ def run_batch_shards(
     backoff_base: float = 0.0,
     on_error: Optional[str] = None,
     batch_size: int = 64,
+    store=None,
+    campaign: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Run ``shards`` through ``plan``, batching trials per prefix group.
 
@@ -251,6 +256,13 @@ def run_batch_shards(
             retries=retries,
             backoff_base=backoff_base,
             on_error=on_error,
+            store=store,
+            campaign=campaign,
+            _ingest={
+                "executor": "batch",
+                "digests": dict(digests),
+                "batch_size": batch_size,
+            },
         )
         computed = registry.counter("runner.shards.computed").value - computed_before
         registry.counter("runner.checkpoint.restores").inc(computed * 2)
@@ -447,5 +459,28 @@ def run_batch_shards(
         jobs=1,
         wall_seconds=wall_seconds,
         busy_seconds=busy_seconds,
+    )
+
+    from ..store.ingest import campaign_name, record_sweep
+
+    record_sweep(
+        store,
+        campaign if campaign is not None else campaign_name(cache_tag, plan.identity()),
+        shards,
+        results,
+        executor="batch",
+        batch_size=batch_size,
+        digests=dict(digests),
+        jobs=1,
+        shards_computed=n_pending,
+        shards_cached=len(shards) - n_pending,
+        retries=retried_attempts,
+        failures=failed_shards,
+        wall_seconds=wall_seconds,
+        registry=registry,
+        trace=event_trace,
+        cache_keys=(
+            [keys.get(slot) for slot in range(len(shards))] if cache is not None else None
+        ),
     )
     return results  # type: ignore[return-value]

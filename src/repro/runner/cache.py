@@ -45,6 +45,8 @@ class ResultCache:
         self.misses = 0
         #: Entries that existed on disk but failed to parse (also misses).
         self.corrupt = 0
+        #: Payloads refused by :meth:`put` (non-finite floats — not JSON).
+        self.rejected = 0
 
     def key(self, **components: Any) -> str:
         """SHA-256 hex key over the canonical JSON of ``components``.
@@ -85,12 +87,25 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Store ``payload`` under ``key`` (best effort, atomic rename)."""
+        """Store ``payload`` under ``key`` (best effort, atomic rename).
+
+        Entries must be *standard* JSON: a payload with a NaN/Infinity
+        float would serialize to the non-JSON ``NaN``/``Infinity`` tokens,
+        which strict parsers (and sqlite's JSON functions) reject.  Such a
+        payload is simply not stored — the sweep keeps its in-memory value
+        and the point recomputes next run — rather than poisoning the
+        cache with an entry other readers cannot parse.
+        """
         path = self._path(key)
+        try:
+            text = json.dumps(payload, sort_keys=True, allow_nan=False)
+        except ValueError:
+            self.rejected += 1
+            return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.write_text(text)
             tmp.replace(path)
         except OSError:
             pass  # fail-soft: a broken cache only costs recomputation

@@ -27,6 +27,11 @@ guarantees:
   metrics registry (``runner.retries`` / ``runner.failures`` among them)
   and (optionally) an :class:`~repro.obs.trace.EventTrace`, so sweep
   summaries and ``--trace FILE`` cost nothing to support here.
+* **Durable history** — with a :class:`~repro.store.CampaignStore`
+  (explicit ``store=``, the process default, or ``$REPRO_STORE``), the
+  merged run is recorded — shard params, results, cache keys, accounting,
+  and a metrics snapshot — as one campaign run, fail-soft (see
+  :mod:`repro.store.ingest`).
 """
 
 from __future__ import annotations
@@ -154,6 +159,9 @@ def run_shards(
     retries: int = 0,
     backoff_base: float = 0.0,
     on_error: Optional[str] = None,
+    store=None,
+    campaign: Optional[str] = None,
+    _ingest: Optional[Dict[str, Any]] = None,
 ) -> List[Dict[str, Any]]:
     """Run ``worker`` over ``shards``; results merged in shard order.
 
@@ -170,6 +178,15 @@ def run_shards(
     an error record in its merge slot, ``"raise"`` aborts the sweep.  The
     default is ``"record"`` whenever faults or retries are engaged and the
     legacy ``"raise"`` otherwise.
+
+    ``store`` selects the campaign store the merged run is recorded into
+    (None resolves the process default / ``$REPRO_STORE``;
+    :data:`repro.store.DISABLED` suppresses recording); ``campaign`` names
+    the run's campaign (default: the cache tag minus its version suffix,
+    else the worker's identity).  ``_ingest`` is internal: wrapping
+    executors (warm start, trial batch) pass their executor name, prefix
+    digests, and batch width through it so a delegated sweep is recorded
+    exactly once, with the outermost executor's identity.
     """
     if jobs < 0:
         raise ReproError(f"jobs must be >= 0, got {jobs}")
@@ -290,5 +307,32 @@ def run_shards(
         jobs=max(workers_used, 1),
         wall_seconds=wall_seconds,
         busy_seconds=busy_seconds,
+    )
+
+    from ..store.ingest import campaign_name, record_sweep
+
+    ingest = _ingest or {}
+    identity = getattr(worker, "cache_identity", None)
+    if identity is None:
+        identity = f"{worker.__module__}.{worker.__qualname__}"
+    record_sweep(
+        store,
+        campaign if campaign is not None else campaign_name(cache_tag, identity),
+        shards,
+        results,
+        executor=ingest.get("executor", "pool"),
+        batch_size=ingest.get("batch_size", 1),
+        digests=ingest.get("digests"),
+        jobs=max(workers_used, 1),
+        shards_computed=len(pending),
+        shards_cached=len(shards) - len(pending),
+        retries=retried_attempts,
+        failures=failed_shards,
+        wall_seconds=wall_seconds,
+        registry=registry,
+        trace=trace,
+        cache_keys=(
+            [keys.get(slot) for slot in range(len(shards))] if cache is not None else None
+        ),
     )
     return results  # type: ignore[return-value]

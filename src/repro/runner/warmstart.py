@@ -156,6 +156,8 @@ def run_warm_shards(
     retries: int = 0,
     backoff_base: float = 0.0,
     on_error: Optional[str] = None,
+    store=None,
+    campaign: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Run ``shards`` through ``plan`` with per-prefix warm starts.
 
@@ -165,7 +167,9 @@ def run_warm_shards(
     :func:`~repro.runner.pool.run_shards` with a worker that restores the
     checkpoint before every trial body.  All runner features compose
     unchanged: result caching (the checkpoint digest is part of the key),
-    fault injection, retries, metrics, and tracing.
+    fault injection, retries, metrics, tracing, and campaign-store
+    recording (the run lands once, as executor ``"warmstart"``, with its
+    prefix checkpoint digests).
 
     Note the parent builds every distinct prefix even when all shards are
     cache hits — the digest is needed to *form* the keys.  A warm cache-hit
@@ -228,6 +232,9 @@ def run_warm_shards(
         retries=retries,
         backoff_base=backoff_base,
         on_error=on_error,
+        store=store,
+        campaign=campaign,
+        _ingest={"executor": "warmstart", "digests": dict(digests)},
     )
     # Every computed (non-cached) trial restored the checkpoint exactly once
     # per successful attempt; retried attempts restore again, but those are

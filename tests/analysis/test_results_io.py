@@ -81,3 +81,49 @@ def test_int_enum_serializes_to_its_value():
         ON = 1
 
     assert result_to_dict({"flag": Flag.ON})["flag"] == 1
+
+
+class TestAtomicSave:
+    def test_failed_save_leaves_previous_artifact_intact(self, tmp_path):
+        # Regression: save_result used to truncate the destination before
+        # serialization could fail, destroying the previous artifact.  The
+        # tmp-file + replace pattern keeps the old bytes on any failure.
+        path = tmp_path / "result.json"
+        save_result({"rate": 1.0}, path)
+        before = path.read_text()
+        with pytest.raises(ReproError):
+            save_result({"bad": object()}, path)
+        assert path.read_text() == before
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        save_result({"ok": 1}, tmp_path / "result.json")
+        with pytest.raises(ReproError):
+            save_result({"bad": object()}, tmp_path / "result.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["result.json"]
+
+
+class TestNonFiniteFloats:
+    def test_nan_canonicalized_to_null(self, tmp_path):
+        # Regression: json.dumps defaults to allow_nan=True, which emitted
+        # bare ``NaN`` tokens no strict JSON parser accepts.
+        path = save_result({"ber": float("nan")}, tmp_path / "r.json")
+        assert "NaN" not in path.read_text()
+        assert load_result(path)["ber"] is None
+
+    def test_nested_nan_canonicalized(self, tmp_path):
+        path = save_result(
+            {"points": [1.0, float("nan")], "inner": {"x": float("nan")}},
+            tmp_path / "r.json",
+        )
+        loaded = load_result(path)
+        assert loaded["points"] == [1.0, None]
+        assert loaded["inner"]["x"] is None
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ReproError):
+            result_to_dict({"rate": float("inf")})
+        with pytest.raises(ReproError):
+            result_to_dict({"rate": float("-inf")})
+
+    def test_finite_floats_unchanged(self):
+        assert result_to_dict({"rate": 0.5})["rate"] == 0.5

@@ -56,6 +56,36 @@ class TestJsonlRoundTrip:
         with pytest.raises(ReproError):
             EventTrace.from_jsonl(path)
 
+    def test_non_numeric_t_rejected_with_location(self, tmp_path):
+        # Regression: a string timestamp used to load silently and only
+        # blow up later, far from the malformed file, when arithmetic hit
+        # the event.  Validation now happens at parse time, with context.
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"name": "a", "t": 1.0}\n{"name": "b", "t": "soon"}\n'
+        )
+        with pytest.raises(ReproError, match=r":2:.*'soon'"):
+            EventTrace.from_jsonl(path)
+
+    def test_boolean_t_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "t": true}\n')
+        with pytest.raises(ReproError, match=":1:"):
+            EventTrace.from_jsonl(path)
+
+    def test_null_t_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "t": null}\n')
+        with pytest.raises(ReproError, match=":1:"):
+            EventTrace.from_jsonl(path)
+
+    def test_integer_t_coerced_to_float(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "t": 3}\n')
+        back = EventTrace.from_jsonl(path)
+        assert back.events[0].t == 3.0
+        assert isinstance(back.events[0].t, float)
+
 
 class TestNullTrace:
     def test_emit_discards(self):

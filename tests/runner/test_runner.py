@@ -91,6 +91,24 @@ class TestRunShards:
         cache.put(key, {"v": 1})
         assert cache.get(key) == {"v": 1}
 
+    def test_non_finite_payload_refused_not_cached(self, tmp_path):
+        # Regression: allow_nan defaulted on, so a NaN result was cached as
+        # a bare ``NaN`` token that json.loads of a strict reader rejects.
+        # The cache now refuses the payload (fail-soft) instead.
+        cache = ResultCache(tmp_path)
+        key = cache.key(worker="w", seed=0, params={})
+        cache.put(key, {"ber": float("nan")})
+        assert cache.rejected == 1
+        assert cache.get(key) is None
+        assert list(tmp_path.rglob("*.json")) == []
+
+    def test_finite_payload_unaffected_by_rejection_path(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key(worker="w", seed=0, params={})
+        cache.put(key, {"ber": 0.25})
+        assert cache.rejected == 0
+        assert cache.get(key) == {"ber": 0.25}
+
 
 class TestSweepThroughRunner:
     """ISSUE acceptance: a real sweep, parallel and cached, is bit-identical."""

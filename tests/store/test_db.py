@@ -1,0 +1,211 @@
+"""The campaign store's schema, round-trips, fingerprints, and memo table."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner import make_shards
+from repro.runner.pool import SHARD_ERROR_KEY
+from repro.store import CampaignStore, SCHEMA_VERSION, run_fingerprint
+
+
+def _shards(n=3, seed=5):
+    return make_shards(seed, [{"x": i, "engine": "object"} for i in range(n)])
+
+
+def _results(shards):
+    return [{"square": s.params["x"] ** 2, "rate": 0.5} for s in shards]
+
+
+class TestRecordRun:
+    def test_round_trip(self):
+        with CampaignStore() as store:
+            shards = _shards()
+            run_id = store.record_run(
+                "sweep/demo", shards, _results(shards),
+                executor="pool", engine="object", engine_version="1",
+                jobs=2, shards_computed=2, shards_cached=1, wall_seconds=0.25,
+                metrics={"runner.shards.computed": 2},
+                digests={'{"config":1}': "abc123"},
+                cache_keys=["k0", None, "k2"],
+            )
+            run = store.run(run_id)
+            assert run.campaign == "sweep/demo"
+            assert run.executor == "pool"
+            assert run.engine == "object"
+            assert run.engine_version == "1"
+            assert (run.jobs, run.shards_total) == (2, 3)
+            assert (run.shards_computed, run.shards_cached) == (2, 1)
+            assert run.metrics == {"runner.shards.computed": 2}
+            rows = store.shard_rows(run_id)
+            assert [r.index for r in rows] == [0, 1, 2]
+            assert [r.seed for r in rows] == [s.seed for s in shards]
+            assert rows[1].params == {"x": 1, "engine": "object"}
+            assert rows[2].result == {"square": 4, "rate": 0.5}
+            assert [r.cache_key for r in rows] == ["k0", None, "k2"]
+            assert store.checkpoint_digests(run_id) == {'{"config":1}': "abc123"}
+
+    def test_error_record_lands_in_error_json(self):
+        with CampaignStore() as store:
+            shards = _shards(2)
+            results = [
+                {"square": 0},
+                {SHARD_ERROR_KEY: {"type": "RuntimeError", "message": "boom"}},
+            ]
+            run_id = store.record_run(
+                "sweep/faulty", shards, results,
+                executor="pool", engine="object", engine_version="1",
+                failures=1,
+            )
+            rows = store.shard_rows(run_id)
+            assert rows[0].result == {"square": 0} and rows[0].error is None
+            assert rows[1].result is None
+            assert rows[1].error == {"type": "RuntimeError", "message": "boom"}
+            assert store.run(run_id).failures == 1
+
+    def test_length_mismatch_rejected(self):
+        with CampaignStore() as store:
+            with pytest.raises(ReproError):
+                store.record_run(
+                    "sweep/bad", _shards(2), [{}],
+                    executor="pool", engine="object", engine_version="1",
+                )
+
+    def test_nan_result_stored_as_null(self):
+        with CampaignStore() as store:
+            shards = _shards(1)
+            run_id = store.record_run(
+                "sweep/nan", shards, [{"ber": float("nan")}],
+                executor="pool", engine="object", engine_version="1",
+            )
+            assert store.shard_rows(run_id)[0].result == {"ber": None}
+
+    def test_infinite_result_rejected(self):
+        with CampaignStore() as store:
+            with pytest.raises(ReproError):
+                store.record_run(
+                    "sweep/inf", _shards(1), [{"rate": float("inf")}],
+                    executor="pool", engine="object", engine_version="1",
+                )
+
+    def test_campaign_listing_and_run_ordering(self):
+        with CampaignStore() as store:
+            shards = _shards(1)
+            kwargs = dict(executor="pool", engine="object", engine_version="1")
+            first = store.record_run("a", shards, [{"v": 1}], **kwargs)
+            second = store.record_run("a", shards, [{"v": 1}], **kwargs)
+            store.record_run("b", shards, [{"v": 2}], **kwargs)
+            summaries = {c.name: c for c in store.campaigns()}
+            assert summaries["a"].runs == 2
+            assert summaries["a"].last_run_id == second
+            assert [r.id for r in store.runs("a")] == [first, second]
+            assert [r.id for r in store.latest_runs("a", 2)] == [second, first]
+
+    def test_unknown_run_rejected(self):
+        with CampaignStore() as store:
+            with pytest.raises(ReproError):
+                store.run(99)
+
+
+class TestPersistence:
+    def test_file_store_survives_reopen(self, tmp_path):
+        path = tmp_path / "nested" / "runs.sqlite"
+        shards = _shards(2)
+        with CampaignStore(path) as store:
+            run_id = store.record_run(
+                "sweep/demo", shards, _results(shards),
+                executor="pool", engine="object", engine_version="1",
+            )
+        with CampaignStore(path) as store:
+            assert store.run(run_id).shards_total == 2
+            assert len(store.shard_rows(run_id)) == 2
+
+    def test_future_schema_version_refused(self, tmp_path):
+        path = tmp_path / "runs.sqlite"
+        CampaignStore(path).close()
+        db = sqlite3.connect(path)
+        db.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        db.commit()
+        db.close()
+        with pytest.raises(ReproError, match="schema version"):
+            CampaignStore(path)
+
+
+class TestFingerprint:
+    def test_deterministic_and_content_sensitive(self):
+        shards = _shards()
+        results = _results(shards)
+        assert run_fingerprint(shards, results) == run_fingerprint(shards, results)
+        changed = [dict(r) for r in results]
+        changed[1]["square"] = 999
+        assert run_fingerprint(shards, results) != run_fingerprint(shards, changed)
+
+    def test_identical_sweeps_store_identical_fingerprints(self):
+        with CampaignStore() as store:
+            shards = _shards()
+            kwargs = dict(executor="pool", engine="object", engine_version="1")
+            a = store.record_run("c", shards, _results(shards), **kwargs)
+            b = store.record_run("c", shards, _results(shards), **kwargs)
+            assert store.run(a).fingerprint == store.run(b).fingerprint
+
+
+class TestArtifacts:
+    def test_record_and_history(self):
+        with CampaignStore() as store:
+            store.record_artifact(
+                "warmstart_speedup",
+                {"speedup": 3.0, "engine_backend": "object",
+                 "trial_batch_size": 1},
+            )
+            store.record_artifact(
+                "warmstart_speedup",
+                {"speedup": 3.5, "engine_backend": "object",
+                 "trial_batch_size": 1},
+            )
+            assert store.artifact_names() == ["warmstart_speedup"]
+            history = store.artifacts("warmstart_speedup")
+            assert [a.payload["speedup"] for a in history] == [3.0, 3.5]
+            # engine / batch width default from the stamped payload keys.
+            assert history[0].engine == "object"
+            assert history[0].batch_size == 1
+
+
+class TestMemoizedAnalysis:
+    def test_second_query_served_from_memo(self):
+        with CampaignStore() as store:
+            shards = _shards(1)
+            store.record_run("c", shards, [{"v": 1}],
+                             executor="pool", engine="object",
+                             engine_version="1")
+            calls = []
+
+            def compute():
+                calls.append(1)
+                return {"answer": 42}
+
+            assert store.memoized("q", compute) == {"answer": 42}
+            assert store.memoized("q", compute) == {"answer": 42}
+            assert len(calls) == 1
+            assert (store.memo.hits, store.memo.misses) == (1, 1)
+
+    def test_new_ingest_invalidates_memo(self):
+        with CampaignStore() as store:
+            shards = _shards(1)
+            kwargs = dict(executor="pool", engine="object", engine_version="1")
+            store.record_run("c", shards, [{"v": 1}], **kwargs)
+            calls = []
+
+            def compute():
+                calls.append(1)
+                return len(calls)
+
+            assert store.memoized("q", compute) == 1
+            store.record_run("c", shards, [{"v": 2}], **kwargs)
+            assert store.memoized("q", compute) == 2
+
+    def test_artifact_ingest_also_invalidates(self):
+        with CampaignStore() as store:
+            before = store.fingerprint()
+            store.record_artifact("x", {"speedup": 1.0})
+            assert store.fingerprint() != before

@@ -173,3 +173,88 @@ class TestObservability:
         assert "[runner] 20 shard(s)" in captured.err
         assert "[trace]" not in captured.err
         assert "[runner]" not in captured.out
+
+
+class TestStoreCommands:
+    """``--store``/``--no-store`` on sweeps; ``campaigns`` and ``report``."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_store_env(self, monkeypatch):
+        from repro.store import STORE_ENV, ingest
+
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        monkeypatch.setattr(ingest, "_default_store", None)
+        monkeypatch.setattr(ingest, "_default_installed", False)
+        monkeypatch.setattr(ingest, "_env_store", None)
+        monkeypatch.setattr(ingest, "_env_store_path", None)
+
+    def _sweep(self, db):
+        return main(["fig2-sweep", "--trials", "2", "--no-cache",
+                     "--store", str(db)])
+
+    def test_store_flag_records_the_run(self, capsys, tmp_path):
+        from repro.store import CampaignStore
+
+        db = tmp_path / "runs.sqlite"
+        assert self._sweep(db) == 0
+        capsys.readouterr()
+        with CampaignStore(db) as store:
+            campaigns = store.campaigns()
+        assert [c.name for c in campaigns] == ["insertion_sweep/Core i7-6700"]
+        assert campaigns[0].runs == 1
+
+    def test_no_store_overrides_env(self, capsys, tmp_path, monkeypatch):
+        from repro.store import STORE_ENV
+
+        db = tmp_path / "env.sqlite"
+        monkeypatch.setenv(STORE_ENV, str(db))
+        assert main(["fig2-sweep", "--trials", "2", "--no-cache",
+                     "--no-store"]) == 0
+        capsys.readouterr()
+        assert not db.exists()
+
+    def test_campaigns_lists_recorded_runs(self, capsys, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        assert self._sweep(db) == 0
+        capsys.readouterr()
+        assert main(["campaigns", "--store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "insertion_sweep/Core i7-6700" in out
+
+    def test_campaigns_without_store_exits_2(self, capsys):
+        assert main(["campaigns"]) == 2
+        assert "no campaign store" in capsys.readouterr().err
+
+    def test_report_regenerates_tables_and_gates(self, capsys, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        assert self._sweep(db) == 0
+        assert self._sweep(db) == 0  # second run -> a comparable diff
+        capsys.readouterr()
+        assert main(["report", "--store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 — insertion policy" in out
+        assert "identical ✅" in out
+        assert "No gated regressions" in out
+
+    def test_report_output_file(self, capsys, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        assert self._sweep(db) == 0
+        capsys.readouterr()
+        report_path = tmp_path / "report.md"
+        assert main(["report", "--store", str(db),
+                     "-o", str(report_path)]) == 0
+        captured = capsys.readouterr()
+        assert "[report]" in captured.err
+        assert "Figure 2" in report_path.read_text()
+
+    def test_report_exits_nonzero_on_gated_regression(self, capsys, tmp_path):
+        from repro.store import CampaignStore
+
+        db = tmp_path / "runs.sqlite"
+        with CampaignStore(db) as store:
+            store.record_artifact("batch_speedup",
+                                  {"speedup": 1.0, "gate": 10.0})
+        assert main(["report", "--store", str(db)]) == 1
+        captured = capsys.readouterr()
+        assert "[regression]" in captured.err
+        assert main(["report", "--store", str(db), "--no-gate"]) == 0
