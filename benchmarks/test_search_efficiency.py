@@ -1,0 +1,55 @@
+"""Search efficiency: adaptive evaluation spend vs an exhaustive grid.
+
+A grid sweep locates a feature at step resolution only by visiting every
+grid point.  The mutation loop (:mod:`repro.search`) must find the same
+planted capacity cliff — exactly, at grid resolution — while computing at
+most half the evaluations, across several seeds.  Convergence itself is
+pinned by ``tests/search/test_convergence.py``; this benchmark guards
+the *efficiency ratio* and records it as a perf-trajectory artifact.
+"""
+
+from conftest import artifact, report
+
+from repro.search import EvalContext, MutationSearch, ToyCliffObjective
+
+SEEDS = (0, 1, 2, 3, 4, 5, 6, 7)
+GATE = 2.0  # grid evaluations per adaptive evaluation, worst seed
+
+
+def _measure() -> dict:
+    objective = ToyCliffObjective(cliff=256)
+    grid = objective.space.grid_size
+    used = []
+    found = 0
+    for seed in SEEDS:
+        outcome = MutationSearch(objective, budget=grid // 2).run(
+            EvalContext(seed=seed)
+        )
+        used.append(outcome.evaluations_used)
+        found += outcome.winner == {"interval": 256}
+    worst = max(used)
+    return {
+        "grid_points": grid,
+        "seeds": len(SEEDS),
+        "cliffs_found": found,
+        "evaluations_worst": worst,
+        "evaluations_mean": sum(used) / len(used),
+        "speedup": grid / worst,
+        "gate": GATE,
+    }
+
+
+def test_search_efficiency(once):
+    result = once(_measure)
+    artifact("search_efficiency", result)
+    report(
+        "Adaptive search efficiency — mutation loop vs exhaustive grid "
+        "(cliff localization at grid resolution)",
+        f"grid: {result['grid_points']} points\n"
+        f"adaptive: {result['evaluations_worst']} evaluations worst-case "
+        f"({result['evaluations_mean']:.1f} mean over {result['seeds']} seeds)\n"
+        f"cliffs found exactly: {result['cliffs_found']}/{result['seeds']}\n"
+        f"efficiency: {result['speedup']:.2f}x fewer evaluations",
+    )
+    assert result["cliffs_found"] == result["seeds"]
+    assert result["speedup"] >= GATE

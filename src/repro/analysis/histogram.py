@@ -53,13 +53,15 @@ def ascii_cdf(
         curves.append((label, xs, ys))
         lo = min(lo, xs[0])
         hi = max(hi, xs[-1])
-    if hi == lo:
-        hi = lo + 1
+    # Every sample across every population identical: a zero-width x range.
+    # Render the whole CDF in a single column (the step function is a wall)
+    # instead of dividing by zero or faking a wider axis.
+    span = hi - lo
     grid = [[" "] * width for _ in range(height)]
     for index, (label, xs, ys) in enumerate(curves):
         glyph = glyphs[index % len(glyphs)]
         for x, y in zip(xs, ys):
-            col = min(width - 1, int((x - lo) / (hi - lo) * (width - 1)))
+            col = 0 if span == 0 else min(width - 1, int((x - lo) / span * (width - 1)))
             row = min(height - 1, int((1.0 - y) * (height - 1)))
             grid[row][col] = glyph
     lines = ["1.0 |" + "".join(row) for row in grid[:1]]

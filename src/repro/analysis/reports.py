@@ -241,6 +241,65 @@ def trajectory_data(store: CampaignStore) -> List[Dict[str, Any]]:
 # ---------------------------------------------------------------------------
 
 
+def search_data(store: CampaignStore) -> Dict[str, Any]:
+    """Convergence trajectory of each search campaign's latest search.
+
+    A search campaign (``search/<objective>/<strategy>``) records one run
+    per evaluation round, and every stored result row carries the
+    driver's ``"score"`` — so the store alone can re-render convergence.
+    Rounds are grouped into searches by round-number reset (a run whose
+    shards carry ``round == 0`` starts a new search); the latest search's
+    rounds come back with running ``best_so_far`` values.
+    """
+
+    def compute() -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for campaign in _campaigns_with_prefix(store, "search/"):
+            searches: List[List[Dict[str, Any]]] = []
+            for run in store.runs(campaign):
+                rows = store.shard_rows(run.id)
+                if not rows:
+                    continue
+                round_no = rows[0].params.get("round", 0)
+                scores = [
+                    row.result["score"]
+                    for row in rows
+                    if row.result is not None and "score" in row.result
+                ]
+                if round_no == 0 or not searches:
+                    searches.append([])
+                searches[-1].append(
+                    {
+                        "run": run.id,
+                        "round": round_no,
+                        "evaluations": len(rows),
+                        "best": max(scores) if scores else None,
+                        "started_at": run.started_at,
+                    }
+                )
+            if not searches:
+                continue
+            rounds = searches[-1]
+            best_so_far = None
+            for entry in rounds:
+                if entry["best"] is not None:
+                    best_so_far = (
+                        entry["best"]
+                        if best_so_far is None
+                        else max(best_so_far, entry["best"])
+                    )
+                entry["best_so_far"] = best_so_far
+            out[campaign] = {
+                "searches": len(searches),
+                "rounds": rounds,
+                "best": best_so_far,
+                "started_at": rounds[0]["started_at"],
+            }
+        return out
+
+    return store.memoized("reports/search", compute)
+
+
 def diff_latest_runs(store: CampaignStore, campaign: str) -> RunDiff:
     """Diff a campaign's latest run against its stored predecessor.
 
@@ -461,6 +520,39 @@ def _capacity_section(store: CampaignStore) -> List[str]:
     return out
 
 
+def _search_section(store: CampaignStore) -> List[str]:
+    data = search_data(store)
+    if not data:
+        return []
+    out = ["## Search convergence", ""]
+    for campaign, entry in sorted(data.items()):
+        best = f"{entry['best']:.4f}" if entry["best"] is not None else "—"
+        out.append(
+            f"### {campaign} — search {entry['searches']} "
+            f"({_when(entry['started_at'])}), best {best}"
+        )
+        out.append("")
+        out.append(
+            _markdown_table(
+                ("round", "run", "evals", "round best", "best so far"),
+                [
+                    (
+                        r["round"],
+                        r["run"],
+                        r["evaluations"],
+                        f"{r['best']:.4f}" if r["best"] is not None else "—",
+                        f"{r['best_so_far']:.4f}"
+                        if r["best_so_far"] is not None
+                        else "—",
+                    )
+                    for r in entry["rounds"]
+                ],
+            )
+        )
+        out.append("")
+    return out
+
+
 def _trajectory_section(store: CampaignStore) -> List[str]:
     data = trajectory_data(store)
     if not data:
@@ -553,6 +645,7 @@ def generate_report(store: CampaignStore, title: str = "Leaky Way campaign repor
     ]
     lines += _fig2_section(store)
     lines += _capacity_section(store)
+    lines += _search_section(store)
     lines += _trajectory_section(store)
     lines += _diff_section(diffs)
     lines.append("## Verdict")

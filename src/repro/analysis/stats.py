@@ -10,13 +10,32 @@ import numpy as np
 from ..errors import ReproError
 
 
+def _finite_array(samples: Sequence[float], what: str) -> np.ndarray:
+    """``samples`` as a float array, rejecting NaN/Infinity loudly.
+
+    NaN propagates silently through means and percentiles and — worse —
+    into result-cache keys and store fingerprints downstream.  Mirroring
+    the store's standard-JSON policy (``allow_nan=False`` in
+    :mod:`repro.analysis.results_io`), non-finite inputs are an error at
+    the door rather than a poisoned summary later.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size and not np.isfinite(arr).all():
+        bad = arr[~np.isfinite(arr)][0]
+        raise ReproError(
+            f"cannot {what} non-finite samples (found {bad}); "
+            "NaN/Infinity inputs are rejected like the result store rejects them"
+        )
+    return arr
+
+
 def percentile(samples: Sequence[float], q: float) -> float:
     """The q-th percentile (0 <= q <= 100) of a sample set."""
     if not 0 <= q <= 100:
         raise ReproError(f"percentile q must be in [0, 100], got {q}")
     if len(samples) == 0:
         raise ReproError("cannot take a percentile of no samples")
-    return float(np.percentile(np.asarray(samples, dtype=float), q))
+    return float(np.percentile(_finite_array(samples, "take a percentile of"), q))
 
 
 def cdf(samples: Sequence[float]) -> Tuple[List[float], List[float]]:
@@ -26,7 +45,7 @@ def cdf(samples: Sequence[float]) -> Tuple[List[float], List[float]]:
     """
     if len(samples) == 0:
         raise ReproError("cannot build a CDF of no samples")
-    arr = np.sort(np.asarray(samples, dtype=float))
+    arr = np.sort(_finite_array(samples, "build a CDF of"))
     n = len(arr)
     # (i + 1) / n computed vectorized; identical IEEE results because both
     # forms divide the exact integer i + 1 by the exact integer n.
@@ -55,7 +74,7 @@ class SampleSummary:
 def summarize(samples: Sequence[float]) -> SampleSummary:
     if len(samples) == 0:
         raise ReproError("cannot summarize no samples")
-    arr = np.asarray(samples, dtype=float)
+    arr = _finite_array(samples, "summarize")
     p50, p95 = np.percentile(arr, (50, 95))
     return SampleSummary(
         count=len(arr),

@@ -54,6 +54,8 @@ def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
             f"length mismatch: sent {len(sent)} bits, received {len(received)}"
         )
     if not sent:
-        return 0.0
+        # An error *rate* over zero bits is undefined; silently reporting
+        # 0.0 made an empty transfer look like a perfect channel.
+        raise ChannelError("bit error rate of an empty transfer is undefined")
     errors = sum(1 for a, b in zip(sent, received) if a != b)
     return errors / len(sent)

@@ -577,6 +577,41 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_search(args: argparse.Namespace) -> int:
+    from .search import EvalContext, make_driver, make_objective
+
+    registry, trace = _sweep_obs(args)
+    objective = make_objective(
+        args.objective, config=_PLATFORMS[args.platform],
+        engine=getattr(args, "engine", None),
+    )
+    driver = make_driver(args.strategy, objective, budget=args.budget)
+    outcome = driver.run(EvalContext(
+        seed=args.seed, jobs=args.jobs, cache=_result_cache(args),
+        metrics=registry, trace=trace,
+        faults=_fault_plan(args), retries=args.retries,
+    ))
+    rows = [
+        (
+            row["round"], row["fidelity"], row["evaluations"],
+            f"{row['best']:.4f}", f"{row['best_so_far']:.4f}",
+        )
+        for row in outcome.trajectory()
+    ]
+    print(format_table(
+        ("round", "fidelity", "evals", "round best", "best so far"), rows,
+        title=f"Search — {outcome.objective} via {outcome.strategy} "
+              f"(budget {outcome.budget})",
+    ))
+    winner = ", ".join(f"{k}={v}" for k, v in sorted(outcome.winner.items()))
+    print(f"winner: {winner} (score {outcome.winner_score:.4f})")
+    print(f"evaluations: {outcome.evaluations_used} of {outcome.grid_size} "
+          f"grid points ({outcome.evaluations_used / outcome.grid_size:.0%})")
+    print(f"fingerprint: {outcome.fingerprint}")
+    _finish_sweep_obs(args, registry, trace)
+    return 0
+
+
 def cmd_campaigns(args: argparse.Namespace) -> int:
     import time as time_module
 
@@ -817,6 +852,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-attempt worker crash probability for the "
                         "runner-determinism act")
     p.set_defaults(func=cmd_chaos, retries=3)
+
+    p = sub.add_parser(
+        "search",
+        help="adaptive search over a sweep space (seeded, deterministic)",
+    )
+    common(p, runner=True)
+    p.add_argument("--objective",
+                   choices=("toy-cliff", "capacity-cliff", "detection-knee"),
+                   default="toy-cliff",
+                   help="what to optimize (see docs/search.md)")
+    p.add_argument("--strategy", choices=("mutate", "halving", "bandit"),
+                   default="mutate",
+                   help="how to spend the budget: mutation loop, successive "
+                        "halving over fidelity rungs, or UCB over regions")
+    p.add_argument("--budget", type=int, default=32, metavar="N",
+                   help="computed-evaluation cap (memoized repeats are free)")
+    p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("campaigns", help="list recorded sweep campaigns")
     p.add_argument("--store", metavar="DB", default=None,

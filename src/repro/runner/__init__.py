@@ -22,7 +22,13 @@ Typical wiring, from an experiment module::
 from .batchexec import TraceBatchPlan, run_batch_shards
 from .cache import CACHE_DIR_ENV, ResultCache, default_cache_root
 from .pool import SHARD_ERROR_KEY, backoff_seconds, is_error_record, run_shards
-from .shard import Shard, canonical_json, derive_seed, make_shards
+from .shard import (
+    Shard,
+    canonical_json,
+    derive_seed,
+    make_content_shards,
+    make_shards,
+)
 from .warmstart import WarmStartPlan, clear_warm_states, run_warm_shards
 
 __all__ = [
@@ -41,5 +47,6 @@ __all__ = [
     "Shard",
     "canonical_json",
     "derive_seed",
+    "make_content_shards",
     "make_shards",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..errors import ReproError
 
@@ -89,3 +89,40 @@ def make_shards(root_seed: int, param_sets: Sequence[Mapping[str, Any]]) -> List
         Shard(index=i, seed=derive_seed(root_seed, i), params=dict(params))
         for i, params in enumerate(param_sets)
     ]
+
+
+def make_content_shards(
+    root_seed: int,
+    param_sets: Sequence[Mapping[str, Any]],
+    seed_keys: Optional[Sequence[str]] = None,
+) -> List[Shard]:
+    """Shards whose seeds derive from their *content*, not their position.
+
+    Grid sweeps seed shards by index (:func:`make_shards`) — fine when the
+    grid is fixed up front.  Adaptive drivers (:mod:`repro.search`)
+    re-batch the same point into different rounds and positions, so a
+    positional seed would make one candidate's result depend on *when* the
+    search tried it.  Here ``seed = derive_seed(root_seed, content)`` where
+    *content* is the params restricted to ``seed_keys`` (default: every
+    param): the same candidate gets the same seed — and therefore the same
+    simulated result — wherever it appears.  ``seed_keys`` lets callers
+    exclude bookkeeping params (e.g. a search round number) that must not
+    perturb the physics.  Indices stay positional; they only order the
+    merge within one batch.
+    """
+    shards = []
+    for i, params in enumerate(param_sets):
+        params = dict(params)
+        if seed_keys is None:
+            content: Dict[str, Any] = params
+        else:
+            try:
+                content = {key: params[key] for key in seed_keys}
+            except KeyError as missing:
+                raise ReproError(
+                    f"param set {i} is missing seed key {missing}"
+                ) from None
+        shards.append(
+            Shard(index=i, seed=derive_seed(root_seed, content), params=params)
+        )
+    return shards

@@ -1,0 +1,117 @@
+"""UCB bandit over sweep regions: spend the budget where scores are.
+
+The space's widest dimension is partitioned into ``arms`` contiguous
+regions; each round the driver pulls the arm with the best upper
+confidence bound and samples a fixed-size batch of fresh candidates from
+that region at full fidelity.  The round size is a constant — never a
+function of ``--jobs`` — so budget allocation (and therefore every
+evaluation) is identical however the shards are parallelized.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from ..errors import ReproError
+from ..runner.shard import derive_seed
+from .driver import EvalContext, SearchDriver, _RunState
+from .objectives import Objective
+from .space import Candidate, candidate_key
+
+
+class _Arm:
+    """One region's pull statistics."""
+
+    def __init__(self, region):
+        self.region = region
+        self.pulls = 0
+        self.best = -math.inf
+        self.exhausted = False
+
+
+class UCBSearch(SearchDriver):
+    """Budget allocation across regions by upper confidence bound."""
+
+    strategy = "bandit"
+
+    def __init__(
+        self,
+        objective: Objective,
+        budget: int,
+        arms: int = 4,
+        round_size: int = 4,
+        explore: float = 0.5,
+    ):
+        super().__init__(objective, budget)
+        if arms < 2:
+            raise ReproError(f"bandit needs >= 2 arms, got {arms}")
+        if round_size < 1:
+            raise ReproError(f"round size must be >= 1, got {round_size}")
+        self.arms = arms
+        self.round_size = round_size
+        self.explore = explore
+
+    def _pick(self, arms: List[_Arm]) -> int:
+        """The arm index to pull: unvisited first, then best UCB.
+
+        The exploitation term is each region's *best observed score*, not
+        its mean — this is a maximum search, and a region holding the
+        optimum right next to a cliff would be punished forever by its
+        mean.  The exploration bonus is scaled by the spread of those
+        bests so the tradeoff is invariant to the objective's units
+        (capacity in KB/s vs a toy score near 1.0); with no spread yet,
+        it falls back to 1.0.  All ties break on the lowest region index.
+        """
+        live = [i for i, arm in enumerate(arms) if not arm.exhausted]
+        for i in live:
+            if arms[i].pulls == 0:
+                return i
+        bests = [arms[i].best for i in live]
+        spread = max(bests) - min(bests) if len(bests) > 1 else 0.0
+        scale = spread if spread > 0.0 else 1.0
+        total_pulls = sum(arms[i].pulls for i in live)
+        best, best_ucb = live[0], -math.inf
+        for i in live:
+            ucb = arms[i].best + self.explore * scale * math.sqrt(
+                2.0 * math.log(max(total_pulls, 2)) / arms[i].pulls
+            )
+            if ucb > best_ucb:
+                best, best_ucb = i, ucb
+        return best
+
+    def search(self, ctx: EvalContext, state: _RunState) -> Tuple[Candidate, float]:
+        fidelity = self.objective.full_fidelity
+        rng = random.Random(derive_seed(ctx.seed, "search", self.strategy))
+        arms = [_Arm(region) for region in self.objective.space.regions(self.arms)]
+        seen: set = set()
+        winner: Candidate = None
+        winner_score = float("-inf")
+        winner_order = -1
+
+        round_no = 0
+        while self.remaining(state) > 0 and not all(a.exhausted for a in arms):
+            index = self._pick(arms)
+            arm = arms[index]
+            batch = arm.region.sample_distinct(
+                rng, min(self.round_size, self.remaining(state)), frozenset(seen)
+            )
+            if not batch:
+                arm.exhausted = True
+                continue
+            order_base = len(state.evaluations)
+            scored = self.evaluate(ctx, state, batch, fidelity, round_no)
+            seen.update(candidate_key(c) for c, _ in scored)
+            for offset, (candidate, score) in enumerate(scored):
+                arm.pulls += 1
+                arm.best = max(arm.best, score)
+                order = order_base + offset
+                # Strictly-better wins; equal scores keep the earlier
+                # evaluation, making the winner order-stable.
+                if score > winner_score or (
+                    score == winner_score and order < winner_order
+                ):
+                    winner, winner_score, winner_order = candidate, score, order
+            round_no += 1
+        return winner, winner_score

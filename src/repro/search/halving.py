@@ -1,0 +1,71 @@
+"""Successive halving over the objective's fidelity ladder.
+
+Sample a wide cohort, score everyone on the cheapest rung, promote the
+top ``1/eta`` fraction to the next fidelity, repeat; the last survivors
+are scored at full fidelity and the best of them wins.  The initial
+cohort size is the largest that fits the budget given the promotion
+schedule, so ``--budget`` directly buys breadth at the bottom of the
+ladder — where evaluations are cheapest.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..errors import ReproError
+from ..runner.shard import derive_seed
+from .driver import EvalContext, SearchDriver, _RunState
+from .objectives import Objective
+from .space import Candidate
+
+
+class SuccessiveHalving(SearchDriver):
+    """Rung-based budget promotion across the fidelity ladder."""
+
+    strategy = "halving"
+
+    def __init__(self, objective: Objective, budget: int, eta: int = 2):
+        super().__init__(objective, budget)
+        if eta < 2:
+            raise ReproError(f"halving factor eta must be >= 2, got {eta}")
+        if budget < len(objective.fidelities):
+            raise ReproError(
+                f"budget {budget} cannot cover one evaluation on each of the "
+                f"{len(objective.fidelities)} fidelity rungs"
+            )
+        self.eta = eta
+
+    def rung_sizes(self) -> List[int]:
+        """Cohort size at each rung: the widest start the budget affords."""
+        rungs = len(self.objective.fidelities)
+
+        def cost(n0: int) -> int:
+            return sum(max(1, n0 // self.eta ** i) for i in range(rungs))
+
+        n0 = 1
+        while cost(n0 + 1) <= self.budget:
+            n0 += 1
+        return [max(1, n0 // self.eta ** i) for i in range(rungs)]
+
+    def search(self, ctx: EvalContext, state: _RunState) -> Tuple[Candidate, float]:
+        space = self.objective.space
+        rng = random.Random(derive_seed(ctx.seed, "search", self.strategy))
+        sizes = self.rung_sizes()
+        cohort = space.sample_distinct(rng, sizes[0], frozenset())
+
+        winner: Candidate = None
+        winner_score = float("-inf")
+        for rung, fidelity in enumerate(self.objective.fidelities):
+            cohort = cohort[: sizes[rung]]
+            scored = self.evaluate(ctx, state, cohort, fidelity, rung)
+            if not scored:
+                break
+            # Promote by score; ties keep cohort position (earlier draw
+            # wins), so the rung outcome is a pure function of the seed.
+            ranking = sorted(
+                range(len(scored)), key=lambda j: (-scored[j][1], j)
+            )
+            cohort = [scored[j][0] for j in ranking]
+            winner, winner_score = scored[ranking[0]]
+        return winner, winner_score

@@ -1,0 +1,92 @@
+"""Generate -> evaluate -> mutate: an elitist seeded mutation loop.
+
+The workhorse strategy for cliff localization.  Each generation scores a
+population at full fidelity, keeps the top ``elites`` candidates ever
+seen, and breeds the next population by mutating the elites with the
+space's multi-scale operator (mostly local steps, occasional jumps and
+restarts).  Selection ties break on evaluation order — earlier wins — so
+the whole run is a pure function of the root seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..errors import ReproError
+from ..runner.shard import derive_seed
+from .driver import EvalContext, SearchDriver, _RunState
+from .objectives import Objective
+from .space import Candidate, candidate_key
+
+
+class MutationSearch(SearchDriver):
+    """Population loop with elitist selection and seeded mutation."""
+
+    strategy = "mutate"
+
+    def __init__(
+        self,
+        objective: Objective,
+        budget: int,
+        population: int = 8,
+        elites: int = 2,
+    ):
+        super().__init__(objective, budget)
+        if population < 1 or elites < 1 or elites > population:
+            raise ReproError(
+                f"need 1 <= elites <= population, got {elites}/{population}"
+            )
+        self.population = population
+        self.elites = elites
+
+    def search(self, ctx: EvalContext, state: _RunState) -> Tuple[Candidate, float]:
+        space = self.objective.space
+        fidelity = self.objective.full_fidelity
+        rng = random.Random(derive_seed(ctx.seed, "search", self.strategy))
+        seen: set = set()
+        #: (negated score, evaluation order, candidate) — sortable, ties on
+        #: order so selection never depends on dict iteration or scheduling.
+        elite_pool: List[Tuple[float, int, Candidate]] = []
+
+        population = space.sample_distinct(
+            rng, min(self.population, self.remaining(state)), frozenset(seen)
+        )
+        round_no = 0
+        while population and self.remaining(state) > 0:
+            order_base = len(state.evaluations)
+            scored = self.evaluate(ctx, state, population, fidelity, round_no)
+            seen.update(candidate_key(c) for c, _ in scored)
+            for offset, (candidate, score) in enumerate(scored):
+                elite_pool.append((-score, order_base + offset, candidate))
+            elite_pool.sort(key=lambda item: (item[0], item[1]))
+            del elite_pool[self.elites:]
+
+            # Breed the next generation: cycle the elites as parents, keep
+            # only unseen children, and top up with fresh samples when
+            # mutation keeps landing on explored ground.
+            population = []
+            queued = set()
+            attempts = 0
+            while len(population) < self.population and attempts < self.population * 24:
+                parent = elite_pool[attempts % len(elite_pool)][2]
+                child = space.mutate(parent, rng)
+                key = candidate_key(child)
+                if key not in seen and key not in queued:
+                    queued.add(key)
+                    population.append(child)
+                attempts += 1
+            if len(population) < self.population:
+                population.extend(
+                    space.sample_distinct(
+                        rng,
+                        self.population - len(population),
+                        frozenset(seen | queued),
+                    )
+                )
+            round_no += 1
+
+        if not elite_pool:
+            return None, float("-inf")  # run() turns this into a ReproError
+        best = elite_pool[0]
+        return best[2], -best[0]

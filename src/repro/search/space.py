@@ -1,0 +1,167 @@
+"""Integer search spaces: sampling, mutation, and region partitioning.
+
+Every adaptive driver in :mod:`repro.search` explores a
+:class:`SearchSpace` — named integer dimensions with inclusive bounds and
+a step grid.  The space owns the three primitive moves the strategies
+share: draw a candidate (seeded), perturb a candidate (seeded,
+multi-scale), and partition itself into contiguous regions (for bandit
+budget allocation).  All randomness flows through the caller's
+``random.Random`` so a strategy's candidate sequence is a pure function
+of its root seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import ReproError
+from ..runner.shard import canonical_json
+
+Candidate = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class IntDimension:
+    """One inclusive integer range ``[lo, hi]`` on a ``step`` grid."""
+
+    lo: int
+    hi: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ReproError(f"dimension step must be positive, got {self.step}")
+        if self.hi < self.lo:
+            raise ReproError(f"dimension bounds inverted: [{self.lo}, {self.hi}]")
+
+    @property
+    def size(self) -> int:
+        """Number of grid points in the range."""
+        return (self.hi - self.lo) // self.step + 1
+
+    def clamp(self, value: int) -> int:
+        """``value`` snapped onto the grid and clamped into the range."""
+        snapped = self.lo + round((value - self.lo) / self.step) * self.step
+        return max(self.lo, min(self.hi, snapped))
+
+    def sample(self, rng: random.Random) -> int:
+        """A uniform grid point."""
+        return self.lo + rng.randrange(self.size) * self.step
+
+    def mutate(self, value: int, rng: random.Random) -> int:
+        """A seeded perturbation of ``value``.
+
+        Multi-scale: mostly small grid steps (local hill climbing), with a
+        geometric tail of larger jumps and an occasional uniform restart —
+        the mix the PrimeTime-style generate→evaluate→mutate loop needs to
+        both localize a cliff and escape a plateau.
+        """
+        if self.size == 1:
+            return self.lo
+        roll = rng.random()
+        if roll < 0.15:
+            mutated = self.sample(rng)
+        else:
+            # Step size 1, 2, 4, ... grid units, bounded by the range; the
+            # exponent is biased low so most moves are local.
+            max_shift = max(1, (self.size - 1).bit_length() - 1)
+            exponent = min(rng.randrange(max_shift), rng.randrange(max_shift))
+            delta = self.step * (1 << exponent)
+            mutated = self.clamp(value + rng.choice((-1, 1)) * delta)
+        if mutated == value:
+            # Landed on itself (resampled or clamped at a boundary): force
+            # one grid step inward so a mutation is never a no-op.
+            mutated = self.clamp(value - self.step if value >= self.hi else value + self.step)
+        return mutated
+
+    def split(self, parts: int) -> List["IntDimension"]:
+        """``parts`` contiguous subranges covering the grid (last may be short)."""
+        parts = max(1, min(parts, self.size))
+        per = self.size // parts
+        extra = self.size % parts
+        out: List[IntDimension] = []
+        start = self.lo
+        for i in range(parts):
+            count = per + (1 if i < extra else 0)
+            end = start + (count - 1) * self.step
+            out.append(IntDimension(start, end, self.step))
+            start = end + self.step
+        return out
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Named integer dimensions (sorted iteration order — deterministic)."""
+
+    dimensions: Tuple[Tuple[str, IntDimension], ...]
+
+    @classmethod
+    def of(cls, **dims: IntDimension) -> "SearchSpace":
+        return cls(dimensions=tuple(sorted(dims.items())))
+
+    def __iter__(self) -> Iterator[Tuple[str, IntDimension]]:
+        return iter(self.dimensions)
+
+    @property
+    def grid_size(self) -> int:
+        """How many points an exhaustive grid at step resolution would visit."""
+        size = 1
+        for _, dim in self.dimensions:
+            size *= dim.size
+        return size
+
+    def sample(self, rng: random.Random) -> Candidate:
+        return {name: dim.sample(rng) for name, dim in self.dimensions}
+
+    def sample_distinct(
+        self, rng: random.Random, count: int, seen: frozenset = frozenset()
+    ) -> List[Candidate]:
+        """Up to ``count`` distinct unseen candidates (seeded, best effort)."""
+        out: List[Candidate] = []
+        keys = set(seen)
+        attempts = 0
+        limit = max(32, count * 32)
+        while len(out) < count and attempts < limit:
+            attempts += 1
+            candidate = self.sample(rng)
+            key = candidate_key(candidate)
+            if key in keys:
+                continue
+            keys.add(key)
+            out.append(candidate)
+        return out
+
+    def mutate(self, candidate: Candidate, rng: random.Random) -> Candidate:
+        """Perturb one (seeded-chosen) dimension of ``candidate``."""
+        out = dict(candidate)
+        name, dim = self.dimensions[rng.randrange(len(self.dimensions))]
+        out[name] = dim.mutate(out[name], rng)
+        return out
+
+    def regions(self, count: int) -> List["SearchSpace"]:
+        """Contiguous subspaces for bandit arms.
+
+        The *widest* dimension (most grid points) is split into ``count``
+        slices; the others are carried whole.  One-dimensional spaces —
+        the interval and period searches — therefore get exactly the
+        interval partition one would draw on the Figure 8 x-axis.
+        """
+        widest = max(self.dimensions, key=lambda item: item[1].size)[0]
+        out: List[SearchSpace] = []
+        for piece in dict(self.dimensions)[widest].split(count):
+            dims = {name: dim for name, dim in self.dimensions}
+            dims[widest] = piece
+            out.append(SearchSpace.of(**dims))
+        return out
+
+    def describe(self) -> str:
+        return ", ".join(
+            f"{name}∈[{dim.lo}, {dim.hi}]/{dim.step}" for name, dim in self.dimensions
+        )
+
+
+def candidate_key(candidate: Candidate) -> str:
+    """Canonical identity of a candidate (dedupe and seed derivation)."""
+    return canonical_json(candidate)

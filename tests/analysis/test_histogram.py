@@ -52,3 +52,18 @@ class TestCdfPlot:
     def test_degenerate_range_handled(self):
         text = ascii_cdf([("x", [100, 100, 100])])
         assert "x" in text
+
+    def test_constant_population_renders_single_column(self):
+        """All samples identical: a degenerate one-column CDF, no
+        ZeroDivisionError, and no invented axis extent."""
+        text = ascii_cdf([("const", [70.0] * 25)], width=40)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        cols = {l.index("*") - l.index("|") - 1 for l in plot_rows if "*" in l}
+        assert cols == {0}
+        # Both axis labels show the one observed value — 70..71 would lie.
+        axis = text.splitlines()[-2]
+        assert axis.count("70") == 2 and "71" not in axis
+
+    def test_constant_and_spread_populations_coexist(self):
+        text = ascii_cdf([("const", [50] * 4), ("spread", [40, 60, 80, 100])])
+        assert "* const" in text and "o spread" in text

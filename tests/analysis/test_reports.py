@@ -125,7 +125,7 @@ class TestMemoization:
             _capacity_run(store, [100, 250])
             generate_report(store)
             misses = store.memo.misses
-            assert misses == 3  # fig2, capacity, trajectory — computed once
+            assert misses == 4  # fig2, capacity, search, trajectory — once
             hits = store.memo.hits
             generate_report(store)
             assert store.memo.misses == misses  # nothing recomputed
@@ -272,3 +272,44 @@ class TestRegressionRendering:
     def test_str_form(self):
         r = Regression(source="c", kind="gate", message="m")
         assert str(r) == "[gate] c: m"
+
+
+class TestSearchSection:
+    def _search_into(self, store, seed=3, budget=10):
+        from repro.search import EvalContext, ToyCliffObjective, make_driver
+
+        driver = make_driver("mutate", ToyCliffObjective(), budget)
+        return driver.run(EvalContext(seed=seed, store=store))
+
+    def test_search_data_rebuilds_trajectory_from_rows_alone(self):
+        from repro.analysis.reports import search_data
+
+        with CampaignStore() as store:
+            outcome = self._search_into(store)
+            data = search_data(store)
+        entry = data["search/toy-cliff/mutate"]
+        assert entry["searches"] == 1
+        assert sum(r["evaluations"] for r in entry["rounds"]) == outcome.evaluations_used
+        assert entry["best"] == pytest.approx(outcome.winner_score)
+        trailing = [r["best_so_far"] for r in entry["rounds"]]
+        assert trailing == sorted(trailing)
+
+    def test_round_zero_starts_a_new_search(self):
+        from repro.analysis.reports import search_data
+
+        with CampaignStore() as store:
+            self._search_into(store, seed=3)
+            self._search_into(store, seed=4)  # rounds restart at 0
+            data = search_data(store)
+        entry = data["search/toy-cliff/mutate"]
+        assert entry["searches"] == 2
+        # The rendered trajectory is the *latest* search's.
+        assert entry["rounds"][0]["round"] == 0
+
+    def test_report_renders_search_section(self):
+        with CampaignStore() as store:
+            self._search_into(store)
+            report = generate_report(store)
+        assert "## Search convergence" in report.text
+        assert "search/toy-cliff/mutate" in report.text
+        assert "| round | run | evals | round best | best so far |" in report.text

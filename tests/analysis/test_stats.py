@@ -23,6 +23,11 @@ class TestPercentile:
         with pytest.raises(ReproError):
             percentile([], 50)
 
+    def test_non_finite_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ReproError):
+                percentile([1.0, bad, 3.0], 50)
+
 
 class TestCDF:
     def test_shape(self):
@@ -57,3 +62,19 @@ class TestSummarize:
     def test_empty_rejected(self):
         with pytest.raises(ReproError):
             summarize([])
+
+    def test_nan_rejected_instead_of_propagating(self):
+        """NaN used to flow straight into mean/percentiles (and from there
+        into cache keys and store fingerprints); now it is refused."""
+        with pytest.raises(ReproError):
+            summarize([100.0, float("nan")])
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([float("inf"), 1.0])
+
+
+class TestCDFNonFinite:
+    def test_nan_rejected(self):
+        with pytest.raises(ReproError):
+            cdf([1.0, float("nan")])

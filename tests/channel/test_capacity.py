@@ -20,6 +20,18 @@ class TestBinaryEntropy:
         assert binary_entropy(0.0) == 0.0
         assert binary_entropy(1.0) == 0.0
 
+    def test_extremes_are_exact_without_log_of_zero(self):
+        """H(0) and H(1) must be exactly 0.0, never a log2(0) evaluation."""
+        assert binary_entropy(0.0) == 0.0 and not math.isnan(binary_entropy(0.0))
+        assert binary_entropy(1.0) == 0.0 and not math.isnan(binary_entropy(1.0))
+        assert binary_entropy(-0.0) == 0.0  # negative zero takes the same path
+
+    def test_near_extremes_stay_finite_and_positive(self):
+        tiny = 5e-324  # smallest subnormal: the harshest non-boundary input
+        for p in (tiny, 1.0 - 1e-16):
+            h = binary_entropy(p)
+            assert math.isfinite(h) and h >= 0.0
+
     def test_half_is_one(self):
         assert binary_entropy(0.5) == pytest.approx(1.0)
 
@@ -76,8 +88,13 @@ class TestBitErrorRate:
     def test_partial(self):
         assert bit_error_rate([1, 0, 1, 0], [1, 1, 1, 0]) == 0.25
 
-    def test_empty_is_zero(self):
-        assert bit_error_rate([], []) == 0.0
+    def test_empty_rejected_with_channel_error(self):
+        """An empty transfer has no defined BER — ChannelError, never a
+        silent 0.0 (and never a raw ZeroDivisionError)."""
+        with pytest.raises(ChannelError):
+            bit_error_rate([], [])
+        with pytest.raises(ChannelError):
+            bit_error_rate((), ())
 
     def test_length_mismatch_rejected(self):
         with pytest.raises(ChannelError):

@@ -1,0 +1,87 @@
+"""Seeded determinism of the search drivers.
+
+The contract under test: with a fixed root seed, a search's candidate
+sequence, every score, the winner, and the search fingerprint are
+bit-identical at any ``--jobs`` value, with and without a recoverable
+fault plan — and the per-round run fingerprints stored in a campaign
+store match across equivalent runs.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry
+from repro.runner import ResultCache
+from repro.search import EvalContext, ToyCliffObjective, make_driver
+from repro.store import CampaignStore
+
+OBJ = ToyCliffObjective()
+CRASH_PLAN = FaultPlan(seed=0, crash_probability=0.2)
+
+
+def _run(strategy, seed=11, budget=18, **ctx):
+    return make_driver(strategy, OBJ, budget).run(EvalContext(seed=seed, **ctx))
+
+
+def _signature(outcome):
+    return (
+        [(e.round, e.candidate, e.fidelity, e.score) for e in outcome.evaluations],
+        outcome.winner,
+        outcome.winner_score,
+        outcome.fingerprint,
+    )
+
+
+@pytest.mark.parametrize("strategy", ("mutate", "halving", "bandit"))
+class TestJobsInvariance:
+    def test_serial_and_parallel_runs_are_bit_identical(self, strategy):
+        assert _signature(_run(strategy, jobs=1)) == _signature(_run(strategy, jobs=2))
+
+    def test_recoverable_faults_do_not_perturb_the_search(self, strategy):
+        clean = _run(strategy)
+        chaotic = _run(strategy, faults=CRASH_PLAN, retries=4)
+        assert _signature(chaotic) == _signature(clean)
+
+    def test_different_seeds_diverge(self, strategy):
+        assert _run(strategy, seed=1).fingerprint != _run(strategy, seed=2).fingerprint
+
+
+class TestStoreFingerprints:
+    @pytest.mark.parametrize("strategy", ("mutate", "halving", "bandit"))
+    def test_equivalent_runs_store_identical_fingerprints(self, strategy, tmp_path):
+        prints = []
+        for jobs in (1, 2):
+            with CampaignStore(tmp_path / f"runs-{jobs}.sqlite") as store:
+                outcome = _run(strategy, jobs=jobs, store=store)
+                campaign = f"search/{OBJ.name}/{strategy}"
+                stored = [run.fingerprint for run in store.runs(campaign)]
+                assert stored == outcome.round_fingerprints
+                prints.append(stored)
+        assert prints[0] == prints[1]
+
+
+class TestCacheReplay:
+    def test_second_run_is_fully_cache_served_and_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first_registry, second_registry = MetricsRegistry(), MetricsRegistry()
+        first = make_driver("halving", OBJ, 14).run(
+            EvalContext(seed=21, cache=cache, metrics=first_registry)
+        )
+        second = make_driver("halving", OBJ, 14).run(
+            EvalContext(seed=21, cache=cache, metrics=second_registry)
+        )
+        assert _signature(second) == _signature(first)
+        assert second_registry.counter("runner.shards.computed").value == 0
+        assert (
+            second_registry.counter("runner.shards.cached").value
+            == first.evaluations_used
+        )
+
+    def test_strategies_do_not_share_winners_by_accident(self):
+        outcomes = {s: _run(s, seed=11, budget=24) for s in ("mutate", "halving", "bandit")}
+        # All three must agree the cliff side beats the far side...
+        for outcome in outcomes.values():
+            assert outcome.winner_score > 0
+        # ...but their evaluation transcripts are their own.
+        prints = [o.fingerprint for o in outcomes.values()]
+        assert len(set(prints)) == 3

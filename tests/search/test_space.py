@@ -1,0 +1,95 @@
+"""Tests for search spaces: bounds, seeded moves, region partitioning."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.search import IntDimension, SearchSpace, candidate_key
+
+
+class TestIntDimension:
+    def test_size_counts_grid_points(self):
+        assert IntDimension(0, 400, 4).size == 101
+        assert IntDimension(5, 5).size == 1
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ReproError):
+            IntDimension(10, 0)
+        with pytest.raises(ReproError):
+            IntDimension(0, 10, step=0)
+
+    def test_clamp_snaps_to_grid(self):
+        dim = IntDimension(0, 100, 10)
+        assert dim.clamp(47) == 50
+        assert dim.clamp(-5) == 0
+        assert dim.clamp(999) == 100
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_sample_stays_on_grid(self, seed):
+        dim = IntDimension(30, 270, 7)
+        value = dim.sample(random.Random(seed))
+        assert 30 <= value <= 270
+        assert (value - 30) % 7 == 0
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_mutate_moves_and_stays_on_grid(self, seed):
+        dim = IntDimension(0, 400, 4)
+        value = dim.mutate(200, random.Random(seed))
+        assert 0 <= value <= 400 and value % 4 == 0
+        assert value != 200
+
+    def test_mutate_escapes_boundaries(self):
+        dim = IntDimension(0, 40, 4)
+        for seed in range(50):
+            assert dim.mutate(0, random.Random(seed)) != 0
+            assert dim.mutate(40, random.Random(seed)) != 40
+
+    def test_single_point_mutates_to_itself(self):
+        assert IntDimension(7, 7).mutate(7, random.Random(0)) == 7
+
+    def test_split_covers_grid_without_overlap(self):
+        dim = IntDimension(0, 100, 10)  # 11 points
+        pieces = dim.split(3)
+        points = [p for piece in pieces for p in range(piece.lo, piece.hi + 1, piece.step)]
+        assert points == list(range(0, 101, 10))
+
+    def test_split_caps_at_grid_size(self):
+        assert len(IntDimension(0, 2).split(10)) == 3
+
+
+class TestSearchSpace:
+    def test_grid_size_multiplies_dimensions(self):
+        space = SearchSpace.of(a=IntDimension(0, 9), b=IntDimension(0, 4))
+        assert space.grid_size == 50
+
+    def test_sample_determinism(self):
+        space = SearchSpace.of(x=IntDimension(0, 1000, 5))
+        a = [space.sample(random.Random(42)) for _ in range(5)]
+        b = [space.sample(random.Random(42)) for _ in range(5)]
+        assert a == b
+
+    def test_sample_distinct_dedupes_against_seen(self):
+        space = SearchSpace.of(x=IntDimension(0, 4))
+        seen = frozenset(candidate_key({"x": v}) for v in (0, 1, 2))
+        out = space.sample_distinct(random.Random(0), 5, seen)
+        assert sorted(c["x"] for c in out) == [3, 4]
+
+    def test_mutate_changes_exactly_one_dimension(self):
+        space = SearchSpace.of(a=IntDimension(0, 100, 2), b=IntDimension(0, 100, 2))
+        parent = {"a": 50, "b": 50}
+        child = space.mutate(parent, random.Random(3))
+        assert sum(child[k] != parent[k] for k in parent) == 1
+
+    def test_regions_partition_widest_dimension(self):
+        space = SearchSpace.of(x=IntDimension(0, 400, 4), y=IntDimension(0, 1))
+        regions = space.regions(4)
+        assert len(regions) == 4
+        assert sum(r.grid_size for r in regions) == space.grid_size
+        # y carried whole into every region
+        for region in regions:
+            assert dict(region.dimensions)["y"].size == 2
+
+    def test_candidate_key_is_order_insensitive(self):
+        assert candidate_key({"a": 1, "b": 2}) == candidate_key({"b": 2, "a": 1})

@@ -1,0 +1,138 @@
+"""Tests for the three search strategies' mechanics and budget semantics."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.search import (
+    EvalContext,
+    MutationSearch,
+    SuccessiveHalving,
+    ToyCliffObjective,
+    UCBSearch,
+    make_driver,
+    make_objective,
+)
+
+OBJ = ToyCliffObjective()
+
+
+class TestBudget:
+    @pytest.mark.parametrize("strategy", ("mutate", "halving", "bandit"))
+    def test_budget_caps_computed_evaluations(self, strategy):
+        outcome = make_driver(strategy, OBJ, 10).run(EvalContext(seed=1))
+        assert outcome.evaluations_used <= 10
+        assert outcome.budget == 10
+
+    def test_budget_below_one_rejected(self):
+        with pytest.raises(ReproError):
+            MutationSearch(OBJ, 0)
+
+    def test_halving_needs_one_eval_per_rung(self):
+        with pytest.raises(ReproError):
+            SuccessiveHalving(ToyCliffObjective(fidelities=(1, 4, 16)), 2)
+
+    def test_evaluation_orders_are_global_and_dense(self):
+        outcome = make_driver("mutate", OBJ, 20).run(EvalContext(seed=2))
+        assert [e.order for e in outcome.evaluations] == list(range(20))
+
+
+class TestMutate:
+    def test_winner_is_best_evaluation(self):
+        outcome = MutationSearch(OBJ, 30).run(EvalContext(seed=5))
+        best = max(outcome.evaluations, key=lambda e: e.score)
+        assert outcome.winner == best.candidate
+        assert outcome.winner_score == best.score
+
+    def test_candidates_never_repeat(self):
+        outcome = MutationSearch(OBJ, 40).run(EvalContext(seed=5))
+        keys = [e.candidate["interval"] for e in outcome.evaluations]
+        assert len(keys) == len(set(keys))
+
+    def test_population_and_elites_validated(self):
+        with pytest.raises(ReproError):
+            MutationSearch(OBJ, 10, population=4, elites=5)
+
+
+class TestHalving:
+    def test_rung_sizes_fit_budget_and_halve(self):
+        driver = SuccessiveHalving(ToyCliffObjective(fidelities=(1, 4, 16)), 14)
+        sizes = driver.rung_sizes()
+        assert sizes == [8, 4, 2]
+        assert sum(sizes) == 14
+
+    def test_rounds_climb_the_fidelity_ladder(self):
+        obj = ToyCliffObjective(fidelities=(1, 4, 16))
+        outcome = SuccessiveHalving(obj, 14).run(EvalContext(seed=3))
+        fidelities = {e.round: e.fidelity for e in outcome.evaluations}
+        assert fidelities == {0: 1, 1: 4, 2: 16}
+
+    def test_winner_scored_at_full_fidelity(self):
+        obj = ToyCliffObjective(fidelities=(1, 4, 16))
+        outcome = SuccessiveHalving(obj, 14).run(EvalContext(seed=3))
+        final = [e for e in outcome.evaluations if e.fidelity == 16]
+        assert outcome.winner in [e.candidate for e in final]
+
+    def test_promotion_keeps_the_best_scores(self):
+        obj = ToyCliffObjective(fidelities=(1, 16))
+        outcome = SuccessiveHalving(obj, 12).run(EvalContext(seed=9))
+        rung0 = {e.candidate["interval"]: e.score
+                 for e in outcome.evaluations if e.round == 0}
+        promoted = {e.candidate["interval"]
+                    for e in outcome.evaluations if e.round == 1}
+        cutoff = sorted(rung0.values(), reverse=True)[len(promoted) - 1]
+        assert all(rung0[c] >= cutoff for c in promoted)
+
+
+class TestBandit:
+    def test_every_arm_pulled_before_exploitation(self):
+        driver = UCBSearch(OBJ, 16, arms=4, round_size=4)
+        outcome = driver.run(EvalContext(seed=4))
+        # With budget = arms * round_size, rounds 0..3 are the initial
+        # sweep: one batch per arm, each from a distinct region.
+        regions = OBJ.space.regions(4)
+        bounds = [dict(r.dimensions)["interval"] for r in regions]
+        seen_arms = set()
+        for e in outcome.evaluations:
+            x = e.candidate["interval"]
+            seen_arms.update(
+                i for i, b in enumerate(bounds) if b.lo <= x <= b.hi
+            )
+        assert seen_arms == {0, 1, 2, 3}
+
+    def test_exploitation_favors_the_cliff_region(self):
+        # Generously budgeted: most pulls should land in the region
+        # containing the planted maximum (interval=256 -> third quartile).
+        outcome = UCBSearch(OBJ, 48, arms=4, round_size=4).run(EvalContext(seed=4))
+        in_cliff_region = sum(
+            1 for e in outcome.evaluations if 204 <= e.candidate["interval"] <= 304
+        )
+        assert in_cliff_region > len(outcome.evaluations) // 3
+
+    def test_all_evaluations_at_full_fidelity(self):
+        outcome = UCBSearch(OBJ, 12).run(EvalContext(seed=0))
+        assert {e.fidelity for e in outcome.evaluations} == {OBJ.full_fidelity}
+
+    def test_parameters_validated(self):
+        with pytest.raises(ReproError):
+            UCBSearch(OBJ, 8, arms=1)
+        with pytest.raises(ReproError):
+            UCBSearch(OBJ, 8, round_size=0)
+
+
+class TestRegistry:
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ReproError):
+            make_driver("anneal", OBJ, 8)
+        with pytest.raises(ReproError):
+            make_objective("nonexistent")
+
+    def test_trajectory_tracks_running_best(self):
+        outcome = make_driver("mutate", OBJ, 24).run(EvalContext(seed=6))
+        rows = outcome.trajectory()
+        assert sum(r["evaluations"] for r in rows) == outcome.evaluations_used
+        bests = [r["best_so_far"] for r in rows]
+        assert bests == sorted(bests)
+        assert not math.isinf(bests[-1])
+        assert bests[-1] == outcome.winner_score

@@ -258,3 +258,45 @@ class TestStoreCommands:
         captured = capsys.readouterr()
         assert "[regression]" in captured.err
         assert main(["report", "--store", str(db), "--no-gate"]) == 0
+
+
+class TestSearchCommand:
+    def test_search_runs_and_prints_deterministic_summary(self, capsys):
+        argv = ["search", "--strategy", "halving", "--budget", "8",
+                "--seed", "5", "--no-cache", "--no-store"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Search — toy-cliff via halving" in first
+        assert "winner: interval=" in first
+        assert "fingerprint: " in first
+        # Same seed, different --jobs: stdout must be bit-identical.
+        assert main(argv[:-2] + ["--jobs", "2", "--no-cache", "--no-store"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_search_records_campaign_rounds(self, capsys, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        assert main(["search", "--strategy", "mutate", "--budget", "12",
+                     "--no-cache", "--store", str(db)]) == 0
+        capsys.readouterr()
+        from repro.store import CampaignStore
+
+        with CampaignStore(db) as store:
+            campaigns = store.campaigns()
+            assert [c.name for c in campaigns] == ["search/toy-cliff/mutate"]
+            rows = store.shard_rows(store.runs(campaigns[0].name)[0].id)
+        assert all("score" in row.result for row in rows)
+        assert all(row.params["round"] == 0 for row in rows)
+
+    def test_search_report_renders_convergence(self, capsys, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        assert main(["search", "--strategy", "bandit", "--budget", "8",
+                     "--no-cache", "--store", str(db)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--store", str(db), "--no-gate"]) == 0
+        out = capsys.readouterr().out
+        assert "Search convergence" in out
+        assert "search/toy-cliff/bandit" in out
+
+    def test_bad_strategy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--strategy", "simulated-annealing"])
