@@ -1,0 +1,145 @@
+"""Persistent-runtime overhead gate: >= 2x less orchestration per round.
+
+A multi-round search re-enters ``run_shards`` once per round.  With the
+fresh runtime every round pays a full ``ProcessPoolExecutor`` spawn —
+fork, import, warm-up — before the first shard runs; the persistent
+:class:`repro.runner.Runtime` spawns the pool once and reuses it, so
+later rounds pay only chunk submission.  This benchmark runs the same
+20+-round seeded mutation search at ``--jobs 4`` both ways and gates the
+*orchestration overhead per round*:
+
+    overhead = search wall time - sum(runner.shard.seconds)
+
+i.e. everything that is not shard compute — pool provisioning, pickling,
+scheduling, merging.  Shard compute itself is identical by construction
+(the determinism suite pins trajectories bit-identical), so subtracting
+it isolates exactly what the persistent runtime exists to amortize.
+
+Timing uses best-of-N interleaved measurement rounds per runtime; noise
+only ever adds overhead, so the minima are each runtime's cleanest
+measurement.  Each persistent measurement builds its *own* Runtime —
+the one-time pool spawn is inside the measured window, not hidden.
+
+The run doubles as the leak gate: after ``Runtime.close()`` every worker
+pid must be gone and no ``repro_rt*`` shared-memory segment may remain.
+"""
+
+import gc
+import os
+import time
+
+from conftest import artifact, report
+
+from repro.obs import MetricsRegistry
+from repro.runner import FRESH, Runtime
+from repro.search import EvalContext, MutationSearch, ToyCliffObjective
+
+JOBS = 4
+BUDGET = 96
+POPULATION = 4  # 96 evaluations / 4 per round = 24 rounds
+SEED = 13
+ROUNDS = 3
+OVERHEAD_GATE = 2.0
+MIN_SEARCH_ROUNDS = 20
+
+
+def _driver():
+    # The default 101-point grid dries up long before 20 rounds of
+    # distinct candidates; a 501-point grid sustains the full budget.
+    objective = ToyCliffObjective(hi=2000, step=4)
+    return MutationSearch(objective, budget=BUDGET, population=POPULATION)
+
+
+def _measure_once(runtime) -> dict:
+    registry = MetricsRegistry()
+    ctx = EvalContext(seed=SEED, jobs=JOBS, metrics=registry, runtime=runtime)
+    gc.collect()
+    start = time.perf_counter()
+    outcome = _driver().run(ctx)
+    wall = time.perf_counter() - start
+    compute = registry.histogram("runner.shard.seconds").total
+    return {
+        "rounds": outcome.rounds,
+        "evaluations": outcome.evaluations_used,
+        "fingerprint": outcome.fingerprint,
+        "wall_seconds": wall,
+        "compute_seconds": compute,
+        "overhead_per_round": (wall - compute) / outcome.rounds,
+        "pool_spawns": registry.counter("runner.runtime.spawns").value,
+        "pool_reuses": registry.counter("runner.runtime.reuses").value,
+    }
+
+
+def _shm_segments() -> list:
+    try:
+        return sorted(n for n in os.listdir("/dev/shm") if n.startswith("repro_rt"))
+    except FileNotFoundError:  # pragma: no cover - non-POSIX-shm hosts
+        return []
+
+
+def _alive(pids) -> list:
+    alive = []
+    for pid in pids:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue
+        alive.append(pid)
+    return alive
+
+
+def _measure() -> dict:
+    fresh_runs, persistent_runs = [], []
+    leaked_pids, leaked_segments = [], []
+    for _ in range(ROUNDS):
+        fresh_runs.append(_measure_once(FRESH))
+        with Runtime(name="bench") as rt:
+            persistent_runs.append(_measure_once(rt))
+            pids = rt.worker_pids()
+        leaked_pids.extend(_alive(pids))
+        leaked_segments.extend(_shm_segments())
+
+    fresh = min(fresh_runs, key=lambda r: r["overhead_per_round"])
+    persistent = min(persistent_runs, key=lambda r: r["overhead_per_round"])
+    return {
+        "jobs": JOBS,
+        "budget": BUDGET,
+        "seed": SEED,
+        "rounds": persistent["rounds"],
+        "fingerprints_match": fresh["fingerprint"] == persistent["fingerprint"],
+        "fresh_wall_seconds": fresh["wall_seconds"],
+        "persistent_wall_seconds": persistent["wall_seconds"],
+        "fresh_overhead_per_round": fresh["overhead_per_round"],
+        "persistent_overhead_per_round": persistent["overhead_per_round"],
+        "overhead_reduction": (
+            fresh["overhead_per_round"] / persistent["overhead_per_round"]
+        ),
+        "persistent_pool_spawns": persistent["pool_spawns"],
+        "persistent_pool_reuses": persistent["pool_reuses"],
+        "leaked_worker_pids": leaked_pids,
+        "leaked_shm_segments": leaked_segments,
+        "gate": OVERHEAD_GATE,
+    }
+
+
+def test_runtime_overhead(once):
+    result = once(_measure)
+    artifact("runtime_overhead", result)
+    report(
+        "Persistent runtime — per-round orchestration overhead vs fresh "
+        f"pools ({result['rounds']}-round mutation search, jobs={JOBS})",
+        f"fresh:      {result['fresh_overhead_per_round'] * 1e3:.2f} ms/round "
+        f"overhead ({result['fresh_wall_seconds']:.2f}s wall)\n"
+        f"persistent: {result['persistent_overhead_per_round'] * 1e3:.2f} ms/round "
+        f"overhead ({result['persistent_wall_seconds']:.2f}s wall)\n"
+        f"reduction:  {result['overhead_reduction']:.2f}x "
+        f"(gate >= {OVERHEAD_GATE}x)\n"
+        f"pool spawns/reuses: {result['persistent_pool_spawns']}/"
+        f"{result['persistent_pool_reuses']}\n"
+        f"trajectories identical: {result['fingerprints_match']}",
+    )
+    assert result["rounds"] >= MIN_SEARCH_ROUNDS
+    assert result["fingerprints_match"], "runtimes diverged; timing is meaningless"
+    assert result["leaked_worker_pids"] == [], "worker processes outlived Runtime.close()"
+    assert result["leaked_shm_segments"] == [], "shm segments outlived Runtime.close()"
+    assert result["overhead_reduction"] >= OVERHEAD_GATE

@@ -11,8 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ChannelError
-from .encoding import bits_to_bytes, bytes_to_bits
+from .encoding import _as_bit_array, bits_to_bytes, bytes_to_bits
 
 #: Alternating training sequence followed by the 0x7E start-of-frame marker.
 PREAMBLE_BITS = [1, 0, 1, 0, 1, 0, 1, 0] + bytes_to_bits(b"\x7e")
@@ -84,11 +86,35 @@ class FrameCodec:
 
     @staticmethod
     def _iter_preambles(bits: List[int]):
-        """Yield the body offset after every preamble match, in order."""
+        """Yield the body offset after every preamble match, in order.
+
+        The naive scan compares an m-bit slice at every offset — O(n·m)
+        Python work that dominated long noisy decodes (resynchronization
+        walks *every* candidate offset).  Integer bit streams instead run
+        a correlation-based scan: with indicator vectors for the stream's
+        ones and zeros, ``correlate(ones, pattern) + correlate(zeros,
+        1 - pattern)`` counts, at every offset simultaneously, how many
+        positions agree with the preamble; an offset matches iff its
+        count is m.  Overlapping matches fall out naturally, and stream
+        values outside {0, 1} raise neither indicator, so — exactly like
+        slice equality — a window containing one can never reach m.
+        Streams that do not coerce to integer arrays keep the slice scan.
+        """
         n = len(PREAMBLE_BITS)
-        for i in range(len(bits) - n + 1):
-            if bits[i : i + n] == PREAMBLE_BITS:
-                yield i + n
+        if len(bits) < n:
+            return
+        array = _as_bit_array(bits)
+        if array is None:
+            for i in range(len(bits) - n + 1):
+                if bits[i : i + n] == PREAMBLE_BITS:
+                    yield i + n
+            return
+        pattern = np.asarray(PREAMBLE_BITS, dtype=np.int64)
+        stream = array.astype(np.int64, copy=False)
+        score = np.correlate((stream == 1).astype(np.int64), pattern) + \
+            np.correlate((stream == 0).astype(np.int64), 1 - pattern)
+        for i in np.nonzero(score == n)[0]:
+            yield int(i) + n
 
     @classmethod
     def _find_preamble(cls, bits: List[int]) -> Optional[int]:

@@ -88,6 +88,35 @@ def _sweep_store_scope(args: argparse.Namespace):
     return nullcontext()
 
 
+def _sweep_runtime_scope(args: argparse.Namespace):
+    """The default-runtime scope a command runs under.
+
+    ``--runtime persistent`` (the default for runner commands) installs
+    one :class:`~repro.runner.Runtime` as the process default for the
+    command's duration — every sweep the command issues shares one worker
+    pool — and closes it (pool shut down, shared memory unlinked) on the
+    way out.  ``--runtime fresh`` installs the FRESH sentinel, forcing a
+    per-sweep pool even when ``$REPRO_RUNTIME=persistent``.  Commands
+    without runner flags get a no-op scope.
+    """
+    from contextlib import contextmanager, nullcontext
+
+    choice = getattr(args, "runtime", None)
+    if choice is None:
+        return nullcontext()
+    from .runner import FRESH, Runtime, use_default_runtime
+
+    if choice == "fresh":
+        return use_default_runtime(FRESH)
+
+    @contextmanager
+    def scope():
+        with Runtime(name="cli") as rt, use_default_runtime(rt):
+            yield
+
+    return scope()
+
+
 def _open_store(args: argparse.Namespace):
     """The store a read-only command (report/campaigns) queries, or None."""
     from .store import CampaignStore, get_default_store
@@ -733,6 +762,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--no-store", action="store_true",
                            help="record the run in no campaign store, even "
                                 "if $REPRO_STORE is set")
+            p.add_argument("--runtime", choices=("persistent", "fresh"),
+                           default="persistent",
+                           help="worker provisioning for --jobs > 1: "
+                                "'persistent' (default) reuses one pool and "
+                                "shared-memory transfer across this "
+                                "command's sweeps; 'fresh' spawns a pool "
+                                "per sweep (same output either way)")
 
     p = sub.add_parser("fig2", help="insertion policy (Property #1)")
     common(p, repetitions=100)
@@ -901,7 +937,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    with _sweep_store_scope(args):
+    with _sweep_store_scope(args), _sweep_runtime_scope(args):
         return args.func(args)
 
 

@@ -39,6 +39,7 @@ from typing import Optional
 from ..errors import ConfigurationError
 from .batch import BatchMachine, BatchResult, run_trace_batch
 from .compile import CompiledTrace, OP_NAMES, compile_trace
+from .planes import PlaneManifest, export_planes, pack_planes, unpack_planes
 from .soa import execute, hierarchy_arrays, pmu_vectors, supports
 
 #: Recognised backend names.
@@ -85,12 +86,16 @@ __all__ = [
     "CompiledTrace",
     "ENGINE_ENV_VAR",
     "OP_NAMES",
+    "PlaneManifest",
     "compile_trace",
     "default_backend",
     "execute",
+    "export_planes",
     "hierarchy_arrays",
+    "pack_planes",
     "pmu_vectors",
     "resolve_backend",
+    "unpack_planes",
     "run_trace_batch",
     "supports",
 ]

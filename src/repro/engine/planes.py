@@ -1,0 +1,120 @@
+"""Plane export/import: engine state as one transferable buffer.
+
+:func:`~repro.engine.soa.hierarchy_arrays` and
+:func:`~repro.engine.soa.pmu_vectors` already expose a machine's state as
+``[set, way]`` NumPy planes.  This module turns that *family of arrays*
+into **one contiguous buffer plus a tiny manifest**, which is the shape
+the persistent runtime (:mod:`repro.runner.runtime`) and the ROADMAP's
+distributed fabric want: a buffer lands in a
+:mod:`multiprocessing.shared_memory` segment (or a socket, or a file)
+once, and every consumer reconstructs the planes as **zero-copy NumPy
+views** over it — read-only when the backing memory is, so shared state
+cannot be silently mutated.
+
+The manifest is plain data (names, dtypes, shapes, offsets) and pickles
+to a few hundred bytes; equality of two manifests means the buffers are
+layout-compatible.  Round-tripping is exact: ``unpack_planes(*
+pack_planes(planes))`` reproduces every array bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+#: Buffer alignment for each packed plane (keeps views SIMD-friendly).
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class PlaneManifest:
+    """Layout of one packed plane buffer.
+
+    ``entries`` holds ``(key, dtype string, shape, offset, nbytes)`` per
+    plane, in pack order; ``nbytes`` is the buffer's total size.
+    """
+
+    entries: Tuple[Tuple[str, str, Tuple[int, ...], int, int], ...]
+    nbytes: int
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(entry[0] for entry in self.entries)
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def export_planes(machine) -> Dict[str, np.ndarray]:
+    """A machine's engine state as a flat ``{key: array}`` plane dict.
+
+    Hierarchy planes key as ``"hierarchy/<level>/<plane>"`` (e.g.
+    ``"hierarchy/LLC/tags"``), PMU vectors as ``"pmu/<counter>"``.  The
+    arrays are freshly built snapshots — safe to pack, ship, or mutate
+    without touching the machine.
+    """
+    from .soa import hierarchy_arrays, pmu_vectors
+
+    planes: Dict[str, np.ndarray] = {}
+    for level, arrays in hierarchy_arrays(machine).items():
+        for name, array in arrays.items():
+            planes[f"hierarchy/{level}/{name}"] = array
+    for name, vector in pmu_vectors(machine).items():
+        planes[f"pmu/{name}"] = vector
+    return planes
+
+
+def pack_planes(planes: Dict[str, np.ndarray]) -> Tuple[PlaneManifest, bytearray]:
+    """Pack ``planes`` into one aligned contiguous buffer + manifest.
+
+    Keys pack in sorted order so two semantically equal plane dicts pack
+    to identical buffers regardless of insertion order.
+    """
+    entries = []
+    offset = 0
+    arrays = []
+    for key in sorted(planes):
+        array = np.ascontiguousarray(planes[key])
+        offset = _aligned(offset)
+        entries.append(
+            (key, array.dtype.str, tuple(array.shape), offset, array.nbytes)
+        )
+        arrays.append((offset, array))
+        offset += array.nbytes
+    buffer = bytearray(offset)
+    for start, array in arrays:
+        buffer[start : start + array.nbytes] = array.tobytes()
+    return PlaneManifest(entries=tuple(entries), nbytes=offset), buffer
+
+
+def unpack_planes(manifest: PlaneManifest, buffer: Any) -> Dict[str, np.ndarray]:
+    """Planes as zero-copy NumPy views over ``buffer``.
+
+    ``buffer`` is anything the manifest was packed against — the
+    ``bytearray`` from :func:`pack_planes`, a ``memoryview`` over a
+    shared-memory segment, an ``mmap``.  No bytes are copied; views over
+    a read-only buffer come back non-writable, so a consumer that tries
+    to mutate shared state fails loudly instead of diverging silently.
+    """
+    view = memoryview(buffer)
+    if len(view) < manifest.nbytes:
+        raise ValueError(
+            f"plane buffer holds {len(view)} bytes, manifest needs "
+            f"{manifest.nbytes}"
+        )
+    planes: Dict[str, np.ndarray] = {}
+    for key, dtype, shape, offset, nbytes in manifest.entries:
+        planes[key] = np.frombuffer(
+            view[offset : offset + nbytes], dtype=np.dtype(dtype)
+        ).reshape(shape)
+    return planes
+
+
+__all__ = [
+    "PlaneManifest",
+    "export_planes",
+    "pack_planes",
+    "unpack_planes",
+]

@@ -22,6 +22,14 @@ Typical wiring, from an experiment module::
 from .batchexec import TraceBatchPlan, run_batch_shards
 from .cache import CACHE_DIR_ENV, ResultCache, default_cache_root
 from .pool import SHARD_ERROR_KEY, backoff_seconds, is_error_record, run_shards
+from .runtime import (
+    FRESH,
+    RUNTIME_ENV,
+    Runtime,
+    resolve_runtime,
+    set_default_runtime,
+    use_default_runtime,
+)
 from .shard import (
     Shard,
     canonical_json,
@@ -37,6 +45,12 @@ __all__ = [
     "WarmStartPlan",
     "clear_warm_states",
     "run_warm_shards",
+    "FRESH",
+    "RUNTIME_ENV",
+    "Runtime",
+    "resolve_runtime",
+    "set_default_runtime",
+    "use_default_runtime",
     "CACHE_DIR_ENV",
     "ResultCache",
     "SHARD_ERROR_KEY",

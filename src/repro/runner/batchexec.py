@@ -170,6 +170,7 @@ def run_batch_shards(
     batch_size: int = 64,
     store=None,
     campaign: Optional[str] = None,
+    runtime=None,
 ) -> List[Dict[str, Any]]:
     """Run ``shards`` through ``plan``, batching trials per prefix group.
 
@@ -248,6 +249,7 @@ def run_batch_shards(
             worker,
             shards,
             jobs=jobs,
+            runtime=runtime,
             cache=cache,
             cache_tag=cache_tag,
             metrics=registry,

@@ -45,6 +45,7 @@ from ..errors import ReproError
 from ..faults import FaultPlan, ShardFaultInjector
 from ..obs import EventTrace, MetricsRegistry, NULL_TRACE, get_registry
 from .cache import ResultCache
+from .runtime import resolve_runtime
 from .shard import Shard
 
 Worker = Callable[[Shard], Dict[str, Any]]
@@ -161,6 +162,7 @@ def run_shards(
     on_error: Optional[str] = None,
     store=None,
     campaign: Optional[str] = None,
+    runtime=None,
     _ingest: Optional[Dict[str, Any]] = None,
 ) -> List[Dict[str, Any]]:
     """Run ``worker`` over ``shards``; results merged in shard order.
@@ -187,6 +189,13 @@ def run_shards(
     executors (warm start, trial batch) pass their executor name, prefix
     digests, and batch width through it so a delegated sweep is recorded
     exactly once, with the outermost executor's identity.
+
+    ``runtime`` selects the execution runtime for the parallel path: an
+    explicit :class:`~repro.runner.runtime.Runtime` reuses its persistent
+    pool, :data:`~repro.runner.runtime.FRESH` forces an ephemeral per-call
+    pool, and None resolves the process default / ``$REPRO_RUNTIME`` (see
+    :mod:`repro.runner.runtime`).  The choice never changes output — only
+    how worker processes are provisioned.
     """
     if jobs < 0:
         raise ReproError(f"jobs must be >= 0, got {jobs}")
@@ -242,9 +251,18 @@ def run_shards(
             call = partial(_timed_call, worker)
         else:
             call = partial(_attempt_shard, worker, faults, retries, backoff_base)
-        if jobs > 1:
-            with ProcessPoolExecutor(max_workers=workers_used) as pool:
-                computed = list(pool.map(call, pending))
+        # A single pending shard (or a fully cached sweep, which never
+        # reaches here) is not worth a worker process: run it inline.
+        # Workers are pure functions of the shard, so output is identical.
+        if jobs > 1 and len(pending) > 1:
+            rt = resolve_runtime(runtime)
+            if rt is not None:
+                computed = rt.map(
+                    call, pending, workers_used, metrics=registry, trace=trace
+                )
+            else:
+                with ProcessPoolExecutor(max_workers=workers_used) as pool:
+                    computed = list(pool.map(call, pending))
         else:
             computed = [call(shard) for shard in pending]
         shard_seconds = registry.histogram("runner.shard.seconds", _SHARD_SECONDS_BUCKETS)

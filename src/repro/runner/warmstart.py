@@ -108,11 +108,27 @@ def _warm_state(plan: WarmStartPlan, prefix: Dict[str, Any], memo_key: tuple) ->
 
 
 class _WarmWorker:
-    """Picklable shard worker that restores the prefix checkpoint per trial."""
+    """Picklable shard worker that restores the prefix checkpoint per trial.
 
-    def __init__(self, plan: WarmStartPlan, digests: Dict[str, str]):
+    ``checkpoints`` optionally carries a shared-memory
+    :class:`~repro.runner.runtime.PayloadRef` to the parent-built
+    ``{prefix_json: checkpoint}`` table.  Persistent-pool workers forked
+    before this sweep's prefixes existed cannot inherit the parent memo;
+    on a memo miss they still run ``plan.setup`` (machine and context are
+    live objects only a build can produce) but adopt the *shipped* parent
+    checkpoint — digest-checked — instead of capturing their own, so the
+    state they restore per trial is byte-for-byte the parent's.
+    """
+
+    def __init__(
+        self,
+        plan: WarmStartPlan,
+        digests: Dict[str, str],
+        checkpoints=None,
+    ):
         self.plan = plan
         self.digests = digests
+        self.checkpoints = checkpoints
         #: Cache identity: the body function, like a cold worker's name.
         self.cache_identity = plan.identity()
 
@@ -132,12 +148,30 @@ class _WarmWorker:
             "engine": shard.params.get("engine") or default_backend(),
         }
 
+    def _shipped_checkpoint(self, prefix_json: str):
+        """The parent's checkpoint for ``prefix_json`` from shm, if shipped."""
+        if self.checkpoints is None:
+            return None
+        from .runtime import load_payload
+
+        table = load_payload(self.checkpoints)
+        checkpoint = table.get(prefix_json)
+        if checkpoint is None or checkpoint.digest() != self.digests[prefix_json]:
+            return None  # stale/foreign table: fall back to a local capture
+        return checkpoint
+
     def __call__(self, shard: Shard) -> Dict[str, Any]:
         plan = self.plan
         prefix = plan.prefix_of(shard)
         prefix_json = canonical_json(prefix)
         memo_key = (plan.identity(), prefix_json, self.digests[prefix_json])
-        machine, context, checkpoint = _warm_state(plan, prefix, memo_key)
+        state = _WARM_STATES.get(memo_key)
+        if state is None:
+            machine, context = plan.setup(prefix)
+            shipped = self._shipped_checkpoint(prefix_json)
+            state = (machine, context, shipped or machine.checkpoint())
+            _memo_put(memo_key, state)
+        machine, context, checkpoint = state
         # Restore before *every* body — first use and retries included — so
         # execution never depends on what previously ran on this machine.
         machine.restore(checkpoint)
@@ -158,6 +192,7 @@ def run_warm_shards(
     on_error: Optional[str] = None,
     store=None,
     campaign: Optional[str] = None,
+    runtime=None,
 ) -> List[Dict[str, Any]]:
     """Run ``shards`` through ``plan`` with per-prefix warm starts.
 
@@ -192,6 +227,7 @@ def run_warm_shards(
     # states land in this process's memo: inline runs (jobs <= 1) reuse
     # them directly, forked pool children inherit them for free.
     digests: Dict[str, str] = {}
+    built: Dict[str, Any] = {}
     capture_seconds = registry.histogram(
         "runner.checkpoint.capture.seconds", _PREFIX_SECONDS_BUCKETS
     )
@@ -199,7 +235,7 @@ def run_warm_shards(
     for prefix_json, prefix in groups.items():
         start = time.perf_counter()
         machine, context = plan.setup(prefix)
-        checkpoint = machine.checkpoint()
+        checkpoint = built[prefix_json] = machine.checkpoint()
         elapsed = time.perf_counter() - start
         digest = digests[prefix_json] = checkpoint.digest()
         _memo_put((plan.identity(), prefix_json, digest), (machine, context, checkpoint))
@@ -218,12 +254,25 @@ def run_warm_shards(
                 trials=group_sizes[prefix_json],
             )
 
-    worker = _WarmWorker(plan, digests)
+    # Under a persistent runtime, ship the parent-built checkpoint table
+    # through one shared-memory segment: pool workers forked before these
+    # prefixes existed adopt the parent's checkpoints (digest-checked)
+    # instead of each capturing their own, and the table travels once per
+    # content rather than pickling per task.
+    from .runtime import resolve_runtime
+
+    checkpoints_ref = None
+    rt = resolve_runtime(runtime)
+    if rt is not None and jobs > 1 and built:
+        checkpoints_ref = rt.put_payload(built, registry=registry)
+
+    worker = _WarmWorker(plan, digests, checkpoints=checkpoints_ref)
     computed_before = registry.counter("runner.shards.computed").value
     results = run_shards(
         worker,
         shards,
         jobs=jobs,
+        runtime=runtime,
         cache=cache,
         cache_tag=cache_tag,
         metrics=registry,

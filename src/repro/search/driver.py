@@ -51,7 +51,11 @@ class EvalContext:
     Mirrors the sweep commands' runner surface: ``seed`` is the search's
     root seed (candidate proposal stream *and* shard seed derivation);
     the rest passes straight through to the runner.  ``store=None``
-    resolves the process default / ``$REPRO_STORE`` as usual.
+    resolves the process default / ``$REPRO_STORE`` as usual, and
+    ``runtime=None`` likewise resolves the process-default execution
+    runtime — :meth:`SearchDriver.run` installs one persistent
+    :class:`~repro.runner.Runtime` per search when nothing else is
+    configured, so a 40-round search spawns its worker pool once.
     """
 
     seed: int = 0
@@ -63,6 +67,7 @@ class EvalContext:
     retries: int = 0
     store: Any = None
     campaign: Optional[str] = None
+    runtime: Any = None
 
 
 @dataclass(frozen=True)
@@ -158,13 +163,30 @@ class SearchDriver:
     # -- shared machinery --------------------------------------------------
 
     def run(self, ctx: Optional[EvalContext] = None) -> SearchOutcome:
-        """Execute the search; deterministic in ``ctx.seed`` at any ``jobs``."""
+        """Execute the search; deterministic in ``ctx.seed`` at any ``jobs``.
+
+        When no runtime is configured anywhere (no ``ctx.runtime``, no
+        process default, no ``$REPRO_RUNTIME``), the driver owns one
+        persistent :class:`~repro.runner.Runtime` for the whole search —
+        every round reuses one worker pool — and closes it before
+        returning.  An explicit choice (including ``FRESH``) is respected.
+        """
+        from ..runner.runtime import Runtime, runtime_configured
+
         ctx = ctx if ctx is not None else EvalContext()
         if ctx.campaign is None:
             ctx.campaign = f"search/{self.objective.name}/{self.strategy}"
         state = _RunState()
         registry = ctx.metrics if ctx.metrics is not None else get_registry()
-        winner, winner_score = self.search(ctx, state)
+        owned_runtime = None
+        if ctx.runtime is None and ctx.jobs > 1 and not runtime_configured():
+            owned_runtime = ctx.runtime = Runtime(name=f"search/{self.strategy}")
+        try:
+            winner, winner_score = self.search(ctx, state)
+        finally:
+            if owned_runtime is not None:
+                owned_runtime.close()
+                ctx.runtime = None
         if winner is None:
             raise ReproError(
                 f"{self.strategy} search produced no scored candidate "

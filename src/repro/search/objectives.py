@@ -135,6 +135,7 @@ class ToyCliffObjective(Objective):
             metrics=ctx.metrics, trace=ctx.trace,
             faults=ctx.faults, retries=ctx.retries,
             store=ctx.store, campaign=ctx.campaign,
+            runtime=getattr(ctx, "runtime", None),
         )
 
 
@@ -208,6 +209,7 @@ class CapacityCliffObjective(Objective):
             metrics=ctx.metrics, trace=ctx.trace,
             faults=ctx.faults, retries=ctx.retries,
             store=ctx.store, campaign=ctx.campaign,
+            runtime=getattr(ctx, "runtime", None),
         )
 
 
@@ -277,6 +279,7 @@ class DetectionKneeObjective(Objective):
             metrics=ctx.metrics, trace=ctx.trace,
             faults=ctx.faults, retries=ctx.retries,
             store=ctx.store, campaign=ctx.campaign,
+            runtime=getattr(ctx, "runtime", None),
         )
 
 

@@ -1,0 +1,188 @@
+"""Differential pins for the vectorized bit codecs.
+
+The matrix codecs in ``channel/encoding.py`` and ``channel/hamming.py``
+and the correlation-based preamble scan in ``channel/framing.py`` must be
+**bit-identical** to the scalar implementations they replaced — same
+outputs, same correction counts, same error types and messages, same
+match offsets including overlapping preambles.  The scalar reference
+implementations live here (and, for Hamming, as the retained per-block
+methods) so any future drift in the vector paths fails loudly.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.encoding import RepetitionEncoder, bits_to_bytes, bytes_to_bits
+from repro.channel.framing import PREAMBLE_BITS, FrameCodec
+from repro.channel.hamming import HammingEncoder
+from repro.errors import ChannelError
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=120)
+
+
+def _ref_bytes_to_bits(data):
+    bits = []
+    for byte in data:
+        bits.extend((byte >> shift) & 1 for shift in range(7, -1, -1))
+    return bits
+
+
+def _ref_bits_to_bytes(bits):
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[i : i + 8]:
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)
+
+
+class TestBitPackingDifferential:
+    @given(st.binary(max_size=200))
+    def test_bytes_to_bits_matches_reference(self, data):
+        bits = bytes_to_bits(data)
+        assert bits == _ref_bytes_to_bits(data)
+        assert all(type(b) is int for b in bits)  # no np scalars leak out
+
+    @given(bit_lists.filter(lambda b: len(b) % 8 == 0))
+    def test_bits_to_bytes_matches_reference(self, bits):
+        assert bits_to_bytes(bits) == _ref_bits_to_bytes(bits)
+
+    def test_error_message_names_offending_bit(self):
+        with pytest.raises(ChannelError, match=r"bits must be 0 or 1, got 7"):
+            bits_to_bytes([0, 1, 7, 0, 1, 0, 1, 0])
+        with pytest.raises(ChannelError, match="multiple of 8"):
+            bits_to_bytes([1])
+
+    def test_non_integer_inputs_take_the_scalar_path(self):
+        # Floats must not silently truncate into valid bits.
+        with pytest.raises((ChannelError, TypeError)):
+            bits_to_bytes([1.5, 0, 0, 0, 0, 0, 0, 0])
+        with pytest.raises(ChannelError):
+            bits_to_bytes(["x", 0, 0, 0, 0, 0, 0, 0])
+
+
+class TestRepetitionDifferential:
+    @given(bit_lists, st.sampled_from((1, 3, 5, 7)))
+    def test_encode_matches_reference(self, bits, k):
+        encoded = RepetitionEncoder(k).encode(bits)
+        reference = []
+        for bit in bits:
+            reference.extend([bit] * k)
+        assert encoded == reference
+        assert all(type(b) is int for b in encoded)
+
+    @given(bit_lists, st.sampled_from((1, 3, 5)))
+    def test_decode_matches_reference(self, bits, k):
+        encoded = bits * k  # any multiple-of-k stream decodes
+        decoded = RepetitionEncoder(k).decode(encoded)
+        reference = [
+            1 if sum(encoded[i : i + k]) * 2 > k else 0
+            for i in range(0, len(encoded), k)
+        ]
+        assert decoded == reference
+        assert all(type(b) is int for b in decoded)
+
+    def test_invalid_bit_error_matches(self):
+        with pytest.raises(ChannelError, match=r"bits must be 0 or 1, got 3"):
+            RepetitionEncoder(3).encode([0, 3])
+
+
+class TestHammingDifferential:
+    @given(bit_lists.filter(lambda b: len(b) % 4 == 0))
+    def test_encode_matches_block_reference(self, bits):
+        encoder = HammingEncoder()
+        encoded = encoder.encode(bits)
+        reference = []
+        for i in range(0, len(bits), 4):
+            reference.extend(encoder._encode_block(bits[i : i + 4]))
+        assert encoded == reference
+        assert all(type(b) is int for b in encoded)
+
+    @given(
+        bit_lists.filter(lambda b: len(b) % 4 == 0),
+        st.lists(st.integers(min_value=0, max_value=6), max_size=30),
+    )
+    def test_decode_and_corrections_match_block_reference(self, bits, flips):
+        vector, scalar = HammingEncoder(), HammingEncoder()
+        stream = vector.encode(bits)
+        for block, offset in enumerate(flips):
+            if block * 7 + offset < len(stream):
+                stream[block * 7 + offset] ^= 1
+        decoded = vector.decode(stream)
+        reference = []
+        for i in range(0, len(stream), 7):
+            reference.extend(scalar._decode_block(list(stream[i : i + 7])))
+        assert decoded == reference
+        assert vector.corrections == scalar.corrections
+        assert all(type(b) is int for b in decoded)
+
+    @given(bit_lists.filter(lambda b: len(b) % 4 == 0))
+    def test_single_error_per_block_round_trips(self, bits):
+        encoder = HammingEncoder()
+        stream = encoder.encode(bits)
+        for block in range(len(stream) // 7):
+            stream[block * 7 + (block % 7)] ^= 1
+        assert encoder.decode(stream) == bits
+        assert encoder.corrections == len(stream) // 7
+
+    def test_length_and_bit_errors_match(self):
+        with pytest.raises(ChannelError, match="multiple of 4"):
+            HammingEncoder().encode([1])
+        with pytest.raises(ChannelError, match="multiple of 7"):
+            HammingEncoder().decode([1])
+        with pytest.raises(ChannelError, match=r"bits must be 0 or 1, got 2"):
+            HammingEncoder().encode([1, 0, 2, 0])
+
+
+def _ref_preamble_offsets(bits):
+    n = len(PREAMBLE_BITS)
+    return [
+        i + n
+        for i in range(len(bits) - n + 1)
+        if list(bits[i : i + n]) == PREAMBLE_BITS
+    ]
+
+
+class TestPreambleScanDifferential:
+    @given(bit_lists)
+    def test_random_streams_match_the_sliding_window(self, bits):
+        assert list(FrameCodec._iter_preambles(bits)) == _ref_preamble_offsets(bits)
+
+    @given(st.integers(min_value=0, max_value=16), st.integers(min_value=0, max_value=8))
+    def test_overlapping_and_adjacent_preambles(self, lead, gap):
+        # A preamble suffix feeding straight into a full preamble, twice.
+        stream = (
+            PREAMBLE_BITS[-lead:] if lead else []
+        ) + PREAMBLE_BITS + [0] * gap + PREAMBLE_BITS + PREAMBLE_BITS
+        matches = list(FrameCodec._iter_preambles(stream))
+        assert matches == _ref_preamble_offsets(stream)
+        assert len(matches) >= 3
+
+    def test_self_overlap_inside_one_preamble(self):
+        # The alternating training run means a shifted copy can overlap
+        # itself; build a stream where matches share bits.
+        stream = PREAMBLE_BITS + PREAMBLE_BITS[8:] + PREAMBLE_BITS
+        assert list(FrameCodec._iter_preambles(stream)) == _ref_preamble_offsets(stream)
+
+    def test_values_outside_binary_never_match(self):
+        stream = list(PREAMBLE_BITS)
+        stream[3] = 2  # not a bit: window must not count it as agreement
+        assert list(FrameCodec._iter_preambles(stream)) == []
+        assert FrameCodec._find_preamble(list(PREAMBLE_BITS)) == len(PREAMBLE_BITS)
+
+    def test_short_and_empty_streams(self):
+        assert list(FrameCodec._iter_preambles([])) == []
+        assert list(FrameCodec._iter_preambles(PREAMBLE_BITS[:-1])) == []
+
+    @given(st.binary(max_size=40), bit_lists, bit_lists)
+    def test_decode_still_finds_framed_payloads(self, payload, lead, tail):
+        codec = FrameCodec()
+        frame = codec.decode(lead + codec.encode(payload) + tail)
+        # A complete CRC-clean frame exists in the stream, so decode must
+        # return a CRC-clean frame.  A fabricated earlier preamble could in
+        # principle win, but only if its CRC also checks (~2^-8 per random
+        # candidate); hypothesis runs make that effectively deterministic,
+        # and when it does win the codec's resynchronization contract still
+        # holds, so assert on the clean verdict rather than exact payload.
+        assert frame is not None and frame.crc_ok
