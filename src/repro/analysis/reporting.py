@@ -90,6 +90,40 @@ def runner_summary(registry) -> str:
     return "; ".join(parts)
 
 
+def event_line(event: dict) -> str:
+    """One-line rendering of a trace-event dict (``repro jobs --watch``).
+
+    ``event`` is the JSON shape of :class:`repro.obs.trace.TraceEvent`
+    (``{"name", "t", **fields}``): timestamp, event name, then the fields
+    in sorted order.  Compound field values are compacted to canonical
+    JSON and elided past 60 characters so the tail stays one line per
+    event.
+    """
+    import json
+    import time as time_module
+
+    name = event.get("name", "event")
+    t = event.get("t")
+    stamp = (
+        time_module.strftime("%H:%M:%S", time_module.localtime(t))
+        if isinstance(t, (int, float))
+        else "--:--:--"
+    )
+    parts = [f"[{stamp}]", str(name)]
+    for key in sorted(k for k in event if k not in ("name", "t")):
+        value = event[key]
+        if isinstance(value, float):
+            text = f"{value:g}"
+        elif isinstance(value, (dict, list)):
+            text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        else:
+            text = str(value)
+        if len(text) > 60:
+            text = text[:57] + "..."
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
 def metrics_table(registry, prefix: str = "", title: Optional[str] = None) -> str:
     """Counters and gauges of ``registry`` as an aligned table.
 

@@ -714,6 +714,141 @@ def cmd_send(args: argparse.Namespace) -> int:
     return 0 if frame.crc_ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .runner.cache import default_cache_root
+    from .service import JobQueue, make_backend, run_service
+
+    cache_root = (
+        None if args.no_cache
+        else (args.cache_dir or str(default_cache_root()))
+    )
+    queue = JobQueue(args.queue, max_depth=args.max_depth)
+    backend = make_backend(
+        args.backend, cache_root=cache_root, store_path=args.store
+    )
+
+    def ready(service) -> None:
+        print(
+            f"[serve] http://{service.host}:{service.port} "
+            f"backend={args.backend} workers={args.workers} "
+            f"queue={args.queue} depth<={args.max_depth}",
+            file=sys.stderr, flush=True,
+        )
+
+    try:
+        asyncio.run(run_service(
+            queue, backend, host=args.host, port=args.port,
+            workers=args.workers, ready=ready,
+        ))
+    except KeyboardInterrupt:
+        print("[serve] shutting down", file=sys.stderr)
+    finally:
+        queue.close()
+    return 0
+
+
+def _watch_job(client, job_id: int) -> int:
+    """Tail one job's SSE stream, one line per event, Ctrl-C to detach."""
+    from .analysis.reporting import event_line
+    from .errors import ServiceError
+
+    try:
+        for event in client.watch(job_id):
+            print(event_line(event), flush=True)
+            if event.get("name") == "service.job.failed":
+                return 1
+    except KeyboardInterrupt:
+        print(f"[jobs] detached from job {job_id} (still running server-side)",
+              file=sys.stderr)
+        return 0
+    except ServiceError as error:
+        print(f"[jobs] {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import dataclasses
+    from pathlib import Path
+
+    from .errors import QueueFullError, ServiceError
+    from .service import JobSpec, ServiceClient
+
+    text = args.spec
+    if not text.lstrip().startswith("{"):
+        try:
+            text = Path(text).read_text()
+        except OSError as error:
+            print(f"[submit] cannot read spec file: {error}", file=sys.stderr)
+            return 2
+    try:
+        spec = JobSpec.from_json(text)
+        if args.priority is not None:
+            spec = dataclasses.replace(spec, priority=args.priority)
+    except ServiceError as error:
+        print(f"[submit] invalid spec: {error}", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        job = client.submit(spec)
+    except QueueFullError as error:
+        print(f"[submit] queue full, retry after {error.retry_after:g}s: "
+              f"{error}", file=sys.stderr)
+        return 3
+    except ServiceError as error:
+        print(f"[submit] {error}", file=sys.stderr)
+        return 2
+    print(f"job {job['id']} submitted "
+          f"(priority {job['priority']}, fingerprint {job['fingerprint'][:12]})")
+    if args.watch:
+        return _watch_job(client, job["id"])
+    if args.wait:
+        try:
+            done = client.wait(job["id"])
+        except ServiceError as error:
+            print(f"[submit] {error}", file=sys.stderr)
+            return 1
+        result = done.get("result") or {}
+        shards = result.get("shards", {})
+        print(f"job {job['id']} done: {shards.get('total', '?')} shard(s), "
+              f"{shards.get('cached', '?')} cached, "
+              f"{shards.get('computed', '?')} computed")
+        for run in result.get("runs", []):
+            print(f"  run {run['run_id']} [{run['campaign']}] "
+                  f"fingerprint {run['fingerprint'][:12]}")
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+    from .service import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    if args.watch is not None:
+        return _watch_job(client, args.watch)
+    try:
+        jobs = client.jobs(args.state)
+    except ServiceError as error:
+        print(f"[jobs] {error}", file=sys.stderr)
+        return 2
+    rows = [
+        (
+            job["id"], job["state"], job["priority"],
+            job["spec"]["experiment"], job["attempts"],
+            job["fingerprint"][:12],
+        )
+        for job in jobs
+    ]
+    print(format_table(
+        ("id", "state", "priority", "experiment", "attempts", "fingerprint"),
+        rows, title=f"Jobs at {args.host}:{args.port}",
+    ))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -922,6 +1057,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-gate", action="store_true",
                    help="exit 0 even when gated regressions are found")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("serve", help="run the sweep job service (HTTP + queue)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8766)
+    p.add_argument("--queue", metavar="DB", default="service-queue.sqlite",
+                   help="persistent job queue sqlite file (jobs survive "
+                        "restarts); ':memory:' for a throwaway queue")
+    p.add_argument("--max-depth", type=int, default=64, metavar="N",
+                   help="pending-job ceiling before submissions get 429")
+    p.add_argument("--backend", choices=("local", "subprocess"),
+                   default="local",
+                   help="shard execution backend: in-process runner stack, "
+                        "or a worker process over the pipe protocol "
+                        "(identical results either way)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="concurrent dispatcher slots (jobs run at once)")
+    p.add_argument("--store", metavar="DB", default=None,
+                   help="campaign store recording every job's runs")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="result cache root shared by all jobs "
+                        "(default: $REPRO_CACHE_DIR, else the user cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="run jobs without a result cache (no dedupe)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a job spec to the sweep service")
+    p.add_argument("spec",
+                   help="path to a JSON job spec file, or inline JSON "
+                        '(e.g. \'{"experiment": "capacity"}\')')
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8766)
+    p.add_argument("--priority", type=int, default=None, metavar="N",
+                   help="override the spec's queue priority (higher first)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job settles, then print its summary")
+    p.add_argument("--watch", action="store_true",
+                   help="tail the job's progress events until it finishes")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="list service jobs / tail one job's events")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8766)
+    p.add_argument("--state",
+                   choices=("pending", "running", "done", "failed", "cancelled"),
+                   default=None, help="only list jobs in this state")
+    p.add_argument("--watch", type=int, metavar="ID", default=None,
+                   help="tail job ID's progress stream (Ctrl-C detaches)")
+    p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("send", help="ship a text message over NTP+NTP")
     common(p)

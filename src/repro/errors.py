@@ -34,3 +34,20 @@ class ChannelError(ReproError):
 class AttackError(ReproError):
     """An attack primitive could not be set up (e.g. eviction set search
     exhausted its candidate pool)."""
+
+
+class ServiceError(ReproError):
+    """A sweep-service request failed (bad spec, dead backend, protocol)."""
+
+
+class QueueFullError(ServiceError):
+    """The job queue refused a submission because it is at capacity.
+
+    ``retry_after`` carries the server's suggested back-off in seconds —
+    the value an HTTP front end returns as the ``Retry-After`` header of
+    its 429 response.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after

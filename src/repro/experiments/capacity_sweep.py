@@ -149,6 +149,7 @@ def run_capacity_sweep(
     engine: Optional[str] = None,
     store=None,
     campaign: Optional[str] = None,
+    runtime=None,
 ) -> CapacitySweepResult:
     """Sweep one channel on one platform.
 
@@ -205,14 +206,14 @@ def run_capacity_sweep(
             _CAPACITY_PLAN, shards, jobs=jobs,
             cache=result_cache, cache_tag="capacity_sweep/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
-            store=store, campaign=campaign,
+            store=store, campaign=campaign, runtime=runtime,
         )
     else:
         rows = run_shards(
             _capacity_point_worker, shards, jobs=jobs,
             cache=result_cache, cache_tag="capacity_sweep/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
-            store=store, campaign=campaign,
+            store=store, campaign=campaign, runtime=runtime,
         )
     result = CapacitySweepResult(channel=channel, platform=probe.config.name)
     result.points.extend(

@@ -173,6 +173,9 @@ def run_channel_comparison(
     retries: int = 0,
     warm_start: bool = True,
     engine: Optional[str] = None,
+    store=None,
+    campaign: Optional[str] = None,
+    runtime=None,
 ) -> ComparisonResult:
     """Measure every channel class at a near-optimal operating point.
 
@@ -210,12 +213,14 @@ def run_channel_comparison(
             _COMPARISON_PLAN, shards, jobs=jobs,
             cache=result_cache, cache_tag="channel_comparison/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign, runtime=runtime,
         )
     else:
         rows = run_shards(
             _comparison_worker, shards, jobs=jobs,
             cache=result_cache, cache_tag="channel_comparison/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign, runtime=runtime,
         )
     result = ComparisonResult()
     result.profiles.extend(

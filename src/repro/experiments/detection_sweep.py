@@ -126,6 +126,9 @@ def run_detection_sweep(
     retries: int = 0,
     warm_start: bool = True,
     engine: Optional[str] = None,
+    store=None,
+    campaign: Optional[str] = None,
+    runtime=None,
 ) -> DetectionSweepResult:
     """Measure FN rates for both attacks across victim periods.
 
@@ -159,12 +162,14 @@ def run_detection_sweep(
             _DETECTION_PLAN, shards, jobs=jobs,
             cache=result_cache, cache_tag="detection_sweep/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign, runtime=runtime,
         )
     else:
         rows = run_shards(
             _detection_point_worker, shards, jobs=jobs,
             cache=result_cache, cache_tag="detection_sweep/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign, runtime=runtime,
         )
     rows = [row for row in rows if not is_error_record(row)]
     result = DetectionSweepResult()

@@ -185,6 +185,7 @@ def run_insertion_sweep(
     batch_size: int = 64,
     store=None,
     campaign: Optional[str] = None,
+    runtime=None,
 ) -> InsertionSweepResult:
     """Sweep insertion positions × trials, batching trials when possible.
 
@@ -218,7 +219,7 @@ def run_insertion_sweep(
     common = dict(
         jobs=jobs, cache=result_cache, cache_tag="insertion_sweep/v1",
         metrics=metrics, trace=trace, faults=faults, retries=retries,
-        store=store, campaign=campaign,
+        store=store, campaign=campaign, runtime=runtime,
     )
     if engine == "batch":
         rows = run_batch_shards(

@@ -145,6 +145,9 @@ def run_noise_sweep(
     retries: int = 0,
     warm_start: bool = True,
     engine: Optional[str] = None,
+    store=None,
+    campaign: Optional[str] = None,
+    runtime=None,
 ) -> NoiseSweepResult:
     """Sweep noise intensity over the channel variants.
 
@@ -184,12 +187,14 @@ def run_noise_sweep(
             _NOISE_PLAN, shards, jobs=jobs,
             cache=result_cache, cache_tag="noise_sweep/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign, runtime=runtime,
         )
     else:
         rows = run_shards(
             _noise_point_worker, shards, jobs=jobs,
             cache=result_cache, cache_tag="noise_sweep/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign, runtime=runtime,
         )
     rows = [row for row in rows if not is_error_record(row)]
     result = NoiseSweepResult()

@@ -132,6 +132,9 @@ def run_sensitivity_experiment(
     retries: int = 0,
     warm_start: bool = True,
     engine: Optional[str] = None,
+    store=None,
+    campaign: Optional[str] = None,
+    runtime=None,
 ) -> SensitivityResult:
     """Scale the sync budget and re-measure both channels' peaks.
 
@@ -158,12 +161,14 @@ def run_sensitivity_experiment(
             _SENSITIVITY_PLAN, shards, jobs=jobs,
             cache=result_cache, cache_tag="sensitivity/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign, runtime=runtime,
         )
     else:
         rows = run_shards(
             _sensitivity_point_worker, shards, jobs=jobs,
             cache=result_cache, cache_tag="sensitivity/v1",
             metrics=metrics, trace=trace, faults=faults, retries=retries,
+            store=store, campaign=campaign, runtime=runtime,
         )
     result = SensitivityResult()
     for ntp_row, pp_row in zip(rows[0::2], rows[1::2]):

@@ -21,7 +21,13 @@ Typical wiring, from an experiment module::
 
 from .batchexec import TraceBatchPlan, run_batch_shards
 from .cache import CACHE_DIR_ENV, ResultCache, default_cache_root
-from .pool import SHARD_ERROR_KEY, backoff_seconds, is_error_record, run_shards
+from .pool import (
+    BACKOFF_CAP_SECONDS,
+    SHARD_ERROR_KEY,
+    backoff_seconds,
+    is_error_record,
+    run_shards,
+)
 from .runtime import (
     FRESH,
     RUNTIME_ENV,
@@ -51,6 +57,7 @@ __all__ = [
     "resolve_runtime",
     "set_default_runtime",
     "use_default_runtime",
+    "BACKOFF_CAP_SECONDS",
     "CACHE_DIR_ENV",
     "ResultCache",
     "SHARD_ERROR_KEY",

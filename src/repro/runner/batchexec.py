@@ -47,13 +47,14 @@ from ..obs import EventTrace, MetricsRegistry, NULL_TRACE, get_registry
 from .cache import ResultCache
 from .pool import (
     _SHARD_SECONDS_BUCKETS,
+    BACKOFF_CAP_SECONDS,
     SHARD_ERROR_KEY,
     _cache_key,
     backoff_seconds,
     run_shards,
 )
 from .shard import Shard, canonical_json
-from .warmstart import _PREFIX_SECONDS_BUCKETS, _memo_put, _warm_state
+from .warmstart import _PREFIX_SECONDS_BUCKETS, _memo_key, _memo_put, _warm_state
 
 #: ``setup(prefix_params) -> (machine, context)``: build a machine and run
 #: the shared prefix.  Same contract as :class:`WarmStartPlan.setup`.
@@ -134,7 +135,7 @@ class _BatchTrialWorker:
         plan = self.plan
         prefix = plan.prefix_of(shard)
         prefix_json = canonical_json(prefix)
-        memo_key = (plan.identity(), prefix_json, self.digests[prefix_json])
+        memo_key = _memo_key(plan.identity(), prefix_json, self.digests[prefix_json])
         return _warm_state(_AsWarmPlan(plan), prefix, memo_key)
 
     def __call__(self, shard: Shard) -> Dict[str, Any]:
@@ -166,6 +167,7 @@ def run_batch_shards(
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
     backoff_base: float = 0.0,
+    backoff_cap: float = BACKOFF_CAP_SECONDS,
     on_error: Optional[str] = None,
     batch_size: int = 64,
     store=None,
@@ -191,6 +193,8 @@ def run_batch_shards(
         raise ReproError(f"retries must be >= 0, got {retries}")
     if backoff_base < 0:
         raise ReproError(f"backoff_base must be >= 0, got {backoff_base}")
+    if backoff_cap < 0:
+        raise ReproError(f"backoff_cap must be >= 0, got {backoff_cap}")
     if batch_size < 1:
         raise ReproError(f"batch_size must be >= 1, got {batch_size}")
     if on_error is None:
@@ -227,7 +231,7 @@ def run_batch_shards(
         elapsed = time.perf_counter() - start
         digest = digests[prefix_json] = checkpoint.digest()
         state = states[prefix_json] = (machine, context, checkpoint)
-        _memo_put((plan.identity(), prefix_json, digest), state)
+        _memo_put(_memo_key(plan.identity(), prefix_json, digest), state)
         registry.counter("runner.checkpoint.captures").inc()
         registry.counter("runner.checkpoint.bytes").inc(checkpoint.approx_bytes)
         capture_seconds.observe(elapsed)
@@ -257,6 +261,7 @@ def run_batch_shards(
             faults=faults,
             retries=retries,
             backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
             on_error=on_error,
             store=store,
             campaign=campaign,
@@ -396,7 +401,7 @@ def run_batch_shards(
         failure: Optional[Dict[str, Any]] = first_failure
         attempts = 1
         for attempt in range(1, retries + 1):
-            delay = backoff_seconds(backoff_base, attempt)
+            delay = backoff_seconds(backoff_base, attempt, backoff_cap)
             if delay:
                 time.sleep(delay)
             attempts = attempt + 1

@@ -36,10 +36,26 @@ def default_cache_root() -> Path:
 
 
 class ResultCache:
-    """A content-addressed store of JSON sweep-point results."""
+    """A content-addressed store of JSON sweep-point results.
 
-    def __init__(self, root: Union[str, Path, None] = None):
+    ``max_bytes`` bounds the cache's total entry size: when a
+    :meth:`put` pushes the total over the budget, the oldest entries (by
+    file modification time) are evicted until it fits again, so a
+    long-lived service node cannot fill its disk.  Evictions are counted
+    in :attr:`evicted` and surface as the ``runner.cache.evicted``
+    metric.  ``max_bytes=None`` (the default) keeps the historical
+    unbounded behaviour.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = Path(root) if root is not None else default_cache_root()
+        self.max_bytes = max_bytes
         #: Fulfilled / recomputed lookups, for tests and ``--jobs`` tuning.
         self.hits = 0
         self.misses = 0
@@ -47,6 +63,12 @@ class ResultCache:
         self.corrupt = 0
         #: Payloads refused by :meth:`put` (non-finite floats — not JSON).
         self.rejected = 0
+        #: Entries removed to keep the cache under ``max_bytes``.
+        self.evicted = 0
+        # Running total of entry bytes, scanned lazily on the first
+        # budgeted put (other writers may share the directory, so the
+        # enforcement scan below re-walks the tree before evicting).
+        self._total_bytes: Optional[int] = None
 
     def key(self, **components: Any) -> str:
         """SHA-256 hex key over the canonical JSON of ``components``.
@@ -108,7 +130,59 @@ class ResultCache:
             tmp.write_text(text)
             tmp.replace(path)
         except OSError:
-            pass  # fail-soft: a broken cache only costs recomputation
+            return  # fail-soft: a broken cache only costs recomputation
+        if self.max_bytes is not None:
+            if self._total_bytes is None:
+                self._total_bytes = self._scan_bytes()
+            else:
+                self._total_bytes += len(text)
+            if self._total_bytes > self.max_bytes:
+                self._evict(keep=path)
+
+    def _scan_bytes(self) -> int:
+        total = 0
+        try:
+            for entry in self.root.glob("*/*.json"):
+                try:
+                    total += entry.stat().st_size
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return total
+
+    def _evict(self, keep: Optional[Path] = None) -> None:
+        """Drop oldest entries (by mtime) until the budget holds.
+
+        Re-walks the directory so entries written by other processes
+        sharing the cache root are accounted for and evictable too.
+        ``keep`` protects the entry just written — evicting the newest
+        result to make room for itself would defeat the put.
+        """
+        entries = []
+        try:
+            for entry in self.root.glob("*/*.json"):
+                try:
+                    stat = entry.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, entry))
+        except OSError:
+            return
+        total = sum(size for _, size, _ in entries)
+        entries.sort()  # oldest first
+        for _, size, entry in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and entry == keep:
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evicted += 1
+        self._total_bytes = total
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed (test helper).

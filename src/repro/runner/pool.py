@@ -68,16 +68,22 @@ def is_error_record(result: Any) -> bool:
     return isinstance(result, dict) and SHARD_ERROR_KEY in result
 
 
-def backoff_seconds(base: float, attempt: int) -> float:
+def backoff_seconds(
+    base: float, attempt: int, cap: float = BACKOFF_CAP_SECONDS
+) -> float:
     """Deterministic exponential backoff before retry ``attempt`` (1-based).
 
-    ``base * 2**(attempt-1)``, capped at :data:`BACKOFF_CAP_SECONDS`.  No
-    jitter: the schedule is part of the reproducible contract, and sweep
-    shards never contend for a shared resource that would need decorrelating.
+    ``base * 2**(attempt-1)``, capped at ``cap`` (default
+    :data:`BACKOFF_CAP_SECONDS`) so the delay never grows unboundedly with
+    the attempt count — a retrying shard stalls its pool slot for at most
+    ``cap`` seconds per attempt.  Callers holding scarcer slots (e.g. the
+    sweep service's dispatchers) may pass a tighter cap.  No jitter: the
+    schedule is part of the reproducible contract, and sweep shards never
+    contend for a shared resource that would need decorrelating.
     """
     if base <= 0 or attempt <= 0:
         return 0.0
-    return min(base * (2 ** (attempt - 1)), BACKOFF_CAP_SECONDS)
+    return min(base * (2 ** (attempt - 1)), cap)
 
 
 def _cache_key(cache: ResultCache, worker: Worker, tag: Optional[str], shard: Shard) -> str:
@@ -116,6 +122,7 @@ def _attempt_shard(
     faults: Optional[FaultPlan],
     retries: int,
     backoff_base: float,
+    backoff_cap: float,
     shard: Shard,
 ) -> _Outcome:
     """Run ``worker`` with fault injection and bounded retry (pickles to pools).
@@ -129,7 +136,7 @@ def _attempt_shard(
     failure: Optional[Dict[str, Any]] = None
     for attempt in range(retries + 1):
         if attempt:
-            delay = backoff_seconds(backoff_base, attempt)
+            delay = backoff_seconds(backoff_base, attempt, backoff_cap)
             if delay:
                 time.sleep(delay)
         try:
@@ -159,6 +166,7 @@ def run_shards(
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
     backoff_base: float = 0.0,
+    backoff_cap: float = BACKOFF_CAP_SECONDS,
     on_error: Optional[str] = None,
     store=None,
     campaign: Optional[str] = None,
@@ -175,7 +183,9 @@ def run_shards(
 
     ``faults`` injects deterministic crashes/timeouts per (shard, attempt);
     ``retries`` bounds how many times a failing shard is re-attempted, with
-    ``backoff_base``-seconds exponential backoff between attempts.
+    ``backoff_base``-seconds exponential backoff between attempts, each
+    delay clamped to ``backoff_cap`` seconds (default
+    :data:`BACKOFF_CAP_SECONDS`).
     ``on_error`` selects what an exhausted shard does: ``"record"`` leaves
     an error record in its merge slot, ``"raise"`` aborts the sweep.  The
     default is ``"record"`` whenever faults or retries are engaged and the
@@ -203,6 +213,8 @@ def run_shards(
         raise ReproError(f"retries must be >= 0, got {retries}")
     if backoff_base < 0:
         raise ReproError(f"backoff_base must be >= 0, got {backoff_base}")
+    if backoff_cap < 0:
+        raise ReproError(f"backoff_cap must be >= 0, got {backoff_cap}")
     if on_error is None:
         on_error = "record" if (faults is not None or retries > 0) else "raise"
     if on_error not in ("record", "raise"):
@@ -226,7 +238,9 @@ def run_shards(
     pending: List[Shard] = []
     keys: Dict[int, str] = {}
     cache_counts_before = (
-        (cache.hits, cache.misses, cache.corrupt) if cache is not None else (0, 0, 0)
+        (cache.hits, cache.misses, cache.corrupt, cache.evicted)
+        if cache is not None
+        else (0, 0, 0, 0)
     )
     if cache is not None:
         for slot, shard in enumerate(shards):
@@ -250,7 +264,9 @@ def run_shards(
             # Legacy fast path: worker exceptions propagate unwrapped.
             call = partial(_timed_call, worker)
         else:
-            call = partial(_attempt_shard, worker, faults, retries, backoff_base)
+            call = partial(
+                _attempt_shard, worker, faults, retries, backoff_base, backoff_cap
+            )
         # A single pending shard (or a fully cached sweep, which never
         # reaches here) is not worth a worker process: run it inline.
         # Workers are pure functions of the shard, so output is identical.
@@ -309,6 +325,7 @@ def run_shards(
         registry.counter("runner.cache.hits").inc(cache.hits - cache_counts_before[0])
         registry.counter("runner.cache.misses").inc(cache.misses - cache_counts_before[1])
         registry.counter("runner.cache.corrupt").inc(cache.corrupt - cache_counts_before[2])
+        registry.counter("runner.cache.evicted").inc(cache.evicted - cache_counts_before[3])
     wall_seconds = time.perf_counter() - wall_start
     registry.gauge("runner.pool.jobs").set(max(workers_used, 1))
     if pending and wall_seconds > 0:

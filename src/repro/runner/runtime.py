@@ -54,6 +54,7 @@ import hashlib
 import math
 import os
 import pickle
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -287,6 +288,10 @@ class Runtime:
         self.token = next(Runtime._TOKENS)
         self.epoch = 0
         self.closed = False
+        #: Guards pool (re)creation and payload-segment creation: one
+        #: runtime may serve concurrent sweeps from several threads (the
+        #: job service), and both paths are check-then-create.
+        self._lock = threading.Lock()
         self._executor = None
         self._executor_workers = 0
         #: payload content digest -> PayloadRef (per-runtime dedup).
@@ -349,10 +354,9 @@ class Runtime:
 
     # -- pool -------------------------------------------------------------
 
-    def _ensure_executor(self, jobs: int, registry: MetricsRegistry,
-                         trace: EventTrace):
-        from concurrent.futures import ProcessPoolExecutor
-
+    def _ensure_executor_locked(self, jobs: int, registry: MetricsRegistry,
+                                trace: EventTrace, ProcessPoolExecutor):
+        # Caller holds self._lock (see map()).
         if self._executor is not None and self._executor_workers < jobs:
             # A bigger batch arrived: respawn wider.  Shrinking never
             # respawns — idle workers are what persistence pays for.
@@ -402,6 +406,10 @@ class Runtime:
         for raw in raws:
             digest.update(raw)
         key = digest.hexdigest()
+        with self._lock:
+            return self._put_payload_locked(key, frame, raws, registry)
+
+    def _put_payload_locked(self, key, frame, raws, registry) -> PayloadRef:
         ref = self._payload_refs.get(key)
         if ref is not None:
             return ref
@@ -486,18 +494,28 @@ class Runtime:
         if not items:
             return []
         workers = max(1, min(jobs, len(items)))
-        executor = self._ensure_executor(workers, registry, trace)
         payload: Union[PayloadRef, Callable] = call
         frame, buffers = _encode_payload(call)
         if len(frame) + sum(b.raw().nbytes for b in buffers) >= PAYLOAD_MIN_BYTES:
             payload = self.put_payload(call, registry=registry)
         chunk = self._chunk_size(len(items), workers, registry)
-        futures = [
-            executor.submit(
-                _run_chunk, payload, items[i : i + chunk], self.token, self.epoch
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Acquire the pool and submit under one lock hold: a concurrent
+        # map() asking for more workers respawns the pool, and a submit
+        # loop interleaved with that shutdown would raise.  Collection
+        # stays outside the lock — a respawn waits for pending futures.
+        with self._lock:
+            executor = self._ensure_executor_locked(
+                workers, registry, trace, ProcessPoolExecutor
             )
-            for i in range(0, len(items), chunk)
-        ]
+            futures = [
+                executor.submit(
+                    _run_chunk, payload, items[i : i + chunk],
+                    self.token, self.epoch,
+                )
+                for i in range(0, len(items), chunk)
+            ]
         self.maps += 1
         self.chunks += len(futures)
         registry.counter("runner.runtime.maps").inc()

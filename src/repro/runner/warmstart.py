@@ -25,6 +25,7 @@ the pool; spawn-start platforms rebuild lazily per process.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -33,7 +34,7 @@ from ..errors import ReproError
 from ..faults import FaultPlan
 from ..obs import EventTrace, MetricsRegistry, get_registry
 from .cache import ResultCache
-from .pool import run_shards
+from .pool import BACKOFF_CAP_SECONDS, run_shards
 from .shard import Shard, canonical_json
 
 #: ``setup(prefix_params) -> (machine, context)``: build a machine and run
@@ -89,6 +90,20 @@ class WarmStartPlan:
     def identity(self) -> str:
         """Stable name for cache keys and memo keys."""
         return f"{self.body.__module__}.{self.body.__qualname__}"
+
+
+def _memo_key(identity: str, prefix_json: str, digest: str) -> tuple:
+    """Memo key for one prefix state, qualified by the calling thread.
+
+    Memoized machines are mutable and restored *in place* before every
+    body, so a state entry must never be shared between threads — two
+    service jobs running inline sweeps concurrently in one process would
+    otherwise restore and mutate one machine simultaneously.  Pool worker
+    processes are single-threaded, so the qualifier is constant there;
+    fork-start children are cloned from the thread that built the parent
+    prefixes, so memo inheritance across the fork still works.
+    """
+    return (threading.get_ident(), identity, prefix_json, digest)
 
 
 def _memo_put(key: tuple, state: tuple) -> None:
@@ -164,7 +179,7 @@ class _WarmWorker:
         plan = self.plan
         prefix = plan.prefix_of(shard)
         prefix_json = canonical_json(prefix)
-        memo_key = (plan.identity(), prefix_json, self.digests[prefix_json])
+        memo_key = _memo_key(plan.identity(), prefix_json, self.digests[prefix_json])
         state = _WARM_STATES.get(memo_key)
         if state is None:
             machine, context = plan.setup(prefix)
@@ -189,6 +204,7 @@ def run_warm_shards(
     faults: Optional[FaultPlan] = None,
     retries: int = 0,
     backoff_base: float = 0.0,
+    backoff_cap: float = BACKOFF_CAP_SECONDS,
     on_error: Optional[str] = None,
     store=None,
     campaign: Optional[str] = None,
@@ -238,7 +254,8 @@ def run_warm_shards(
         checkpoint = built[prefix_json] = machine.checkpoint()
         elapsed = time.perf_counter() - start
         digest = digests[prefix_json] = checkpoint.digest()
-        _memo_put((plan.identity(), prefix_json, digest), (machine, context, checkpoint))
+        _memo_put(_memo_key(plan.identity(), prefix_json, digest),
+                  (machine, context, checkpoint))
         registry.counter("runner.checkpoint.captures").inc()
         registry.counter("runner.checkpoint.bytes").inc(checkpoint.approx_bytes)
         capture_seconds.observe(elapsed)
@@ -280,6 +297,7 @@ def run_warm_shards(
         faults=faults,
         retries=retries,
         backoff_base=backoff_base,
+        backoff_cap=backoff_cap,
         on_error=on_error,
         store=store,
         campaign=campaign,

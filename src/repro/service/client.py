@@ -1,0 +1,165 @@
+"""Blocking HTTP client for the sweep service (stdlib ``http.client``).
+
+Backs ``repro submit`` / ``repro jobs`` and is the scripting surface for
+tests and benchmarks::
+
+    client = ServiceClient(host, port)
+    job = client.submit(JobSpec(experiment="capacity", params={"n_bits": 64}))
+    done = client.wait(job["id"])
+    for event in client.watch(job["id"]):
+        ...
+
+:meth:`ServiceClient.submit` surfaces the server's backpressure verbatim:
+a 429 response raises :class:`~repro.errors.QueueFullError` carrying the
+``Retry-After`` value, so callers can implement honest retry loops.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..errors import QueueFullError, ServiceError
+from .spec import JobSpec
+
+
+class ServiceClient:
+    """One service endpoint; connections are per-request (the server
+    closes after every response)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8766,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw) if raw else {}
+            except ValueError:
+                data = {"error": raw.decode("utf-8", "replace")}
+            if response.status == 429:
+                try:
+                    retry_after = float(response.getheader("Retry-After", "1"))
+                except ValueError:
+                    retry_after = 1.0
+                raise QueueFullError(
+                    data.get("error", "queue is full"), retry_after=retry_after
+                )
+            if response.status >= 400:
+                detail = data.get("error", repr(raw[:200]))
+                raise ServiceError(
+                    f"{method} {path} -> {response.status}: {detail}"
+                )
+            return data
+        except (ConnectionError, OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {error}"
+            ) from error
+        finally:
+            conn.close()
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(self, spec: Union[JobSpec, Dict[str, Any]]) -> Dict[str, Any]:
+        """Enqueue a spec; returns the created job dict (202 body)."""
+        if isinstance(spec, JobSpec):
+            spec = spec.to_dict()
+        else:
+            JobSpec.from_dict(spec)  # client-side validation, same errors
+        return self._request("POST", "/jobs", body=spec)["job"]
+
+    def job(self, job_id: int) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = f"/jobs?state={state}" if state else "/jobs"
+        return self._request("GET", path)["jobs"]
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def wait(
+        self,
+        job_id: int,
+        timeout: float = 600.0,
+        poll_interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job settles; returns the final job dict.
+
+        Raises :class:`ServiceError` if the job ends ``failed``/``cancelled``
+        or the timeout elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] == "done":
+                return job
+            if job["state"] in ("failed", "cancelled"):
+                raise ServiceError(
+                    f"job {job_id} {job['state']}: {job.get('error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    def watch(self, job_id: int) -> Iterator[Dict[str, Any]]:
+        """Yield the job's SSE events as dicts until the stream ends.
+
+        Terminal lifecycle events (``service.job.done`` / ``.failed``) are
+        yielded like any other; the generator then returns.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=None)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except ValueError:
+                    message = raw
+                raise ServiceError(f"watch {job_id} -> {response.status}: {message}")
+            data_lines: List[str] = []
+            while True:
+                raw_line = response.fp.readline()
+                if not raw_line:
+                    return  # server closed the stream
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].lstrip())
+                elif line == "" and data_lines:
+                    try:
+                        yield json.loads("\n".join(data_lines))
+                    except ValueError:
+                        pass  # tolerate malformed frames, keep streaming
+                    data_lines = []
+        except (ConnectionError, OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {error}"
+            ) from error
+        finally:
+            conn.close()

@@ -1,0 +1,83 @@
+"""Length-prefixed JSON messaging over byte pipes.
+
+The :class:`~repro.service.backends.SubprocessBackend` and its worker
+process speak this protocol over stdin/stdout: every message is a 4-byte
+big-endian length followed by that many bytes of UTF-8 JSON.  The framing
+is the template for future remote hosts (an SSH channel is just another
+byte pipe), which is why it lives apart from the subprocess plumbing.
+
+Messages are *standard* JSON (``allow_nan=False``), mirroring the result
+cache and campaign store: a NaN that slipped through the pipe would parse
+on this side but poison any strict consumer downstream.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO, Dict, Optional
+
+from ..errors import ServiceError
+
+#: Frame header: one unsigned 32-bit big-endian byte length.
+_HEADER = struct.Struct(">I")
+
+#: Ceiling on one message's byte length.  A real message is a job spec or
+#: a result summary — kilobytes.  A corrupt or misaligned header would
+#: otherwise be read as a multi-gigabyte allocation.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+def write_message(stream: BinaryIO, message: Dict[str, Any]) -> None:
+    """Frame and write one JSON message; flushes so the peer can block-read."""
+    try:
+        payload = json.dumps(
+            message, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"message is not JSON-serializable: {error}") from error
+    stream.write(_HEADER.pack(len(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, n: int) -> Optional[bytes]:
+    """Exactly ``n`` bytes, None on clean EOF at a frame boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if remaining == n and not chunks:
+                return None  # clean EOF between messages
+            raise ServiceError(
+                f"pipe closed mid-message ({n - remaining} of {n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Read one framed message; None on clean EOF (the peer closed the pipe)."""
+    header = _read_exact(stream, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ServiceError(
+            f"message length {length} exceeds the {MAX_MESSAGE_BYTES}-byte cap "
+            "(corrupt or misaligned frame header)"
+        )
+    payload = _read_exact(stream, length)
+    if payload is None:
+        raise ServiceError("pipe closed between a frame header and its payload")
+    try:
+        message = json.loads(payload)
+    except ValueError as error:
+        raise ServiceError(f"message payload is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message

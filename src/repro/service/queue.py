@@ -1,0 +1,298 @@
+"""Persistent sqlite-backed priority job queue.
+
+Follows the :mod:`repro.store` conventions — ``PRAGMA user_version`` schema
+guard, canonical JSON payloads, content fingerprints — so a queue file is
+as inspectable and as durable as a campaign store.  Scheduling is
+deterministic: :meth:`JobQueue.claim` always returns the highest-priority
+pending job, FIFO within a priority (ties broken by submission order,
+which is the autoincrement rowid).
+
+Backpressure is bounded: :meth:`JobQueue.submit` raises
+:class:`~repro.errors.QueueFullError` once ``max_depth`` jobs are pending,
+carrying the ``retry_after`` hint the HTTP front end surfaces as a 429.
+
+Restart safety: jobs claimed by a dispatcher that died stay in state
+``running`` in the file; :meth:`JobQueue.recover` flips them back to
+``pending`` (attempts preserved) when the service reopens the queue.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import QueueFullError, ServiceError
+from ..runner.shard import canonical_json
+from .spec import JobSpec
+
+#: Bumped on any incompatible change to the queue schema.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Default ceiling on pending jobs before submissions are rejected.
+DEFAULT_MAX_DEPTH = 64
+
+#: How long writers wait on a locked database before giving up (ms).
+BUSY_TIMEOUT_MS = 5_000
+
+#: Job lifecycle states, in the order they normally occur.
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    fingerprint  TEXT    NOT NULL,
+    priority     INTEGER NOT NULL,
+    state        TEXT    NOT NULL,
+    spec_json    TEXT    NOT NULL,
+    submitted_at REAL    NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    result_json  TEXT,
+    error        TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state
+    ON jobs (state, priority DESC, id ASC);
+"""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One queue row: a spec plus its scheduling lifecycle."""
+
+    id: int
+    fingerprint: str
+    priority: int
+    state: str
+    spec: JobSpec
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    attempts: int
+    result: Optional[Dict[str, Any]]
+    error: Optional[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "priority": self.priority,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """A persistent priority queue of :class:`~repro.service.spec.JobSpec`.
+
+    ``path`` may be ``":memory:"`` (tests, throwaway services) or a file
+    path; file-backed queues get WAL journaling and a busy timeout so a
+    dispatcher and an inspector can share the file.  The connection is
+    shared across threads behind one lock — the asyncio server touches the
+    queue from its event loop thread and from ``to_thread`` workers.
+    """
+
+    def __init__(self, path: str = ":memory:", max_depth: int = DEFAULT_MAX_DEPTH):
+        if max_depth < 1:
+            raise ServiceError(f"max_depth must be >= 1, got {max_depth}")
+        self.path = str(path)
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        if self.path != ":memory:":
+            self._conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+            self._conn.execute("PRAGMA journal_mode = WAL")
+        self._check_schema()
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(f"PRAGMA user_version = {QUEUE_SCHEMA_VERSION}")
+
+    def _check_schema(self) -> None:
+        (version,) = self._conn.execute("PRAGMA user_version").fetchone()
+        if version not in (0, QUEUE_SCHEMA_VERSION):
+            raise ServiceError(
+                f"job queue {self.path!r} has schema version {version}, "
+                f"this build understands {QUEUE_SCHEMA_VERSION}"
+            )
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Enqueue ``spec``; raises :class:`QueueFullError` at capacity."""
+        now = time.time()
+        with self._lock, self._conn:
+            (pending,) = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state IN ('pending', 'running')"
+            ).fetchone()
+            if pending >= self.max_depth:
+                raise QueueFullError(
+                    f"queue has {pending} unfinished job(s), "
+                    f"max_depth is {self.max_depth}",
+                    retry_after=1.0,
+                )
+            cursor = self._conn.execute(
+                "INSERT INTO jobs "
+                "(fingerprint, priority, state, spec_json, submitted_at) "
+                "VALUES (?, ?, 'pending', ?, ?)",
+                (
+                    spec.fingerprint(),
+                    spec.priority,
+                    canonical_json(spec.to_dict()),
+                    now,
+                ),
+            )
+            job_id = cursor.lastrowid
+        job = self.job(job_id)
+        assert job is not None
+        return job
+
+    # -- scheduling --------------------------------------------------------
+
+    def claim(self) -> Optional[Job]:
+        """Atomically move the next pending job to ``running`` and return it.
+
+        "Next" is the highest priority, then oldest submission — the
+        deterministic order the queue's property tests pin down.  Returns
+        None when nothing is pending.
+        """
+        now = time.time()
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT id FROM jobs WHERE state = 'pending' "
+                "ORDER BY priority DESC, id ASC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE jobs SET state = 'running', started_at = ?, "
+                "attempts = attempts + 1 WHERE id = ?",
+                (now, row["id"]),
+            )
+            job_id = row["id"]
+        return self.job(job_id)
+
+    def finish(self, job_id: int, result: Dict[str, Any]) -> None:
+        """Mark a running job ``done`` with its result summary."""
+        self._settle(job_id, "done", result_json=canonical_json(result))
+
+    def fail(self, job_id: int, error: str) -> None:
+        """Mark a running job ``failed`` with the error message."""
+        self._settle(job_id, "failed", error=error)
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a pending job; returns False if it already left the queue."""
+        now = time.time()
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = 'cancelled', finished_at = ? "
+                "WHERE id = ? AND state = 'pending'",
+                (now, job_id),
+            )
+            return cursor.rowcount == 1
+
+    def _settle(
+        self,
+        job_id: int,
+        state: str,
+        result_json: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        now = time.time()
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, "
+                "result_json = ?, error = ? WHERE id = ? AND state = 'running'",
+                (state, now, result_json, error, job_id),
+            )
+            if cursor.rowcount != 1:
+                raise ServiceError(
+                    f"job {job_id} is not running; cannot mark it {state}"
+                )
+
+    def recover(self) -> int:
+        """Flip orphaned ``running`` jobs back to ``pending`` after a restart.
+
+        Returns the number of jobs recovered.  Attempts are preserved so a
+        job that crashes the service repeatedly remains visible as such.
+        """
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = 'pending', started_at = NULL "
+                "WHERE state = 'running'"
+            )
+            return cursor.rowcount
+
+    # -- inspection --------------------------------------------------------
+
+    def depth(self) -> int:
+        """Unfinished (pending + running) job count — the backpressure gauge."""
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state IN ('pending', 'running')"
+            ).fetchone()
+        return count
+
+    def job(self, job_id: int) -> Optional[Job]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return self._to_job(row) if row is not None else None
+
+    def jobs(self, state: Optional[str] = None) -> List[Job]:
+        """All jobs, newest first; optionally filtered by state."""
+        if state is not None and state not in JOB_STATES:
+            raise ServiceError(
+                f"unknown job state {state!r} (choose from {', '.join(JOB_STATES)})"
+            )
+        with self._lock:
+            if state is None:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs ORDER BY id DESC"
+                ).fetchall()
+            else:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs WHERE state = ? ORDER BY id DESC",
+                    (state,),
+                ).fetchall()
+        return [self._to_job(row) for row in rows]
+
+    @staticmethod
+    def _to_job(row: sqlite3.Row) -> Job:
+        import json
+
+        return Job(
+            id=row["id"],
+            fingerprint=row["fingerprint"],
+            priority=row["priority"],
+            state=row["state"],
+            spec=JobSpec.from_json(row["spec_json"]),
+            submitted_at=row["submitted_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            attempts=row["attempts"],
+            result=json.loads(row["result_json"]) if row["result_json"] else None,
+            error=row["error"],
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

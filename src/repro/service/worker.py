@@ -1,0 +1,92 @@
+"""Subprocess worker: the far end of the pipe protocol.
+
+``python -m repro.service.worker`` reads framed messages from stdin and
+answers on stdout (see :mod:`repro.service.protocol`):
+
+* ``{"kind": "job", "spec": {...}, "cache_root": ..., "store_path": ...}``
+  → a stream of ``{"kind": "event", "event": {...}}`` trace messages,
+  then one ``{"kind": "result", "result": {...}}`` or
+  ``{"kind": "error", "error": "..."}``.
+* ``{"kind": "shutdown"}`` or EOF → clean exit.
+
+The worker keeps one persistent :class:`~repro.runner.Runtime` across
+jobs, mirroring :class:`~repro.service.backends.LocalBackend`, so
+back-to-back jobs don't respawn worker pools.  Everything the experiments
+might print is re-routed to stderr — stdout carries frames only.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Optional
+
+from . import protocol
+
+
+def _serve(stdin, stdout) -> int:
+    from ..runner import ResultCache, Runtime
+    from .exec import execute_job
+    from .spec import JobSpec
+
+    cache: Optional[ResultCache] = None
+    cache_root: Optional[str] = None
+    store = None
+    store_path: Optional[str] = None
+
+    with Runtime(name="service-worker") as runtime:
+        while True:
+            message = protocol.read_message(stdin)
+            if message is None or message.get("kind") == "shutdown":
+                break
+            if message.get("kind") != "job":
+                protocol.write_message(stdout, {
+                    "kind": "error",
+                    "error": f"unexpected message kind {message.get('kind')!r}",
+                })
+                continue
+            try:
+                spec = JobSpec.from_dict(message["spec"])
+                if message.get("cache_root") != cache_root:
+                    cache_root = message.get("cache_root")
+                    cache = ResultCache(cache_root) if cache_root else None
+                if message.get("store_path") != store_path:
+                    if store is not None:
+                        store.close()
+                        store = None
+                    store_path = message.get("store_path")
+                    if store_path:
+                        from ..store import CampaignStore
+
+                        store = CampaignStore(store_path)
+
+                def sink(event: Dict[str, Any]) -> None:
+                    protocol.write_message(stdout, {
+                        "kind": "event", "event": event,
+                    })
+
+                result = execute_job(
+                    spec, cache=cache, store=store, runtime=runtime, sink=sink,
+                )
+                protocol.write_message(stdout, {
+                    "kind": "result", "result": result,
+                })
+            except Exception as error:  # report, stay alive for the next job
+                protocol.write_message(stdout, {
+                    "kind": "error",
+                    "error": f"{type(error).__name__}: {error}",
+                })
+    if store is not None:
+        store.close()
+    return 0
+
+
+def main() -> int:
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    # Stray prints from experiment code must not corrupt the framing.
+    sys.stdout = sys.stderr
+    return _serve(stdin, stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,10 @@ from ..runner.shard import Shard, canonical_json
 #: changes so old files are refused loudly instead of misread.
 SCHEMA_VERSION = 1
 
+#: How long a writer waits on another process's transaction before
+#: sqlite reports the database locked (file-backed stores only).
+BUSY_TIMEOUT_MS = 5_000
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
     id   INTEGER PRIMARY KEY,
@@ -222,6 +226,17 @@ class CampaignStore:
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         self._db = sqlite3.connect(self.path)
         self._db.execute("PRAGMA foreign_keys = ON")
+        if self.path != ":memory:":
+            # Concurrent writers (service dispatchers, parallel CLI runs)
+            # share one file: wait out each other's write transactions
+            # instead of failing fast, and journal in WAL mode so readers
+            # never block a writer.  Fail-soft — a filesystem that cannot
+            # take WAL (some network mounts) keeps the default journal.
+            self._db.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+            try:
+                self._db.execute("PRAGMA journal_mode = WAL")
+            except sqlite3.OperationalError:
+                pass
         version = self._db.execute("PRAGMA user_version").fetchone()[0]
         if version not in (0, SCHEMA_VERSION):
             self._db.close()

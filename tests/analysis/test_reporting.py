@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.reporting import comparison_table, format_table
+from repro.analysis.reporting import comparison_table, event_line, format_table
 from repro.errors import ReproError
 
 
@@ -31,3 +31,28 @@ def test_comparison_table():
     assert "Table II" in text
     assert "NTP+NTP" in text
     assert "paper KB/s" in text
+
+
+class TestEventLine:
+    """One-line trace-event rendering behind ``repro jobs --watch``."""
+
+    def test_fields_sorted_after_timestamp_and_name(self):
+        line = event_line({"name": "runner.shard", "t": 0.0,
+                           "index": 3, "seconds": 0.25})
+        stamp, name, *fields = line.split(" ")
+        assert stamp.startswith("[") and stamp.endswith("]")
+        assert name == "runner.shard"
+        assert fields == ["index=3", "seconds=0.25"]
+
+    def test_missing_timestamp_renders_placeholder(self):
+        assert event_line({"name": "service.job.started"}).startswith(
+            "[--:--:--] service.job.started"
+        )
+
+    def test_compound_values_compact_and_elide(self):
+        line = event_line({"name": "e", "t": 0.0,
+                           "spec": {"b": 2, "a": 1},
+                           "blob": "x" * 200})
+        assert 'spec={"a":1,"b":2}' in line
+        assert "..." in line
+        assert "\n" not in line and len(line) < 200

@@ -163,6 +163,8 @@ class TestValidationAndBackoff:
         with pytest.raises(ReproError):
             run_shards(_square_worker, [], backoff_base=-0.1)
         with pytest.raises(ReproError):
+            run_shards(_square_worker, [], backoff_cap=-1.0)
+        with pytest.raises(ReproError):
             run_shards(_square_worker, [], on_error="explode")
 
     def test_backoff_schedule(self):
@@ -171,3 +173,22 @@ class TestValidationAndBackoff:
         assert backoff_seconds(0.5, 2) == 1.0
         assert backoff_seconds(0.5, 3) == 2.0
         assert backoff_seconds(0.5, 30) == 5.0  # capped
+
+    def test_backoff_cap_is_configurable(self):
+        # A tighter cap bites earlier; cap=0 disables the wait entirely.
+        assert backoff_seconds(0.5, 3, cap=1.0) == 1.0
+        assert backoff_seconds(0.5, 30, cap=0.25) == 0.25
+        assert backoff_seconds(0.5, 1, cap=0.0) == 0.0
+        # A looser cap lets the exponential schedule keep growing.
+        assert backoff_seconds(0.5, 5, cap=60.0) == 8.0
+
+    def test_backoff_cap_threads_through_and_keeps_results_identical(self):
+        """The cap changes only *waiting*, never the merged output."""
+        shards = _shards(8)
+        baseline = run_shards(_square_worker, shards, jobs=1)
+        capped = run_shards(
+            _square_worker, shards, jobs=2,
+            faults=CRASH_PLAN, retries=3,
+            backoff_base=0.001, backoff_cap=0.002,
+        )
+        assert capped == baseline

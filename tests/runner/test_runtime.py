@@ -339,7 +339,7 @@ class TestWarmStartUnderRuntime:
 
     def test_worker_adopts_shipped_checkpoint(self):
         """A memo-missing worker restores the parent's checkpoint object."""
-        from repro.runner.warmstart import _WarmWorker
+        from repro.runner.warmstart import _WarmWorker, _memo_key
 
         clear_warm_states()
         with Runtime() as rt:
@@ -351,7 +351,7 @@ class TestWarmStartUnderRuntime:
             shard = make_shards(0, [{"base": 10, "x": 5}])[0]
             assert worker(shard) == {"y": 15}
             # The adopted checkpoint is the shipped one, not a local capture.
-            memo_key = (STUB_PLAN.identity(), '{"base":10}', "stub-10")
+            memo_key = _memo_key(STUB_PLAN.identity(), '{"base":10}', "stub-10")
             adopted = _WARM_STATES[memo_key][2]
             assert adopted.base == 10
             assert adopted is load_payload(ref)['{"base":10}']

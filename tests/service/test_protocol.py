@@ -1,0 +1,68 @@
+"""Length-prefixed JSON framing over byte pipes."""
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.protocol import MAX_MESSAGE_BYTES, read_message, write_message
+
+
+def _round_trip(message):
+    stream = io.BytesIO()
+    write_message(stream, message)
+    stream.seek(0)
+    return read_message(stream)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"kind": "job", "spec": {"experiment": "capacity"}, "n": 3}
+        assert _round_trip(message) == message
+
+    def test_multiple_messages_in_order(self):
+        stream = io.BytesIO()
+        for i in range(3):
+            write_message(stream, {"i": i})
+        stream.seek(0)
+        assert [read_message(stream)["i"] for _ in range(3)] == [0, 1, 2]
+        assert read_message(stream) is None
+
+    def test_clean_eof_returns_none(self):
+        assert read_message(io.BytesIO()) is None
+
+    def test_unicode_payload(self):
+        assert _round_trip({"note": "μarch — тест"}) == {"note": "μarch — тест"}
+
+
+class TestRejection:
+    def test_truncated_header_raises(self):
+        with pytest.raises(ServiceError, match="mid-message"):
+            read_message(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_payload_raises(self):
+        stream = io.BytesIO(struct.pack(">I", 100) + b"{}")
+        with pytest.raises(ServiceError, match="mid-message"):
+            read_message(stream)
+
+    def test_oversized_length_rejected_before_allocation(self):
+        stream = io.BytesIO(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+        with pytest.raises(ServiceError, match="exceeds"):
+            read_message(stream)
+
+    def test_non_object_payload_rejected(self):
+        payload = b"[1, 2]"
+        stream = io.BytesIO(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ServiceError, match="JSON object"):
+            read_message(stream)
+
+    def test_invalid_json_rejected(self):
+        payload = b"{nope"
+        stream = io.BytesIO(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            read_message(stream)
+
+    def test_nan_payload_refused_at_write(self):
+        with pytest.raises(ServiceError, match="not JSON-serializable"):
+            write_message(io.BytesIO(), {"x": float("nan")})

@@ -1,0 +1,176 @@
+"""Queue scheduling determinism, backpressure, and restart safety."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueFullError, ServiceError
+from repro.service import DEFAULT_MAX_DEPTH, JobQueue, JobSpec
+
+
+def _spec(priority: int = 0, seed: int = 0) -> JobSpec:
+    return JobSpec(experiment="capacity", params={"n_bits": 16},
+                   priority=priority, seed=seed)
+
+
+class TestScheduling:
+    def test_fifo_within_one_priority(self):
+        with JobQueue() as queue:
+            ids = [queue.submit(_spec(seed=i)).id for i in range(4)]
+            claimed = [queue.claim().id for _ in range(4)]
+            assert claimed == ids
+
+    def test_priority_beats_submission_order(self):
+        with JobQueue() as queue:
+            low = queue.submit(_spec(priority=0)).id
+            high = queue.submit(_spec(priority=5)).id
+            assert queue.claim().id == high
+            assert queue.claim().id == low
+
+    @settings(max_examples=40, deadline=None)
+    @given(priorities=st.lists(st.integers(-3, 3), min_size=1, max_size=12))
+    def test_claim_order_is_priority_then_fifo(self, priorities):
+        """The queue's scheduling contract, as a property.
+
+        Whatever the submission mix, claim() drains jobs sorted by
+        (priority descending, submission order ascending) — deterministic,
+        no ties left to the database.
+        """
+        with JobQueue(max_depth=32) as queue:
+            ids = [queue.submit(_spec(priority=p)).id for p in priorities]
+            expected = [
+                job_id for _, job_id in
+                sorted(zip(priorities, ids), key=lambda pair: (-pair[0], pair[1]))
+            ]
+            drained = []
+            while True:
+                job = queue.claim()
+                if job is None:
+                    break
+                drained.append(job.id)
+            assert drained == expected
+
+    def test_claim_empty_returns_none(self):
+        with JobQueue() as queue:
+            assert queue.claim() is None
+
+
+class TestBackpressure:
+    def test_submit_rejected_at_max_depth(self):
+        with JobQueue(max_depth=2) as queue:
+            queue.submit(_spec(seed=0))
+            queue.submit(_spec(seed=1))
+            with pytest.raises(QueueFullError) as excinfo:
+                queue.submit(_spec(seed=2))
+            assert excinfo.value.retry_after > 0
+
+    def test_running_jobs_count_toward_depth(self):
+        with JobQueue(max_depth=1) as queue:
+            queue.submit(_spec())
+            assert queue.claim() is not None  # pending -> running
+            with pytest.raises(QueueFullError):
+                queue.submit(_spec(seed=9))
+
+    def test_finished_jobs_free_capacity(self):
+        with JobQueue(max_depth=1) as queue:
+            job = queue.submit(_spec())
+            queue.claim()
+            queue.finish(job.id, {"ok": True})
+            assert queue.submit(_spec(seed=1)).state == "pending"
+
+    @settings(max_examples=25, deadline=None)
+    @given(extra=st.integers(1, 8))
+    def test_depth_is_bounded(self, extra):
+        """No submission mix pushes pending+running past max_depth."""
+        with JobQueue(max_depth=3) as queue:
+            accepted = 0
+            for i in range(3 + extra):
+                try:
+                    queue.submit(_spec(seed=i))
+                    accepted += 1
+                except QueueFullError:
+                    pass
+            assert accepted == 3
+            assert queue.depth() == 3
+
+    def test_default_depth(self):
+        assert JobQueue().max_depth == DEFAULT_MAX_DEPTH
+        with pytest.raises(ServiceError):
+            JobQueue(max_depth=0)
+
+
+class TestLifecycle:
+    def test_finish_requires_running(self):
+        with JobQueue() as queue:
+            job = queue.submit(_spec())
+            with pytest.raises(ServiceError, match="not running"):
+                queue.finish(job.id, {})
+
+    def test_fail_records_error(self):
+        with JobQueue() as queue:
+            job = queue.submit(_spec())
+            queue.claim()
+            queue.fail(job.id, "worker exploded")
+            settled = queue.job(job.id)
+            assert settled.state == "failed"
+            assert settled.error == "worker exploded"
+
+    def test_cancel_pending_only(self):
+        with JobQueue() as queue:
+            job = queue.submit(_spec())
+            assert queue.cancel(job.id) is True
+            assert queue.job(job.id).state == "cancelled"
+            running = queue.submit(_spec(seed=1))
+            queue.claim()
+            assert queue.cancel(running.id) is False
+
+    def test_jobs_filter_validates_state(self):
+        with JobQueue() as queue:
+            with pytest.raises(ServiceError, match="unknown job state"):
+                queue.jobs("exploded")
+
+
+class TestRestartSafety:
+    def test_jobs_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "queue.sqlite")
+        with JobQueue(path) as queue:
+            submitted = queue.submit(_spec(priority=2))
+        with JobQueue(path) as queue:
+            job = queue.claim()
+            assert job is not None
+            assert job.id == submitted.id
+            assert job.spec == submitted.spec
+            assert job.priority == 2
+
+    def test_recover_flips_running_back_to_pending(self, tmp_path):
+        path = str(tmp_path / "queue.sqlite")
+        with JobQueue(path) as queue:
+            job = queue.submit(_spec())
+            queue.claim()  # simulated dispatcher dies here
+        with JobQueue(path) as queue:
+            assert queue.recover() == 1
+            reclaimed = queue.claim()
+            assert reclaimed.id == job.id
+            assert reclaimed.attempts == 2  # the crashed attempt stays visible
+
+    def test_results_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "queue.sqlite")
+        with JobQueue(path) as queue:
+            job = queue.submit(_spec())
+            queue.claim()
+            queue.finish(job.id, {"detail": {"peak": 1.5}})
+        with JobQueue(path) as queue:
+            settled = queue.job(job.id)
+            assert settled.state == "done"
+            assert settled.result == {"detail": {"peak": 1.5}}
+
+    def test_foreign_schema_version_rejected(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "queue.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ServiceError, match="schema version 99"):
+            JobQueue(path)
